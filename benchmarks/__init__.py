@@ -1,0 +1,1 @@
+"""Experiment benchmarks (R1-R8). See DESIGN.md for the index."""

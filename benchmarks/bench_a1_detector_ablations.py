@@ -1,0 +1,134 @@
+"""A1 — Ablation of the detector's design choices (DESIGN.md list).
+
+Four knobs, each switched/swept independently on the same model:
+
+- **instance/pattern interpolation** (``instance_weight``): patterns alone
+  vs memory alone vs the default mix;
+- **conceptualization depth** (``top_k_concepts``);
+- **connector heuristic** on/off;
+- **context disambiguation of modifier concepts** on/off (quality measured
+  via modifier-concept agreement with gold on ambiguous modifiers).
+
+Expected shape: patterns carry detection (instance_weight=1.0 alone is the
+instance-lookup baseline, far below); top-k=1 already strong, k≥3 at
+ceiling; the connector heuristic matters on connector surfaces; context
+disambiguation fixes ambiguous modifiers ("apple charger").
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.core import DetectorConfig
+from repro.eval import evaluate_head_detection, format_table
+
+
+def accuracy_with(model, examples, **config_kwargs):
+    detector = model.detector(config=DetectorConfig(**config_kwargs))
+    return evaluate_head_detection(detector, examples)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(model, eval_examples):
+    examples = eval_examples[:800]
+    rows = []
+    results = {}
+    sweeps = [
+        ("default", {}),
+        ("patterns only (w=0.0)", {"instance_weight": 0.0}),
+        ("memory only (w=1.0)", {"instance_weight": 1.0}),
+        ("top-k=1", {"top_k_concepts": 1}),
+        ("top-k=3", {"top_k_concepts": 3}),
+        ("top-k=10", {"top_k_concepts": 10}),
+        ("no connector heuristic", {"use_connector_heuristic": False}),
+    ]
+    for name, kwargs in sweeps:
+        result = accuracy_with(model, examples, **kwargs)
+        rows.append([name, result.head_accuracy, result.evidence_rate])
+        results[name] = result
+    return rows, results
+
+
+@pytest.fixture(scope="module")
+def connector_rows(model, eval_examples):
+    """The connector heuristic evaluated on connector surfaces only."""
+    connector_examples = [
+        e for e in eval_examples if " for " in f" {e.query} " or " in " in f" {e.query} "
+    ][:300]
+    with_heuristic = accuracy_with(model, connector_examples)
+    without = accuracy_with(model, connector_examples, use_connector_heuristic=False)
+    return connector_examples, with_heuristic, without
+
+
+@pytest.fixture(scope="module")
+def disambiguation_scores(model, eval_examples):
+    """Modifier-concept agreement on ambiguous modifiers, with/without
+    head-context disambiguation."""
+    scores = {}
+    for contextualize in (True, False):
+        detector = model.detector(
+            config=DetectorConfig(contextualize_modifiers=contextualize)
+        )
+        correct = total = 0
+        for example in eval_examples:
+            gold_concepts = {
+                m.surface: m.concept
+                for m in example.gold.modifiers
+                if m.concept is not None
+            }
+            detection = detector.detect(example.query)
+            for term in detection.modifier_terms:
+                gold_concept = gold_concepts.get(term.text)
+                if gold_concept is None or term.top_concept is None:
+                    continue
+                if len(model.taxonomy.concepts_of(term.text)) < 2:
+                    continue  # unambiguous: nothing to disambiguate
+                total += 1
+                correct += term.top_concept == gold_concept
+        scores[contextualize] = (correct / total if total else 0.0, total)
+    return scores
+
+
+def test_a1_detector_ablations(
+    benchmark, ablation_rows, connector_rows, disambiguation_scores, model, eval_queries
+):
+    rows, results = ablation_rows
+    connector_examples, with_conn, without_conn = connector_rows
+    rows.append(
+        [f"connector subset (n={len(connector_examples)}): with", with_conn.head_accuracy,
+         with_conn.evidence_rate]
+    )
+    rows.append(
+        ["connector subset: without", without_conn.head_accuracy, without_conn.evidence_rate]
+    )
+    with_ctx, n_ambiguous = disambiguation_scores[True]
+    without_ctx, _ = disambiguation_scores[False]
+    rows.append([f"modifier-sense acc (n={n_ambiguous}): with context", with_ctx, ""])
+    rows.append(["modifier-sense acc: without context", without_ctx, ""])
+    publish(
+        "a1_detector_ablations",
+        format_table(
+            ["configuration", "head-acc / sense-acc", "evidence-rate"],
+            rows,
+            title="A1: detector design-choice ablations (800 held-out queries)",
+        ),
+    )
+
+    # Interpolation: patterns are the load-bearing component. Memory-only
+    # decides most queries by positional fallback (low evidence rate) and
+    # loses measurable accuracy to it.
+    assert results["patterns only (w=0.0)"].head_accuracy > 0.95
+    assert results["memory only (w=1.0)"].evidence_rate < 0.6
+    assert (
+        results["memory only (w=1.0)"].head_accuracy
+        < results["default"].head_accuracy - 0.03
+    )
+    # Conceptualization depth saturates early.
+    assert results["top-k=3"].head_accuracy >= results["top-k=10"].head_accuracy - 0.01
+    # Context disambiguation strictly helps ambiguous modifiers (rare in
+    # the eval set, but the effect is decisive where they occur).
+    assert n_ambiguous >= 5
+    assert with_ctx > without_ctx
+
+    detector = model.detector()
+    batch = eval_queries[:200]
+    benchmark(lambda: detector.detect_batch(batch))

@@ -1,0 +1,108 @@
+"""A2 — Robustness to typos (extension experiment).
+
+Short texts in real logs carry single-edit typos. We corrupt held-out
+queries (one random character edit in one alphabetic token of length ≥ 4)
+and measure head detection with and without the taxonomy-vocabulary
+spelling normalizer.
+
+Expected shape: typos cost the plain detector double-digit accuracy on
+corrupted queries; the speller recovers most of it; clean-query accuracy
+is unaffected by having the speller attached.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.eval import evaluate_head_detection, format_table
+from repro.utils.randx import rng_from_seed
+
+
+def corrupt(query: str, rng) -> str:
+    """Introduce one character edit into one eligible token."""
+    tokens = query.split()
+    eligible = [
+        i for i, t in enumerate(tokens) if len(t) >= 4 and t.isalpha()
+    ]
+    if not eligible:
+        return query
+    index = rng.choice(eligible)
+    token = tokens[index]
+    position = rng.randrange(len(token) - 1)
+    kind = rng.choice(["swap", "drop", "dup"])
+    if kind == "swap" and token[position] != token[position + 1]:
+        corrupted = (
+            token[:position]
+            + token[position + 1]
+            + token[position]
+            + token[position + 2 :]
+        )
+    elif kind == "drop":
+        corrupted = token[:position] + token[position + 1 :]
+    else:
+        corrupted = token[: position + 1] + token[position] + token[position + 1 :]
+    tokens[index] = corrupted
+    return " ".join(tokens)
+
+
+@pytest.fixture(scope="module")
+def corrupted_examples(eval_examples):
+    from repro.eval.datasets import EvalExample
+
+    rng = rng_from_seed(23, "typos")
+    corrupted = []
+    for example in eval_examples[:800]:
+        noisy = corrupt(example.query, rng)
+        if noisy != example.query:
+            corrupted.append(EvalExample(query=noisy, gold=example.gold))
+    return corrupted
+
+
+@pytest.fixture(scope="module")
+def robustness_results(model, eval_examples, corrupted_examples):
+    clean = eval_examples[:800]
+    plain = model.detector(correct_spelling=False)
+    spelled = model.detector(correct_spelling=True)
+    return {
+        ("clean", "plain"): evaluate_head_detection(plain, clean),
+        ("clean", "speller"): evaluate_head_detection(spelled, clean),
+        ("typo", "plain"): evaluate_head_detection(plain, corrupted_examples),
+        ("typo", "speller"): evaluate_head_detection(spelled, corrupted_examples),
+    }
+
+
+def test_a2_typo_robustness(benchmark, robustness_results, corrupted_examples, model):
+    rows = [
+        [queries, system, result.head_accuracy, result.evidence_rate]
+        for (queries, system), result in robustness_results.items()
+    ]
+    publish(
+        "a2_robustness",
+        format_table(
+            ["queries", "detector", "head-acc", "evidence-rate"],
+            rows,
+            title=(
+                f"A2: typo robustness ({len(corrupted_examples)} corrupted "
+                "held-out queries, one edit each)"
+            ),
+        ),
+    )
+    results = robustness_results
+    # Typos hurt the plain detector substantially.
+    assert (
+        results[("typo", "plain")].head_accuracy
+        < results[("clean", "plain")].head_accuracy - 0.1
+    )
+    # The speller recovers most of the loss ...
+    assert (
+        results[("typo", "speller")].head_accuracy
+        > results[("typo", "plain")].head_accuracy + 0.1
+    )
+    # ... without harming clean queries.
+    assert (
+        results[("clean", "speller")].head_accuracy
+        >= results[("clean", "plain")].head_accuracy - 0.005
+    )
+
+    spelled = model.detector(correct_spelling=True)
+    batch = [e.query for e in corrupted_examples[:200]]
+    benchmark(lambda: spelled.detect_batch(batch))

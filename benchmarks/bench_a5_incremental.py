@@ -1,0 +1,90 @@
+"""A5 — Incremental model updates vs. batch retraining (extension).
+
+Production logs arrive in slices; retraining from scratch on the full
+history is wasteful. ``update_model`` mines only the new slice and merges
+its (linear) pattern contribution into the existing table.
+
+Expected shape: the incrementally-updated model matches the batch-retrained
+model's accuracy within a point and agrees with it on ~all detections,
+while the update costs a fraction of the batch retrain (it never touches
+the old slice).
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro import LogConfig, TrainingConfig, generate_log, train_model
+from repro.core.analysis import compare_tables
+from repro.core.pipeline import update_model
+from repro.eval import evaluate_head_detection, format_table
+from repro.utils.timer import Timer
+
+SLICE_INTENTS = 2000
+CONFIG = TrainingConfig(train_classifier=False)
+
+
+@pytest.fixture(scope="module")
+def slices(taxonomy):
+    return (
+        generate_log(taxonomy, LogConfig(seed=7, num_intents=SLICE_INTENTS)),
+        generate_log(taxonomy, LogConfig(seed=8, num_intents=SLICE_INTENTS)),
+    )
+
+
+@pytest.fixture(scope="module")
+def a5_results(slices, taxonomy, eval_examples):
+    slice_a, slice_b = slices
+    with Timer() as base_timer:
+        base = train_model(slice_a, taxonomy, CONFIG)
+    with Timer() as update_timer:
+        incremental = update_model(base, slice_b, CONFIG)
+
+    merged = generate_log(taxonomy, LogConfig(seed=7, num_intents=SLICE_INTENTS))
+    for record in slice_b.records():
+        merged.add_record(record.query, record.frequency, record.clicks)
+    with Timer() as batch_timer:
+        batch = train_model(merged, taxonomy, CONFIG)
+
+    examples = eval_examples[:800]
+    incremental_result = evaluate_head_detection(incremental.detector(), examples)
+    batch_result = evaluate_head_detection(batch.detector(), examples)
+    diff = compare_tables(incremental.patterns, batch.patterns)
+    return {
+        "base_seconds": base_timer.elapsed,
+        "update_seconds": update_timer.elapsed,
+        "batch_seconds": batch_timer.elapsed,
+        "incremental": incremental_result,
+        "batch": batch_result,
+        "rank_agreement": diff.rank_agreement,
+        "models": (base, incremental, batch),
+    }
+
+
+def test_a5_incremental_updates(benchmark, a5_results, slices, taxonomy):
+    rows = [
+        ["batch retrain (A+B)", a5_results["batch_seconds"] * 1000,
+         a5_results["batch"].head_accuracy],
+        ["incremental update (B only)", a5_results["update_seconds"] * 1000,
+         a5_results["incremental"].head_accuracy],
+    ]
+    table = format_table(
+        ["strategy", "time ms", "head-acc"],
+        rows,
+        title=f"A5: incremental vs batch ({SLICE_INTENTS}-intent slices)",
+    )
+    table += f"\npattern-table rank agreement: {a5_results['rank_agreement']:.3f}"
+    publish("a5_incremental", table)
+
+    assert (
+        abs(
+            a5_results["incremental"].head_accuracy
+            - a5_results["batch"].head_accuracy
+        )
+        < 0.02
+    )
+    assert a5_results["rank_agreement"] > 0.7
+    assert a5_results["update_seconds"] < a5_results["batch_seconds"]
+
+    base = a5_results["models"][0]
+    _, slice_b = slices
+    benchmark(lambda: update_model(base, slice_b, CONFIG))

@@ -1,0 +1,87 @@
+"""A8 — Robustness to click noise in the training log (extension).
+
+Our default substrate is cleaner than a production log, so this
+experiment injects misclicks before mining sees the log: a fraction of
+every query's clicks is diverted to a shared pool of off-topic portal
+pages (correlated noise — the kind that *can* fabricate similarity
+between unrelated queries; uniform noise is orthogonal and cosine
+ignores it by construction).
+
+Measured finding: the pipeline is essentially flat out to 40% noise.
+Two mechanisms stack: (1) cosine similarity is dominated by the
+concentrated on-topic click mass, so diffuse noise barely moves either
+the acceptance or the margin test; (2) whatever noise pairs do slip
+through are averaged away by pattern aggregation. This robustness is why
+click-overlap mining worked on a real production log — and the benchmark
+asserts it stays true.
+"""
+
+import pytest
+
+from benchmarks.conftest import TRAIN_SEED, publish
+from repro import LogConfig, TrainingConfig, generate_log, train_model
+from repro.eval import evaluate_head_detection, format_table
+
+NOISE_LEVELS = (0.0, 0.1, 0.2, 0.4)
+
+
+def mined_pair_precision(pairs, log) -> float:
+    """Fraction of mined pairs matching a gold (modifier, head) relation."""
+    gold = set()
+    for query, label in log.gold_labels.items():
+        for modifier in label.modifiers:
+            if modifier.concept is not None:
+                gold.add((modifier.surface, label.head))
+    mined = {(m, h) for m, h, _ in pairs.items()}
+    if not mined:
+        return 0.0
+    return len(mined & gold) / len(mined)
+
+
+@pytest.fixture(scope="module")
+def noise_sweep(taxonomy, eval_examples):
+    examples = eval_examples[:800]
+    rows = []
+    accuracy = {}
+    for noise in NOISE_LEVELS:
+        log = generate_log(
+            taxonomy,
+            LogConfig(seed=TRAIN_SEED, num_intents=3000, click_noise=noise),
+        )
+        model = train_model(log, taxonomy, TrainingConfig(train_classifier=False))
+        result = evaluate_head_detection(model.detector(), examples)
+        precision = mined_pair_precision(model.pairs, log)
+        rows.append(
+            [f"{noise:.0%}", len(model.pairs), precision,
+             len(model.patterns), result.head_accuracy, result.evidence_rate]
+        )
+        accuracy[noise] = result.head_accuracy
+    return rows, accuracy
+
+
+def test_a8_click_noise(benchmark, noise_sweep, taxonomy):
+    rows, accuracy = noise_sweep
+    publish(
+        "a8_noise",
+        format_table(
+            ["click noise", "pairs", "pair-precision", "patterns",
+             "head-acc", "evidence-rate"],
+            rows,
+            title="A8: training-log click noise vs detection quality "
+            "(clean held-out eval)",
+        ),
+    )
+    # Robustness: quality holds essentially unchanged out to 40% noise.
+    assert accuracy[0.2] > 0.98
+    assert accuracy[0.4] > 0.95
+    assert accuracy[0.4] >= accuracy[0.0] - 0.03
+    # Pair precision also holds (within noise of the clean run).
+    precisions = {row[0]: row[2] for row in rows}
+    assert precisions["40%"] >= precisions["0%"] - 0.03
+
+    log = generate_log(
+        taxonomy, LogConfig(seed=TRAIN_SEED, num_intents=500, click_noise=0.2)
+    )
+    benchmark(
+        lambda: train_model(log, taxonomy, TrainingConfig(train_classifier=False))
+    )

@@ -1,0 +1,100 @@
+"""R1 — Head/modifier detection quality: full method vs. three baselines.
+
+Reproduces the paper's headline comparison: the semantic (weighted concept
+pattern) approach against a grammar baseline, a frequency baseline, and an
+instance-memorization baseline, on held-out labelled queries.
+
+Expected shape (EXPERIMENTS.md): concept patterns lead by a wide margin
+with full coverage; instance lookup is precise but covers a fraction;
+syntactic and statistical sit far below.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.baselines import (
+    InstanceLookupDetector,
+    StatisticalDetector,
+    SyntacticDetector,
+)
+from repro.eval import (
+    bootstrap_ci,
+    evaluate_head_detection,
+    format_table,
+    head_correctness,
+    paired_bootstrap_test,
+)
+
+
+@pytest.fixture(scope="module")
+def systems(model, detector, segmenter, train_stats):
+    return {
+        "concept-patterns": detector,
+        "syntactic": SyntacticDetector(),
+        "statistical": StatisticalDetector(train_stats, segmenter),
+        "instance-lookup": InstanceLookupDetector(model.pairs, segmenter),
+    }
+
+
+@pytest.fixture(scope="module")
+def r1_results(systems, eval_examples):
+    return {
+        name: evaluate_head_detection(system, eval_examples)
+        for name, system in systems.items()
+    }
+
+
+def test_r1_head_accuracy_table(
+    benchmark, r1_results, systems, detector, eval_examples, eval_queries
+):
+    rows = [
+        [
+            name,
+            result.head_accuracy,
+            result.head_precision,
+            result.coverage,
+            result.modifier_metrics.precision,
+            result.modifier_metrics.recall,
+            result.modifier_metrics.f1,
+        ]
+        for name, result in r1_results.items()
+    ]
+    table = format_table(
+        ["system", "head-acc", "head-prec", "coverage", "mod-P", "mod-R", "mod-F1"],
+        rows,
+        title=f"R1: head/modifier detection on {len(eval_queries)} held-out queries",
+    )
+    # Statistical rigor: CI for the full method, paired test vs the best
+    # baseline on the same examples.
+    concept_outcomes = head_correctness(systems["concept-patterns"], eval_examples)
+    best_baseline = max(
+        (name for name in systems if name != "concept-patterns"),
+        key=lambda name: r1_results[name].head_accuracy,
+    )
+    baseline_outcomes = head_correctness(systems[best_baseline], eval_examples)
+    ci = bootstrap_ci(concept_outcomes, seed=1)
+    comparison = paired_bootstrap_test(baseline_outcomes, concept_outcomes, seed=1)
+    table += (
+        f"\nconcept-patterns head-acc 95% CI: {ci}"
+        f"\npaired bootstrap vs {best_baseline}: delta=+{comparison.delta:.3f}, "
+        f"p={comparison.p_value:.4f}"
+    )
+    publish("r1_head_accuracy", table)
+
+    # Shape assertions mirror the paper's ordering claims.
+    results = r1_results
+    assert results["concept-patterns"].head_accuracy > 0.9
+    assert (
+        results["concept-patterns"].head_accuracy
+        > results["syntactic"].head_accuracy + 0.1
+    )
+    assert (
+        results["concept-patterns"].head_accuracy
+        > results["statistical"].head_accuracy + 0.1
+    )
+    assert results["instance-lookup"].head_precision > 0.9
+    assert results["instance-lookup"].coverage < 0.6
+    assert comparison.significant(alpha=0.01)
+
+    batch = eval_queries[:200]
+    benchmark(lambda: detector.detect_batch(batch))

@@ -1,0 +1,73 @@
+"""R3 — Conciseness: accuracy & coverage vs. number of concept patterns.
+
+The paper's claim that the derived weighted concept patterns are
+*concise*: a small weight-ordered prefix of the table achieves almost the
+full table's detection quality, because pattern mass is concentrated in a
+few strong concept pairs.
+
+Expected shape: head accuracy climbs steeply and saturates within tens of
+patterns; the full table adds little beyond the top ~50.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.core import HeadModifierDetector, Segmenter, derive_pattern_table
+from repro.core.conceptualizer import Conceptualizer
+from repro.eval import evaluate_head_detection, format_table
+
+PATTERN_COUNTS = (2, 5, 10, 20, 40, 80)
+
+
+@pytest.fixture(scope="module")
+def full_table(model):
+    # Re-derive without mass pruning so the sweep covers the whole range.
+    return derive_pattern_table(model.pairs, Conceptualizer(model.taxonomy))
+
+
+@pytest.fixture(scope="module")
+def sweep(model, full_table, eval_examples, taxonomy):
+    conceptualizer = Conceptualizer(taxonomy)
+    segmenter = Segmenter(taxonomy)
+    examples = eval_examples[:800]
+    rows = []
+    accuracies = {}
+    counts = [c for c in PATTERN_COUNTS if c < len(full_table)] + [len(full_table)]
+    for count in counts:
+        table = full_table.pruned_to_count(count)
+        detector = HeadModifierDetector(
+            table,
+            conceptualizer,
+            instance_pairs=None,  # isolate the pattern contribution
+            segmenter=segmenter,
+        )
+        result = evaluate_head_detection(detector, examples)
+        rows.append(
+            [count, result.head_accuracy, result.evidence_rate, result.coverage]
+        )
+        accuracies[count] = result.head_accuracy
+    return rows, accuracies, counts
+
+
+def test_r3_pattern_pruning_curve(benchmark, sweep, model, eval_queries, taxonomy):
+    rows, accuracies, counts = sweep
+    publish(
+        "r3_pattern_pruning",
+        format_table(
+            ["patterns kept", "head-acc", "evidence-rate", "coverage"],
+            rows,
+            title="R3: detection quality vs pattern-table size (patterns only)",
+        ),
+    )
+    full = accuracies[counts[-1]]
+    # Saturation: 40 patterns already within 3 points of the full table,
+    # while 2 patterns are clearly insufficient evidence-wise.
+    assert accuracies[40] >= full - 0.03
+    assert accuracies[2] < accuracies[40]
+
+    table = model.patterns.pruned_to_count(40)
+    detector = HeadModifierDetector(
+        table, Conceptualizer(taxonomy), segmenter=Segmenter(taxonomy)
+    )
+    batch = eval_queries[:200]
+    benchmark(lambda: detector.detect_batch(batch))

@@ -1,0 +1,74 @@
+"""R4 — Generalization power: detection quality vs. training-log size.
+
+The concept-level method should extract most of its value from small
+logs (a handful of instance pairs per strong concept pattern suffices),
+while the instance-memorization baseline keeps needing more data — the
+"strong generalization power" claim of the abstract.
+
+Expected shape: concept-pattern accuracy is already high at the smallest
+log and flat; instance-lookup accuracy grows with log size and stays far
+below throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import TRAIN_SEED, publish
+from repro import LogConfig, TrainingConfig, generate_log, train_model
+from repro.baselines import InstanceLookupDetector
+from repro.eval import evaluate_head_detection, format_table
+
+LOG_SIZES = (250, 500, 1000, 2000, 4000)
+
+
+@pytest.fixture(scope="module")
+def sweep(taxonomy, eval_examples, segmenter):
+    examples = eval_examples[:800]
+    rows = []
+    concept_curve = {}
+    instance_curve = {}
+    for size in LOG_SIZES:
+        log = generate_log(taxonomy, LogConfig(seed=TRAIN_SEED, num_intents=size))
+        trained = train_model(
+            log, taxonomy, TrainingConfig(train_classifier=False)
+        )
+        concept = evaluate_head_detection(trained.detector(), examples)
+        instance = evaluate_head_detection(
+            InstanceLookupDetector(trained.pairs, segmenter), examples
+        )
+        rows.append(
+            [
+                size,
+                log.num_queries,
+                len(trained.pairs),
+                concept.head_accuracy,
+                instance.head_accuracy,
+            ]
+        )
+        concept_curve[size] = concept.head_accuracy
+        instance_curve[size] = instance.head_accuracy
+    return rows, concept_curve, instance_curve
+
+
+def test_r4_log_size_curve(benchmark, sweep, taxonomy):
+    rows, concept_curve, instance_curve = sweep
+    publish(
+        "r4_log_size",
+        format_table(
+            ["intents", "distinct queries", "mined pairs", "concept acc", "instance acc"],
+            rows,
+            title="R4: head accuracy vs training-log size",
+        ),
+    )
+    smallest, largest = LOG_SIZES[0], LOG_SIZES[-1]
+    # Concept method: near its ceiling already on the smallest log.
+    assert concept_curve[smallest] >= concept_curve[largest] - 0.05
+    assert concept_curve[smallest] > 0.85
+    # Instance lookup: data-hungry and still far behind at the largest log.
+    assert instance_curve[largest] > instance_curve[smallest]
+    assert concept_curve[largest] > instance_curve[largest] + 0.2
+
+    # Benchmark the full training pipeline at a moderate size.
+    log = generate_log(taxonomy, LogConfig(seed=TRAIN_SEED, num_intents=500))
+    benchmark(
+        lambda: train_model(log, taxonomy, TrainingConfig(train_classifier=False))
+    )

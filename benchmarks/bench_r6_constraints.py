@@ -1,0 +1,138 @@
+"""R6 — Constraint detection quality and feature ablation.
+
+Compares the lexicon rule baseline against the trained classifier in two
+deployment modes (with/without a live query log for drop evidence), then
+ablates feature groups by retraining on masked feature matrices.
+
+Expected shape: trained > rule; +log ≥ no-log; removing the
+droppability/behavioural features costs the most (they are what separates
+weak-constraint modifiers like colors/years, which the lexicon cannot),
+while the other groups are individually near-redundant with it.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import publish
+from repro.core.constraints import LogisticRegression, RuleConstraintClassifier
+from repro.core.features import FEATURE_NAMES
+from repro.core.pipeline import constraint_training_rows
+from repro.eval import evaluate_constraints, format_table
+
+#: Feature-group ablations: name -> features removed.
+ABLATIONS = {
+    "full": (),
+    "-lexicon": ("subjective", "intent_verb"),
+    "-semantics": (
+        "known_instance",
+        "ambiguity",
+        "concept_breadth",
+        "specificity",
+        "numeric",
+        "multiword",
+    ),
+    "-droppability": ("instance_droppability", "concept_droppability"),
+    "-log-evidence": ("drop_similarity", "drop_evidence_missing", "idf"),
+}
+
+
+class MaskedClassifier:
+    """A constraint classifier whose feature vector is zero-masked."""
+
+    def __init__(self, extractor, model, mask, threshold=0.5):
+        self._extractor = extractor
+        self._model = model
+        self._mask = mask
+        self._threshold = threshold
+
+    def is_constraint(self, query, modifier):
+        features = self._extractor.extract(query, modifier) * self._mask
+        return float(self._model.predict_proba(features)[0]) >= self._threshold
+
+
+def mask_for(removed):
+    mask = np.ones(len(FEATURE_NAMES))
+    for name in removed:
+        mask[FEATURE_NAMES.index(name)] = 0.0
+    return mask
+
+
+@pytest.fixture(scope="module")
+def ablation_results(model, train_stats, segmenter, eval_examples):
+    rows_qm, labels, weights = constraint_training_rows(train_stats, segmenter)
+    extractor = model.classifier.extractor  # trained extractor (with stats)
+    features = extractor.extract_batch(rows_qm)
+    y = np.asarray(labels, float)
+    w = np.asarray(weights, float)
+    results = {}
+    for name, removed in ABLATIONS.items():
+        mask = mask_for(removed)
+        logreg = LogisticRegression(epochs=400).fit(features * mask, y, w)
+        classifier = MaskedClassifier(extractor.with_stats(None), logreg, mask)
+        results[name] = evaluate_constraints(classifier, eval_examples)
+    return results
+
+
+@pytest.fixture(scope="module")
+def deployment_results(model, train_log, heldout_stats, eval_examples):
+    from repro.mining.sessions import ReformulationMiner, SessionConstraintClassifier
+
+    session_evidence = ReformulationMiner().mine(train_log)
+    return {
+        "rule-lexicon": evaluate_constraints(
+            RuleConstraintClassifier(), eval_examples
+        ),
+        "session-evidence": evaluate_constraints(
+            SessionConstraintClassifier(session_evidence), eval_examples
+        ),
+        "trained (offline)": evaluate_constraints(
+            model.classifier.with_stats(None), eval_examples
+        ),
+        "trained (+live log)": evaluate_constraints(
+            model.classifier.with_stats(heldout_stats), eval_examples
+        ),
+    }
+
+
+def test_r6_constraint_table(
+    benchmark, deployment_results, ablation_results, model, eval_examples
+):
+    rows = [
+        [name, r.accuracy, r.precision, r.recall, r.f1]
+        for name, r in deployment_results.items()
+    ] + [
+        [f"ablation {name}", r.accuracy, r.precision, r.recall, r.f1]
+        for name, r in ablation_results.items()
+    ]
+    publish(
+        "r6_constraints",
+        format_table(
+            ["classifier", "accuracy", "precision", "recall", "F1"],
+            rows,
+            title=(
+                "R6: constraint detection on "
+                f"{deployment_results['rule-lexicon'].n_modifiers} gold modifiers"
+            ),
+        ),
+    )
+    rule = deployment_results["rule-lexicon"]
+    session = deployment_results["session-evidence"]
+    offline = deployment_results["trained (offline)"]
+    live = deployment_results["trained (+live log)"]
+    assert offline.accuracy > rule.accuracy
+    assert session.accuracy > rule.accuracy  # reformulations alone help too
+    assert live.accuracy >= offline.accuracy - 0.01
+    assert live.f1 > 0.95
+    # Ablations: the droppability generalization is the load-bearing
+    # feature group — removing it hurts most (and drops below the full
+    # model), while the full model stays within noise of the best variant.
+    full = ablation_results["full"]
+    worst = min(ablation_results.values(), key=lambda r: r.accuracy)
+    best = max(ablation_results.values(), key=lambda r: r.accuracy)
+    assert worst is ablation_results["-droppability"]
+    assert ablation_results["-droppability"].accuracy < full.accuracy
+    assert full.accuracy >= best.accuracy - 0.01
+
+    classifier = model.classifier.with_stats(None)
+    sample = [(e.query, m.surface) for e in eval_examples[:100] for m in e.gold.modifiers]
+    benchmark(lambda: [classifier.is_constraint(q, m) for q, m in sample])

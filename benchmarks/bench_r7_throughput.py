@@ -1,0 +1,66 @@
+"""R7 — Runtime: detection latency/throughput vs. pattern-table size.
+
+The mechanism ran in production for search relevance and ads matching, so
+per-query cost matters. Detection cost is dominated by segmentation plus
+a (top-k × top-k) pattern lookup per candidate pair, so it should be
+nearly flat in table size (hash lookups) and linear in query batch size.
+
+Expected shape: thousands of queries/second on one core; < 2x spread
+between a 10-pattern table and the full table.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.core import HeadModifierDetector, Segmenter
+from repro.core.conceptualizer import Conceptualizer
+from repro.eval import format_table
+from repro.utils.timer import Timer
+
+TABLE_SIZES = (10, 40, None)  # None = full table
+
+
+def make_detector(model, taxonomy, size):
+    table = model.patterns if size is None else model.patterns.pruned_to_count(size)
+    return HeadModifierDetector(
+        table,
+        Conceptualizer(taxonomy),
+        instance_pairs=model.pairs,
+        segmenter=Segmenter(taxonomy),
+    )
+
+
+@pytest.fixture(scope="module")
+def throughput_rows(model, taxonomy, eval_queries):
+    queries = eval_queries[:1000]
+    rows = []
+    for size in TABLE_SIZES:
+        detector = make_detector(model, taxonomy, size)
+        detector.detect_batch(queries[:50])  # warm the concept cache
+        with Timer() as timer:
+            detector.detect_batch(queries)
+        label = len(model.patterns) if size is None else size
+        rows.append(
+            [label, len(queries), timer.elapsed * 1000, len(queries) / timer.elapsed]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("size", TABLE_SIZES, ids=["10", "40", "full"])
+def test_r7_throughput(benchmark, size, model, taxonomy, eval_queries, throughput_rows):
+    if size == TABLE_SIZES[0]:
+        publish(
+            "r7_throughput",
+            format_table(
+                ["patterns", "queries", "batch ms", "queries/sec"],
+                throughput_rows,
+                title="R7: single-core detection throughput vs pattern-table size",
+            ),
+        )
+        rates = [row[3] for row in throughput_rows]
+        assert min(rates) > 2000, "expected thousands of queries/second"
+        assert max(rates) / min(rates) < 2.0, "cost should be ~flat in table size"
+    detector = make_detector(model, taxonomy, size)
+    batch = eval_queries[:200]
+    detector.detect_batch(batch)  # warm cache before timing
+    benchmark(lambda: detector.detect_batch(batch))

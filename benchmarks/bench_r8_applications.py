@@ -1,0 +1,137 @@
+"""R8 — Applications: search relevance and ads matching.
+
+The production uses the abstract cites. Both applications are evaluated
+against flat token-overlap baselines on judged collections synthesized
+from held-out intents (see repro.apps.corpus for the adversarial design).
+
+Expected shape: structured relevance beats bag-of-words by a wide nDCG
+margin (constraint violations are disqualifying, boilerplate dilution is
+ignored); the constraint-aware ad matcher reaches ~1.0 precision@1 while
+token overlap serves conflicting ads ("iphone 5" ads on "iphone 5s"
+queries).
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.apps import (
+    AdMatcher,
+    BagOfWordsScorer,
+    StructuredRelevanceScorer,
+    TokenOverlapAdMatcher,
+    synthesize_ads,
+    synthesize_documents,
+)
+from repro.eval import format_table, ndcg_at_k
+from repro.eval.metrics import precision_at_k
+from repro.utils.randx import rng_from_seed
+
+N_QUERIES = 400
+DISTRACTORS = 8
+
+
+@pytest.fixture(scope="module")
+def relevance_setup(eval_examples, taxonomy):
+    examples = eval_examples[:N_QUERIES]
+    collection = synthesize_documents(examples, taxonomy)
+    by_id = {d.doc_id: d for d in collection.documents}
+    rng = rng_from_seed(17, "r8-distractors")
+    candidate_sets = {}
+    all_docs = collection.documents
+    for example in examples:
+        own = [by_id[i] for i in collection.candidates(example.query)]
+        extra = rng.sample(all_docs, DISTRACTORS)
+        seen, candidates = set(), []
+        for doc in own + extra:
+            if doc.doc_id not in seen:
+                seen.add(doc.doc_id)
+                candidates.append(doc)
+        candidate_sets[example.query] = candidates
+    return examples, collection, candidate_sets
+
+
+def mean_ndcg(ranker, examples, collection, candidate_sets, k=5):
+    values = []
+    for example in examples:
+        ranked = ranker(example.query, candidate_sets[example.query])
+        relevances = [collection.relevance(example.query, d.doc_id) for d, _ in ranked]
+        values.append(ndcg_at_k(relevances, k))
+    return statistics.mean(values)
+
+
+@pytest.fixture(scope="module")
+def relevance_results(detector, relevance_setup):
+    examples, collection, candidate_sets = relevance_setup
+    structured = StructuredRelevanceScorer(detector)
+    bow = BagOfWordsScorer()
+    return {
+        "structured (head+constraints)": mean_ndcg(
+            structured.rank, examples, collection, candidate_sets
+        ),
+        "bag-of-words": mean_ndcg(bow.rank, examples, collection, candidate_sets),
+    }
+
+
+@pytest.fixture(scope="module")
+def ads_results(detector, eval_examples, taxonomy):
+    examples = eval_examples[:N_QUERIES]
+    inventory = synthesize_ads(examples, taxonomy)
+    matchers = {
+        "constraint-aware": AdMatcher(detector, inventory.ads),
+        "token-overlap": TokenOverlapAdMatcher(inventory.ads),
+    }
+    results = {}
+    for name, matcher in matchers.items():
+        flags = []
+        for example in examples:
+            matched = matcher.match(example.query, top_k=1)
+            flags.append(
+                bool(matched)
+                and inventory.is_acceptable(example.query, matched[0].ad.ad_id)
+            )
+        results[name] = (precision_at_k(flags, len(flags)), len(inventory.ads))
+    return results
+
+
+def test_r8_applications_table(
+    benchmark, relevance_results, ads_results, detector, relevance_setup
+):
+    rows = [
+        ["relevance nDCG@5", name, value]
+        for name, value in relevance_results.items()
+    ] + [
+        ["ads precision@1", name, value]
+        for name, (value, _) in ads_results.items()
+    ]
+    inventory_size = next(iter(ads_results.values()))[1]
+    publish(
+        "r8_applications",
+        format_table(
+            ["task", "system", "score"],
+            rows,
+            title=(
+                f"R8: applications on {N_QUERIES} held-out queries "
+                f"(ad inventory: {inventory_size} keywords)"
+            ),
+        ),
+    )
+    assert relevance_results["structured (head+constraints)"] > 0.9
+    assert (
+        relevance_results["structured (head+constraints)"]
+        > relevance_results["bag-of-words"] + 0.2
+    )
+    assert ads_results["constraint-aware"][0] > 0.95
+    assert (
+        ads_results["constraint-aware"][0] > ads_results["token-overlap"][0] + 0.1
+    )
+
+    examples, collection, candidate_sets = relevance_setup
+    scorer = StructuredRelevanceScorer(detector)
+    sample = examples[:50]
+    benchmark(
+        lambda: [
+            scorer.rank(e.query, candidate_sets[e.query]) for e in sample
+        ]
+    )

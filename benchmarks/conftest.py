@@ -1,0 +1,95 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Every experiment (R1-R8, see DESIGN.md) is a pytest-benchmark test: the
+``benchmark`` fixture times the hot operation, and the experiment's table
+is computed once (module fixtures), printed, and written to
+``benchmarks/results/`` so `pytest benchmarks/ --benchmark-only` leaves
+the reproduced tables on disk.
+
+Scales here are larger than the unit-test fixtures: results are meant to
+be compared against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    LogConfig,
+    TrainingConfig,
+    build_from_seed,
+    generate_log,
+    train_model,
+)
+from repro.core import Segmenter
+from repro.eval import build_eval_set
+from repro.querylog.stats import LogStatistics
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TRAIN_SEED = 7
+HELDOUT_SEED = 99
+TRAIN_INTENTS = 4000
+HELDOUT_INTENTS = 1500
+MAX_EVAL_EXAMPLES = 2000
+
+
+@pytest.fixture(scope="session")
+def taxonomy():
+    return build_from_seed()
+
+
+@pytest.fixture(scope="session")
+def train_log(taxonomy):
+    return generate_log(taxonomy, LogConfig(seed=TRAIN_SEED, num_intents=TRAIN_INTENTS))
+
+
+@pytest.fixture(scope="session")
+def train_stats(train_log):
+    return LogStatistics(train_log)
+
+
+@pytest.fixture(scope="session")
+def model(train_log, taxonomy):
+    return train_model(train_log, taxonomy, TrainingConfig())
+
+
+@pytest.fixture(scope="session")
+def detector(model):
+    return model.detector()
+
+
+@pytest.fixture(scope="session")
+def segmenter(taxonomy):
+    return Segmenter(taxonomy)
+
+
+@pytest.fixture(scope="session")
+def heldout_log(taxonomy):
+    return generate_log(
+        taxonomy, LogConfig(seed=HELDOUT_SEED, num_intents=HELDOUT_INTENTS)
+    )
+
+
+@pytest.fixture(scope="session")
+def heldout_stats(heldout_log):
+    return LogStatistics(heldout_log)
+
+
+@pytest.fixture(scope="session")
+def eval_examples(heldout_log):
+    return build_eval_set(heldout_log, min_modifiers=1, max_examples=MAX_EVAL_EXAMPLES)
+
+
+@pytest.fixture(scope="session")
+def eval_queries(eval_examples):
+    return [e.query for e in eval_examples]
+
+
+def publish(name: str, table: str) -> None:
+    """Print an experiment table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print(f"\n{table}\n")

@@ -1,0 +1,55 @@
+"""Inspect what training learned: pattern concentration, directionality,
+and coverage of the mined instance pairs.
+
+Run:  python examples/inspect_patterns.py
+"""
+
+from repro import build_default_model
+from repro.core import (
+    Conceptualizer,
+    direction_conflicts,
+    pair_coverage,
+    summarize_table,
+)
+
+
+def main() -> None:
+    print("Training model ...\n")
+    model = build_default_model(seed=7, num_intents=3000)
+
+    summary = summarize_table(model.patterns)
+    print("Pattern-table shape:")
+    print(f"  patterns:              {summary.num_patterns}")
+    print(f"  total weight:          {summary.total_weight:.0f}")
+    print(f"  patterns for 50% mass: {summary.patterns_for_half_mass}")
+    print(f"  patterns for 90% mass: {summary.patterns_for_90_mass}")
+    print(f"  modifier concepts:     {summary.num_modifier_concepts}")
+    print(f"  head concepts:         {summary.num_head_concepts}")
+
+    print("\nTop 8 patterns:")
+    for pattern, weight in model.patterns.top(8):
+        direction = model.patterns.directionality(
+            pattern.modifier_concept, pattern.head_concept
+        )
+        print(f"  {str(pattern):48} weight={weight:8.0f}  direction={direction:+.2f}")
+
+    conflicts = direction_conflicts(model.patterns, min_balance=0.2)
+    print(f"\nDirectionally ambiguous concept pairs (balance >= 0.2): {len(conflicts)}")
+    for conflict in conflicts[:5]:
+        print(
+            f"  {conflict.concept_a} <-> {conflict.concept_b}: "
+            f"{conflict.forward_weight:.0f} vs {conflict.backward_weight:.0f} "
+            f"(balance {conflict.balance:.2f})"
+        )
+
+    coverage = pair_coverage(
+        model.pairs, model.patterns, Conceptualizer(model.taxonomy)
+    )
+    print(
+        f"\nMined-pair support explained by the pruned table: {coverage:.1%} "
+        f"({len(model.pairs)} pairs -> {summary.num_patterns} patterns)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Constraint-preserving query relaxation.
+
+For recall expansion a retrieval stack drops query terms — but dropping a
+constraint changes the intent. The rewriter drops only non-constraint
+modifiers, producing a safe relaxation ladder.
+
+Run:  python examples/query_rewriting.py
+"""
+
+from repro import build_default_model
+from repro.apps import QueryRewriter
+
+QUERIES = [
+    "best cheap iphone 5s smart cover",
+    "popular vegan lasagna recipe",
+    "top rated rome hotels",
+    "buy galaxy s4 screen protector",
+]
+
+
+def main() -> None:
+    print("Training model ...\n")
+    model = build_default_model(seed=7, num_intents=3000)
+    rewriter = QueryRewriter(model.detector())
+    for query in QUERIES:
+        print(f"query: {query}")
+        print(f"  must keep:  {' + '.join(rewriter.must_keep(query))}")
+        for step, rewrite in enumerate(rewriter.relax(query)):
+            print(f"  relax[{step}]:   {rewrite}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Quickstart: train a model and detect heads, modifiers, and constraints.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_default_model
+
+QUERIES = [
+    "popular iphone 5s smart cover",
+    "cheap hotels in rome",
+    "nurse jobs in seattle",
+    "2013 tom hanks movies",
+    "vegan lasagna recipe",
+    "galaxy s4 screen protector",
+    "honda civic brake pads",
+    "best running shoes",
+]
+
+
+def main() -> None:
+    print("Training on the built-in taxonomy + synthetic search log ...")
+    model = build_default_model(seed=7, num_intents=3000)
+    print(
+        f"  mined pairs: {len(model.pairs)}, "
+        f"concept patterns: {len(model.patterns)}\n"
+    )
+    detector = model.detector()
+    for query in QUERIES:
+        detection = detector.detect(query)
+        print(f"query:       {query}")
+        print(f"  head:        {detection.head}")
+        print(f"  modifiers:   {', '.join(detection.modifiers) or '-'}")
+        print(f"  constraints: {', '.join(detection.constraints) or '-'}")
+        print(f"  breakdown:   {detection.explain()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Build an isA taxonomy from raw text with Hearst patterns.
+
+Demonstrates the Probase-style construction path: generate a synthetic
+web corpus, run the Hearst extractor over it, count observations into a
+taxonomy, and inspect typicality — including sense ambiguity ("apple").
+
+Run:  python examples/taxonomy_from_text.py
+"""
+
+from repro.taxonomy import (
+    CorpusConfig,
+    TypicalityScorer,
+    build_from_corpus,
+    generate_corpus,
+)
+
+
+def main() -> None:
+    print("Generating a synthetic web corpus ...")
+    sentences = list(generate_corpus(CorpusConfig(seed=11, sentences_per_concept=250)))
+    print(f"  {len(sentences)} sentences, e.g.:")
+    for sentence in sentences[:3]:
+        print(f"    {sentence!r}")
+
+    print("\nRunning Hearst extraction and counting observations ...")
+    taxonomy = build_from_corpus(sentences, min_count=2)
+    print(f"  {taxonomy}")
+
+    scorer = TypicalityScorer(taxonomy)
+    print("\nTypicality P(concept | instance):")
+    for instance in ["apple", "iphone 5s", "rome", "battery", "python"]:
+        senses = ", ".join(
+            f"{concept}={p:.2f}" for concept, p in scorer.top_concepts(instance, 3)
+        )
+        print(f"  {instance:12} -> {senses}")
+
+    print("\nMost representative smartphones P(instance | concept):")
+    ranked = sorted(
+        scorer.instance_distribution("smartphone").items(),
+        key=lambda kv: -kv[1],
+    )[:5]
+    for instance, p in ranked:
+        print(f"  {instance:16} {p:.3f}")
+
+    print(f"\nAmbiguity of 'apple' (sense entropy): "
+          f"{scorer.instance_ambiguity('apple'):.2f} nats")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Longer short texts: compound titles, typos, and decision traces.
+
+The paper targets queries, ads keywords, titles, and captions. This
+example drives the pieces beyond single clean queries: the compound
+detector for coordinated titles, the spelling normalizer for noisy input,
+and the explanation API for understanding a decision.
+
+Run:  python examples/titles_and_captions.py
+"""
+
+from repro import build_default_model
+from repro.core import CompoundDetector, explain_detection
+
+TITLES = [
+    "iphone 5s smart cover and galaxy s4 screen protector",
+    "rome bed and breakfast and paris hotels",
+    "gta 5 cheats or skyrim mods",
+]
+
+
+def main() -> None:
+    print("Training model ...\n")
+    model = build_default_model(seed=7, num_intents=3000)
+    detector = model.detector(correct_spelling=True)
+
+    print("--- compound titles ---")
+    compound = CompoundDetector(detector)
+    for title in TITLES:
+        result = compound.detect(title)
+        print(f"{title}")
+        for clause in result.clauses:
+            print(f"  clause: {clause.explain()}")
+        print()
+
+    print("--- noisy caption (typos) ---")
+    noisy = "ihpone 5s smart cvoer"
+    detection = detector.detect(noisy)
+    print(f"{noisy!r} -> {detection.explain()}\n")
+
+    print("--- decision trace ---")
+    print(explain_detection(detector, "honda civic brake pads").render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Full offline pipeline: generate a log, train, persist, reload.
+
+Shows the artifacts a production deployment ships: the taxonomy, the
+weighted concept-pattern table, the instance-pair memory, and the
+constraint classifier — all in one directory bundle.
+
+Run:  python examples/train_and_save.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    LogConfig,
+    TrainingConfig,
+    build_from_seed,
+    generate_log,
+    load_model,
+    save_model,
+    train_model,
+)
+
+
+def main() -> None:
+    taxonomy = build_from_seed()
+    print(f"taxonomy: {taxonomy}")
+
+    log = generate_log(taxonomy, LogConfig(seed=21, num_intents=3000))
+    print(f"search log: {log}")
+
+    model = train_model(log, taxonomy, TrainingConfig())
+    print(f"mined pairs: {len(model.pairs)}")
+    print(f"concept patterns: {len(model.patterns)} (top 5):")
+    for pattern, weight in model.patterns.top(5):
+        print(f"  {pattern}  weight={weight:.0f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "model"
+        save_model(model, bundle)
+        files = sorted(p.name for p in bundle.iterdir())
+        print(f"\nsaved bundle: {files}")
+
+        reloaded = load_model(bundle)
+        detector = reloaded.detector()
+        detection = detector.detect("popular iphone 5s smart cover")
+        print(f"\nreloaded detection: {detection.explain()}")
+
+
+if __name__ == "__main__":
+    main()

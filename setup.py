@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml. This file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (PEP 660 editable builds require it; the legacy path does not):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

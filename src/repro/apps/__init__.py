@@ -1,0 +1,34 @@
+"""Applications of head/modifier/constraint detection.
+
+The paper motivates the mechanism with two production uses: **search
+relevance** (a document matching the head + constraints beats one matching
+only surface tokens) and **ads matching** (an ad keyword must agree with
+the query's head and not conflict with its constraints). A third natural
+consumer is **query rewriting** (relax non-constraint modifiers for
+recall). All three are implemented against the public detector API.
+"""
+
+from repro.apps.ads import Ad, AdMatcher, ScoredAd, TokenOverlapAdMatcher
+from repro.apps.corpus import synthesize_ads, synthesize_documents
+from repro.apps.relevance import (
+    BagOfWordsScorer,
+    Document,
+    StructuredRelevanceScorer,
+)
+from repro.apps.rewriter import QueryRewriter
+from repro.apps.similarity import IntentSimilarity, QueryIntentMatcher
+
+__all__ = [
+    "QueryIntentMatcher",
+    "IntentSimilarity",
+    "Document",
+    "StructuredRelevanceScorer",
+    "BagOfWordsScorer",
+    "Ad",
+    "ScoredAd",
+    "AdMatcher",
+    "TokenOverlapAdMatcher",
+    "QueryRewriter",
+    "synthesize_documents",
+    "synthesize_ads",
+]

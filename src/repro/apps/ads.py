@@ -1,0 +1,153 @@
+"""Constraint-aware ads keyword matching.
+
+A bid keyword should be served when it asks for the *same thing* as the
+query: identical (or concept-compatible) heads, and no conflicting
+constraints. An ad for "galaxy s4 case" and a query "iphone 5s case" share
+two of three tokens, yet serving it would be wrong — both constrain the
+same concept (smartphone) with different instances. Token-overlap
+matchers make exactly this mistake; the structured matcher does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detector import Detection, HeadModifierDetector
+from repro.text.normalizer import normalize
+
+
+@dataclass(frozen=True, slots=True)
+class Ad:
+    """An advertiser's bid keyword."""
+
+    ad_id: str
+    keyword: str
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredAd:
+    ad: Ad
+    score: float
+
+
+class AdMatcher:
+    """Head/constraint-aware query→ad matching.
+
+    Scoring:
+
+    - head agreement: exact head string ``1.0``; same top concept
+      ``concept_head_score``; otherwise the ad is rejected;
+    - query-constraint coverage scales the score between
+      ``generic_discount`` (nothing matched) and 1.0 (all matched);
+    - each *conflicting* ad constraint (same concept as a query constraint,
+      different instance) multiplies the score by ``conflict_penalty``;
+    - each other ad constraint the query never asked for (an
+      over-specified ad) multiplies it by ``overspec_penalty``.
+    """
+
+    def __init__(
+        self,
+        detector: HeadModifierDetector,
+        inventory: list[Ad],
+        concept_head_score: float = 0.3,
+        conflict_penalty: float = 0.05,
+        overspec_penalty: float = 0.15,
+        generic_discount: float = 0.6,
+    ) -> None:
+        self._detector = detector
+        self._inventory = list(inventory)
+        self._concept_head_score = concept_head_score
+        self._conflict_penalty = conflict_penalty
+        self._overspec_penalty = overspec_penalty
+        self._generic_discount = generic_discount
+        # Ad keywords are static: detect once at build time, as a
+        # production matcher would.
+        self._ad_detections: list[tuple[Ad, Detection]] = [
+            (ad, self._detector.detect(ad.keyword)) for ad in self._inventory
+        ]
+
+    @property
+    def inventory_size(self) -> int:
+        """Number of ads in the matcher's inventory."""
+        return len(self._inventory)
+
+    def match(self, query: str, top_k: int = 5) -> list[ScoredAd]:
+        """The ``top_k`` best-matching ads for ``query`` (score > 0 only)."""
+        detection = self._detector.detect(query)
+        scored = []
+        for ad, ad_detection in self._ad_detections:
+            score = self._score(detection, ad_detection)
+            if score > 0:
+                scored.append(ScoredAd(ad, score))
+        scored.sort(key=lambda s: (-s.score, s.ad.ad_id))
+        return scored[:top_k]
+
+    def _score(self, query: Detection, ad: Detection) -> float:
+        head_score = self._head_agreement(query, ad)
+        if head_score == 0.0:
+            return 0.0
+        query_constraints = set(query.constraints)
+        ad_constraints = set(ad.constraints)
+        matched = query_constraints & ad_constraints
+        extra = ad_constraints - query_constraints
+        conflicts = self._count_conflicts(query, ad)
+        overspecified = max(0, len(extra) - conflicts)
+        score = head_score
+        if query_constraints:
+            coverage = len(matched) / len(query_constraints)
+            score *= self._generic_discount + (1 - self._generic_discount) * coverage
+        score *= self._conflict_penalty**conflicts
+        score *= self._overspec_penalty**overspecified
+        return score
+
+    def _head_agreement(self, query: Detection, ad: Detection) -> float:
+        if query.head is None or ad.head is None:
+            return 0.0
+        if query.head == ad.head:
+            return 1.0
+        query_concept = query.head_term.top_concept if query.head_term else None
+        ad_concept = ad.head_term.top_concept if ad.head_term else None
+        if query_concept is not None and query_concept == ad_concept:
+            return self._concept_head_score
+        return 0.0
+
+    def _count_conflicts(self, query: Detection, ad: Detection) -> int:
+        """Constraints of the same concept bound to different instances."""
+        query_by_concept = _constraints_by_concept(query)
+        ad_by_concept = _constraints_by_concept(ad)
+        conflicts = 0
+        for concept, query_value in query_by_concept.items():
+            ad_value = ad_by_concept.get(concept)
+            if ad_value is not None and ad_value != query_value:
+                conflicts += 1
+        return conflicts
+
+
+def _constraints_by_concept(detection: Detection) -> dict[str, str]:
+    result: dict[str, str] = {}
+    for term in detection.modifier_terms:
+        if term.is_constraint and term.top_concept is not None:
+            result[term.top_concept] = term.text
+    return result
+
+
+class TokenOverlapAdMatcher:
+    """Baseline: Jaccard token overlap between query and bid keyword."""
+
+    def __init__(self, inventory: list[Ad]) -> None:
+        self._inventory = list(inventory)
+
+    def match(self, query: str, top_k: int = 5) -> list[ScoredAd]:
+        """The ``top_k`` ads by Jaccard token overlap with ``query``."""
+        query_tokens = set(normalize(query).split())
+        scored = []
+        for ad in self._inventory:
+            ad_tokens = set(normalize(ad.keyword).split())
+            union = query_tokens | ad_tokens
+            if not union:
+                continue
+            score = len(query_tokens & ad_tokens) / len(union)
+            if score > 0:
+                scored.append(ScoredAd(ad, score))
+        scored.sort(key=lambda s: (-s.score, s.ad.ad_id))
+        return scored[:top_k]

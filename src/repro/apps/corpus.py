@@ -1,0 +1,216 @@
+"""Synthetic document/ad collections for the application experiments.
+
+Built from held-out labelled queries. The design mirrors the adversarial
+structure of real retrieval:
+
+- the *relevant* page does **not** mirror the query verbatim — real pages
+  carry boilerplate ("official site", "free shipping"), which dilutes
+  token overlap;
+- the *conflicting* page/ad echoes the query closely but substitutes a
+  same-concept sibling for one constraint ("iphone 5" for "iphone 5s"),
+  chosen to share surface tokens — flat matchers rank it high, yet it
+  violates the constraint and is irrelevant;
+- a *generic* page/ad matches the head only (partially relevant);
+- an *off-head* page matches the constraints but not the head
+  (irrelevant).
+
+Ad acceptability is judged semantically (same head, no constraint
+violation), not by id, and the inventory is deduplicated by keyword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.ads import Ad
+from repro.apps.relevance import Document
+from repro.eval.datasets import EvalExample
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.utils.randx import rng_from_seed
+
+#: Graded relevance levels.
+REL_PERFECT = 3.0
+REL_PARTIAL = 1.0
+REL_IRRELEVANT = 0.0
+
+_FILLER = "official site guide deals and more"
+
+
+@dataclass(frozen=True)
+class JudgedCollection:
+    """Documents plus per-query graded relevance judgments."""
+
+    documents: list[Document]
+    judgments: dict[str, dict[str, float]]  # query -> doc_id -> relevance
+
+    def relevance(self, query: str, doc_id: str) -> float:
+        """Graded relevance of ``doc_id`` for ``query`` (0 when unjudged)."""
+        return self.judgments.get(query, {}).get(doc_id, REL_IRRELEVANT)
+
+    def candidates(self, query: str) -> list[str]:
+        """Doc ids judged (relevant or distractor) for this query."""
+        return sorted(self.judgments.get(query, {}))
+
+
+@dataclass(frozen=True)
+class JudgedAdInventory:
+    """Deduplicated ads plus semantic acceptability judgments.
+
+    An ad is acceptable for a query iff its head equals the query's gold
+    head and every constraint in the ad keyword is one of the query's
+    gold constraints (no conflicts, no over-specification).
+    """
+
+    ads: list[Ad]
+    #: ad_id -> (head, constraints in the keyword)
+    ad_semantics: dict[str, tuple[str, frozenset[str]]]
+    #: query -> (gold head, gold constraints)
+    query_semantics: dict[str, tuple[str, frozenset[str]]] = field(default_factory=dict)
+
+    def is_acceptable(self, query: str, ad_id: str) -> bool:
+        """Whether serving this ad on this query is semantically correct."""
+        query_sem = self.query_semantics.get(query)
+        ad_sem = self.ad_semantics.get(ad_id)
+        if query_sem is None or ad_sem is None:
+            return False
+        query_head, query_constraints = query_sem
+        ad_head, ad_constraints = ad_sem
+        return ad_head == query_head and ad_constraints <= query_constraints
+
+
+def synthesize_documents(
+    examples: list[EvalExample],
+    taxonomy: ConceptTaxonomy,
+    seed: int = 31,
+) -> JudgedCollection:
+    """Build a judged document collection from labelled queries."""
+    rng = rng_from_seed(seed, "documents")
+    documents: list[Document] = []
+    judgments: dict[str, dict[str, float]] = {}
+    for index, example in enumerate(examples):
+        gold = example.gold
+        constraints = [m.surface for m in gold.modifiers if m.is_constraint]
+        preferences = [m.surface for m in gold.modifiers if not m.is_constraint]
+        base = f"d{index:05d}"
+        per_query: dict[str, float] = {}
+
+        # Relevant page: head + constraints, diluted with boilerplate.
+        perfect = Document(
+            doc_id=f"{base}-rel",
+            title=f"{' '.join(constraints)} {gold.head} {_FILLER}".strip(),
+            body=f"shop {gold.head} selection updated weekly",
+        )
+        documents.append(perfect)
+        per_query[perfect.doc_id] = REL_PERFECT
+
+        generic = Document(
+            doc_id=f"{base}-gen",
+            title=f"{gold.head} overview",
+            body=f"everything about {gold.head}",
+        )
+        documents.append(generic)
+        per_query[generic.doc_id] = REL_PARTIAL if constraints else REL_PERFECT
+
+        conflict = _conflicting_constraint(taxonomy, gold, rng)
+        if conflict is not None:
+            original, substitute = conflict
+            conflicting_title = " ".join(
+                preferences
+                + [substitute if c == original else c for c in constraints]
+                + [gold.head]
+            )
+            conflicting = Document(
+                doc_id=f"{base}-conf",
+                title=conflicting_title,
+                body=" ".join(preferences + [gold.head]),
+            )
+            documents.append(conflicting)
+            per_query[conflicting.doc_id] = REL_IRRELEVANT
+
+        if constraints:
+            off_head = Document(
+                doc_id=f"{base}-off",
+                title=" ".join(constraints + ["news"]),
+                body=" ".join(constraints),
+            )
+            documents.append(off_head)
+            per_query[off_head.doc_id] = REL_IRRELEVANT
+
+        judgments[example.query] = per_query
+    return JudgedCollection(documents=documents, judgments=judgments)
+
+
+def synthesize_ads(
+    examples: list[EvalExample],
+    taxonomy: ConceptTaxonomy,
+    seed: int = 37,
+    exact_keyword_rate: float = 0.5,
+) -> JudgedAdInventory:
+    """Build a judged, deduplicated ad inventory from labelled queries.
+
+    Only ``exact_keyword_rate`` of the queries get an exactly-matching bid
+    keyword — the interesting case is the rest, where the matcher must
+    prefer the generic head keyword over a *conflicting* one that shares
+    more surface tokens.
+    """
+    rng = rng_from_seed(seed, "ads")
+    by_keyword: dict[str, tuple[Ad, tuple[str, frozenset[str]]]] = {}
+    query_semantics: dict[str, tuple[str, frozenset[str]]] = {}
+
+    def register(keyword: str, head: str, constraints: frozenset[str]) -> None:
+        if keyword not in by_keyword:
+            ad = Ad(f"ad{len(by_keyword):05d}", keyword)
+            by_keyword[keyword] = (ad, (head, constraints))
+
+    for example in examples:
+        gold = example.gold
+        constraints = [m.surface for m in gold.modifiers if m.is_constraint]
+        query_semantics[example.query] = (gold.head, frozenset(constraints))
+
+        if rng.random() < exact_keyword_rate and constraints:
+            register(
+                " ".join(constraints + [gold.head]), gold.head, frozenset(constraints)
+            )
+        register(gold.head, gold.head, frozenset())
+
+        conflict = _conflicting_constraint(taxonomy, gold, rng)
+        if conflict is not None:
+            original, substitute = conflict
+            conflict_constraints = frozenset(
+                substitute if c == original else c for c in constraints
+            )
+            register(
+                " ".join(sorted(conflict_constraints) + [gold.head]),
+                gold.head,
+                conflict_constraints,
+            )
+
+    ads = [ad for ad, _ in by_keyword.values()]
+    semantics = {ad.ad_id: sem for ad, sem in by_keyword.values()}
+    return JudgedAdInventory(
+        ads=ads, ad_semantics=semantics, query_semantics=query_semantics
+    )
+
+
+def _conflicting_constraint(
+    taxonomy: ConceptTaxonomy, gold, rng
+) -> tuple[str, str] | None:
+    """Pick (original constraint, same-concept substitute) for a query.
+
+    The substitute maximizes shared tokens with the original ("iphone 5s"
+    → "iphone 5") so that token-overlap matchers are maximally tempted.
+    """
+    for modifier in gold.modifiers:
+        if not modifier.is_constraint or modifier.concept is None:
+            continue
+        siblings = [
+            instance
+            for instance in taxonomy.instances_of(modifier.concept)
+            if instance != modifier.surface
+        ]
+        if not siblings:
+            continue
+        original_tokens = set(modifier.surface.split())
+        siblings.sort(key=lambda s: (-len(original_tokens & set(s.split())), s))
+        return modifier.surface, siblings[0]
+    return None

@@ -1,0 +1,172 @@
+"""Structured search relevance.
+
+A flat bag-of-words scorer treats "iphone 5s smart cover" as three equally
+important tokens; the structured scorer knows the document must be about a
+*smart cover* (head), must satisfy *iphone 5s* (constraint), and merely
+prefers "popular" (subjective modifier). Field weighting (title > body)
+follows standard practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detector import Detection, HeadModifierDetector
+from repro.text.normalizer import normalize
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    """A retrievable document with a title and an optional body."""
+
+    doc_id: str
+    title: str
+    body: str = ""
+
+    def contains(self, phrase: str) -> tuple[bool, bool]:
+        """(in title, in body) membership of a normalized phrase."""
+        needle = f" {normalize(phrase)} "
+        title = f" {normalize(self.title)} "
+        body = f" {normalize(self.body)} "
+        return needle in title, needle in body
+
+
+class StructuredRelevanceScorer:
+    """Head/constraint-aware relevance.
+
+    Score composition (defaults):
+
+    - head match contributes ``head_weight`` (title hit counts fully, body
+      hit at ``body_discount``); a document that never mentions the head
+      is multiplied by ``head_miss_penalty`` — it is about something else;
+    - constraints contribute ``constraint_weight`` * (fraction matched);
+      each *unmatched* constraint multiplies the final score by
+      ``violation_penalty``, and by the harsher ``conflict_penalty`` when
+      the document names a *sibling* instance of the same concept instead
+      ("iphone 5" on an "iphone 5s" query) — a constrained query is simply
+      not satisfied by a document that contradicts the constraint;
+    - non-constraint modifiers contribute the small remaining weight.
+    """
+
+    def __init__(
+        self,
+        detector: HeadModifierDetector,
+        head_weight: float = 0.6,
+        constraint_weight: float = 0.3,
+        preference_weight: float = 0.1,
+        body_discount: float = 0.6,
+        violation_penalty: float = 0.3,
+        conflict_penalty: float = 0.1,
+        head_miss_penalty: float = 0.2,
+    ) -> None:
+        total = head_weight + constraint_weight + preference_weight
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("component weights must sum to 1")
+        for name, value in (
+            ("violation_penalty", violation_penalty),
+            ("conflict_penalty", conflict_penalty),
+            ("head_miss_penalty", head_miss_penalty),
+        ):
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self._detector = detector
+        self._head_weight = head_weight
+        self._constraint_weight = constraint_weight
+        self._preference_weight = preference_weight
+        self._body_discount = body_discount
+        self._violation_penalty = violation_penalty
+        self._conflict_penalty = conflict_penalty
+        self._head_miss_penalty = head_miss_penalty
+
+    def score(self, query: str | Detection, document: Document) -> float:
+        """Relevance of ``document`` to ``query`` in [0, 1]."""
+        detection = (
+            query if isinstance(query, Detection) else self._detector.detect(query)
+        )
+        head = detection.head
+        head_score = self._phrase_score(document, head) if head else 0.0
+
+        constraints = detection.constraints
+        preferences = tuple(
+            m for m in detection.modifiers if m not in set(constraints)
+        )
+        constraint_score, _ = self._group_score(document, constraints)
+        preference_score, _ = self._group_score(document, preferences)
+
+        score = (
+            self._head_weight * head_score
+            + self._constraint_weight * constraint_score
+            + self._preference_weight * preference_score
+        )
+        if head and head_score == 0.0:
+            score *= self._head_miss_penalty
+        for term in detection.modifier_terms:
+            if not term.is_constraint:
+                continue
+            if self._phrase_score(document, term.text) > 0:
+                continue
+            if self._names_conflicting_sibling(document, term):
+                score *= self._conflict_penalty
+            else:
+                score *= self._violation_penalty
+        return score
+
+    def _names_conflicting_sibling(self, document: Document, term) -> bool:
+        """Does the document mention another instance of the constraint's
+        concept ("iphone 5" where the query asked for "iphone 5s")?"""
+        concept = term.top_concept
+        if concept is None:
+            return False
+        taxonomy = self._detector.conceptualizer.taxonomy
+        for sibling in taxonomy.instances_of(concept):
+            if sibling == term.text:
+                continue
+            in_title, in_body = document.contains(sibling)
+            if in_title or in_body:
+                return True
+        return False
+
+    def rank(
+        self, query: str, documents: list[Document], top_k: int | None = None
+    ) -> list[tuple[Document, float]]:
+        """Documents sorted by descending structured relevance."""
+        detection = self._detector.detect(query)
+        scored = [(doc, self.score(detection, doc)) for doc in documents]
+        scored.sort(key=lambda pair: (-pair[1], pair[0].doc_id))
+        return scored if top_k is None else scored[:top_k]
+
+    def _phrase_score(self, document: Document, phrase: str) -> float:
+        in_title, in_body = document.contains(phrase)
+        if in_title:
+            return 1.0
+        if in_body:
+            return self._body_discount
+        return 0.0
+
+    def _group_score(self, document: Document, phrases: tuple[str, ...]) -> tuple[float, int]:
+        """(mean phrase score, number of complete misses) for a group."""
+        if not phrases:
+            return 1.0, 0
+        scores = [self._phrase_score(document, p) for p in phrases]
+        violations = sum(1 for s in scores if s == 0.0)
+        return sum(scores) / len(scores), violations
+
+
+class BagOfWordsScorer:
+    """Flat token-overlap baseline (Jaccard over title+body tokens)."""
+
+    def score(self, query: str, document: Document) -> float:
+        """Jaccard overlap between query tokens and document tokens."""
+        query_tokens = set(normalize(query).split())
+        doc_tokens = set(normalize(f"{document.title} {document.body}").split())
+        if not query_tokens or not doc_tokens:
+            return 0.0
+        return len(query_tokens & doc_tokens) / len(query_tokens | doc_tokens)
+
+    def rank(
+        self, query: str, documents: list[Document], top_k: int | None = None
+    ) -> list[tuple[Document, float]]:
+        """Documents sorted by descending token overlap."""
+        scored = [(doc, self.score(query, doc)) for doc in documents]
+        scored.sort(key=lambda pair: (-pair[1], pair[0].doc_id))
+        return scored if top_k is None else scored[:top_k]

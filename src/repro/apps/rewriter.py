@@ -1,0 +1,68 @@
+"""Constraint-preserving query rewriting.
+
+Relaxing a query for recall must not change its meaning: subjective
+modifiers can always go, constraints never can. The rewriter produces the
+relaxation ladder a retrieval stack would try in order.
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import HeadModifierDetector, TermRole
+
+
+class QueryRewriter:
+    """Generates meaning-preserving relaxations of a short text."""
+
+    def __init__(self, detector: HeadModifierDetector) -> None:
+        self._detector = detector
+
+    def must_keep(self, query: str) -> tuple[str, ...]:
+        """The irreducible core: head plus constraint modifiers, in query
+        order."""
+        detection = self._detector.detect(query)
+        kept = []
+        for term in detection.terms:
+            if term.role is TermRole.HEAD:
+                kept.append(term.text)
+            elif term.role is TermRole.MODIFIER and term.is_constraint:
+                kept.append(term.text)
+        return tuple(kept)
+
+    def relax(self, query: str) -> list[str]:
+        """Relaxation ladder, most specific first.
+
+        Step 0 is the original (normalized) query; each later step drops
+        one more non-constraint modifier (left to right); the final step
+        is the irreducible core. Consecutive duplicates are removed.
+        """
+        detection = self._detector.detect(query)
+        droppable = [
+            term.text
+            for term in detection.terms
+            if term.role is TermRole.MODIFIER and term.is_constraint is False
+        ]
+        ladder = [detection.query]
+        remaining = detection.query
+        for drop in droppable:
+            remaining = _remove_phrase(remaining, drop)
+            if remaining and remaining != ladder[-1]:
+                ladder.append(remaining)
+        core = " ".join(self.must_keep(query))
+        if core and core != ladder[-1]:
+            ladder.append(core)
+        return ladder
+
+    def rewrite_for_recall(self, query: str) -> str:
+        """The broadest meaning-preserving rewrite (head + constraints)."""
+        core = self.must_keep(query)
+        return " ".join(core) if core else query
+
+
+def _remove_phrase(text: str, phrase: str) -> str:
+    tokens = text.split()
+    phrase_tokens = phrase.split()
+    n = len(phrase_tokens)
+    for start in range(len(tokens) - n + 1):
+        if tokens[start : start + n] == phrase_tokens:
+            return " ".join(tokens[:start] + tokens[start + n :])
+    return text

@@ -1,0 +1,124 @@
+"""Intent-level query similarity.
+
+Token overlap says "iphone 5s case" and "iphone 5s charger" are nearly
+identical (2/3 tokens) and that "iphone 5s case" and "case for iphone 5s"
+differ — both wrong at the intent level. Comparing *detections* instead
+gets it right: same head + compatible constraints = same ask.
+
+Used for query clustering, cache keying, and related-search suggestion —
+the same "search relevance" family of consumers the paper deployed into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detector import Detection, HeadModifierDetector
+from repro.utils.mathx import harmonic_mean
+
+
+@dataclass(frozen=True)
+class IntentSimilarity:
+    """Breakdown of an intent-level comparison."""
+
+    head_score: float
+    constraint_score: float
+    preference_score: float
+    conflicts: int
+
+    @property
+    def score(self) -> float:
+        """Combined similarity in [0, 1]; conflicts are disqualifying."""
+        if self.head_score == 0.0:
+            return 0.0
+        base = (
+            0.6 * self.head_score
+            + 0.3 * self.constraint_score
+            + 0.1 * self.preference_score
+        )
+        return base * (0.1**self.conflicts)
+
+
+class QueryIntentMatcher:
+    """Compares short texts at the intent level via their detections."""
+
+    def __init__(
+        self,
+        detector: HeadModifierDetector,
+        concept_head_score: float = 0.5,
+        same_intent_threshold: float = 0.75,
+    ) -> None:
+        if not 0 < same_intent_threshold <= 1:
+            raise ValueError("same_intent_threshold must be in (0, 1]")
+        self._detector = detector
+        self._concept_head_score = concept_head_score
+        self._threshold = same_intent_threshold
+
+    def compare(self, query_a: str, query_b: str) -> IntentSimilarity:
+        """Full similarity breakdown between two short texts."""
+        return self.compare_detections(
+            self._detector.detect(query_a), self._detector.detect(query_b)
+        )
+
+    def compare_detections(self, a: Detection, b: Detection) -> IntentSimilarity:
+        """Similarity breakdown between two precomputed detections."""
+        return IntentSimilarity(
+            head_score=self._head_agreement(a, b),
+            constraint_score=_set_agreement(set(a.constraints), set(b.constraints)),
+            preference_score=_set_agreement(
+                _preferences(a), _preferences(b)
+            ),
+            conflicts=self._count_conflicts(a, b),
+        )
+
+    def similarity(self, query_a: str, query_b: str) -> float:
+        """Scalar intent similarity in [0, 1]."""
+        return self.compare(query_a, query_b).score
+
+    def same_intent(self, query_a: str, query_b: str) -> bool:
+        """Whether the two texts ask for the same thing."""
+        return self.similarity(query_a, query_b) >= self._threshold
+
+    def _head_agreement(self, a: Detection, b: Detection) -> float:
+        if a.head is None or b.head is None:
+            return 0.0
+        if a.head == b.head:
+            return 1.0
+        concept_a = a.head_term.top_concept if a.head_term else None
+        concept_b = b.head_term.top_concept if b.head_term else None
+        if concept_a is not None and concept_a == concept_b:
+            return self._concept_head_score
+        return 0.0
+
+    def _count_conflicts(self, a: Detection, b: Detection) -> int:
+        """Constraints binding the same concept to different instances."""
+        by_concept_a = _constraint_concepts(a)
+        by_concept_b = _constraint_concepts(b)
+        return sum(
+            1
+            for concept, value in by_concept_a.items()
+            if concept in by_concept_b and by_concept_b[concept] != value
+        )
+
+
+def _preferences(detection: Detection) -> set[str]:
+    constraints = set(detection.constraints)
+    return {m for m in detection.modifiers if m not in constraints}
+
+
+def _constraint_concepts(detection: Detection) -> dict[str, str]:
+    result = {}
+    for term in detection.modifier_terms:
+        if term.is_constraint and term.top_concept is not None:
+            result[term.top_concept] = term.text
+    return result
+
+
+def _set_agreement(a: set[str], b: set[str]) -> float:
+    """F1-style agreement; both-empty counts as full agreement."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    overlap = len(a & b)
+    return harmonic_mean(overlap / len(a), overlap / len(b))

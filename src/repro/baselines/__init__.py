@@ -1,0 +1,26 @@
+"""Baseline head-modifier detectors the paper compares against.
+
+- :class:`SyntacticDetector` — grammar-driven: POS tag, chunk noun
+  phrases, apply the right-headed NP head rule. Coarse-grained and fooled
+  by query-style text, per the paper's motivation.
+- :class:`StatisticalDetector` — behaviour-driven: the head is the
+  segment most likely to be a standalone query (frequency signal only, no
+  semantics).
+- :class:`InstanceLookupDetector` — memorization: mined instance pairs
+  with no conceptualization. Precise on seen pairs, helpless on unseen
+  ones — the contrast that demonstrates the concept patterns'
+  generalization power.
+
+All baselines emit the same :class:`repro.core.detector.Detection` type so
+the evaluation harness treats every system uniformly.
+"""
+
+from repro.baselines.instance_lookup import InstanceLookupDetector
+from repro.baselines.statistical import StatisticalDetector
+from repro.baselines.syntactic import SyntacticDetector
+
+__all__ = [
+    "SyntacticDetector",
+    "StatisticalDetector",
+    "InstanceLookupDetector",
+]

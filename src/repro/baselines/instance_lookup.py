@@ -1,0 +1,71 @@
+"""Memorization baseline: mined instance pairs, no conceptualization.
+
+Scores head candidates exactly like the full detector's instance-memory
+component, but with the concept patterns switched off. On pairs seen in
+training it is as precise as the mining was; on unseen pairs it has
+nothing to say and (by default) abstains — the contrast experiment R5 in
+EXPERIMENTS.md quantifies exactly this.
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import DetectedTerm, Detection, TermRole
+from repro.core.segmentation import CONTENT_KINDS, KIND_SUBJECTIVE, Segmenter
+from repro.mining.pairs import PairCollection
+from repro.text.normalizer import normalize
+
+
+class InstanceLookupDetector:
+    """Head detection by mined-pair support only."""
+
+    def __init__(
+        self,
+        pairs: PairCollection,
+        segmenter: Segmenter,
+        fallback_positional: bool = False,
+    ) -> None:
+        self._pairs = pairs
+        self._segmenter = segmenter
+        self._fallback_positional = fallback_positional
+
+    def detect(self, text: str) -> Detection:
+        """Detect the head by mined-pair support (abstains without evidence)."""
+        query = normalize(text)
+        segments = self._segmenter.segment(query)
+        content = [s for s in segments if s.kind in CONTENT_KINDS]
+        if not content:
+            return Detection(query=query, terms=(), score=0.0, method="abstain")
+        if len(content) == 1:
+            return self._emit(query, segments, content[0], 1.0, "single")
+        scored = []
+        for candidate in content:
+            support = sum(
+                self._pairs.support(other.text, candidate.text)
+                for other in content
+                if other is not candidate
+            )
+            scored.append((support, -candidate.start, candidate))
+        scored.sort(reverse=True)
+        best_support, _, head = scored[0]
+        if best_support <= 0:
+            if not self._fallback_positional:
+                return self._emit(query, segments, None, 0.0, "abstain")
+            return self._emit(query, segments, content[-1], 0.1, "fallback")
+        return self._emit(query, segments, head, 0.8, "instance")
+
+    def detect_batch(self, texts) -> list[Detection]:
+        """Detect over an iterable of texts."""
+        return [self.detect(t) for t in texts]
+
+    def _emit(self, query, segments, head, score, method) -> Detection:
+        terms = []
+        for segment in segments:
+            if head is not None and segment is head:
+                terms.append(DetectedTerm(segment.text, TermRole.HEAD, kind=segment.kind))
+            elif segment.kind in CONTENT_KINDS or segment.kind == KIND_SUBJECTIVE:
+                terms.append(
+                    DetectedTerm(segment.text, TermRole.MODIFIER, kind=segment.kind)
+                )
+            else:
+                terms.append(DetectedTerm(segment.text, TermRole.OTHER, kind=segment.kind))
+        return Detection(query=query, terms=tuple(terms), score=score, method=method)

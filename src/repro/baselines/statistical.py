@@ -1,0 +1,61 @@
+"""Frequency-based baseline.
+
+The head of a query is the part people also search for on its own: score
+every content segment by its standalone-query probability in the log and
+pick the highest. No semantics, no clicks — pure frequency. It does
+surprisingly well on two-segment queries and degrades when both sides are
+popular standalone queries ("apple charger": both are common).
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import DetectedTerm, Detection, TermRole
+from repro.core.segmentation import CONTENT_KINDS, KIND_SUBJECTIVE, Segmenter
+from repro.querylog.stats import LogStatistics
+from repro.text.normalizer import normalize
+
+
+class StatisticalDetector:
+    """Standalone-frequency head scorer over the shared segmentation."""
+
+    def __init__(self, stats: LogStatistics, segmenter: Segmenter) -> None:
+        self._stats = stats
+        self._segmenter = segmenter
+
+    def detect(self, text: str) -> Detection:
+        """Detect the head by standalone-query probability."""
+        query = normalize(text)
+        segments = self._segmenter.segment(query)
+        content = [s for s in segments if s.kind in CONTENT_KINDS]
+        if not content:
+            return Detection(
+                query=query,
+                terms=tuple(
+                    DetectedTerm(s.text, TermRole.OTHER, kind=s.kind) for s in segments
+                ),
+                score=0.0,
+                method="statistical",
+            )
+        scored = [
+            (self._stats.standalone_probability(s.text), -s.start, s) for s in content
+        ]
+        scored.sort(reverse=True)
+        best_probability, _, head = scored[0]
+        method = "statistical" if best_probability > 0 else "statistical-fallback"
+        if best_probability == 0:
+            head = content[-1]
+        terms = []
+        for segment in segments:
+            if segment is head:
+                terms.append(DetectedTerm(segment.text, TermRole.HEAD, kind=segment.kind))
+            elif segment.kind in CONTENT_KINDS or segment.kind == KIND_SUBJECTIVE:
+                terms.append(
+                    DetectedTerm(segment.text, TermRole.MODIFIER, kind=segment.kind)
+                )
+            else:
+                terms.append(DetectedTerm(segment.text, TermRole.OTHER, kind=segment.kind))
+        return Detection(query=query, terms=tuple(terms), score=0.4, method=method)
+
+    def detect_batch(self, texts) -> list[Detection]:
+        """Detect over an iterable of texts."""
+        return [self.detect(t) for t in texts]

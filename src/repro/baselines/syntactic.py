@@ -1,0 +1,63 @@
+"""Grammar-based baseline: POS tagging + NP chunking + head-final rule.
+
+This is the "existing approach" the paper's introduction criticizes:
+it assumes the short text is a grammatical noun phrase, takes the last
+noun phrase's rightmost noun as the head, and calls everything else a
+modifier. On well-formed phrases ("cheap hotels in rome" — wait, even
+there the head is *left* of the preposition) it needs the classic
+PP-attachment special case; on ungrammatical queries it guesses.
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import DetectedTerm, Detection, TermRole
+from repro.text.chunker import chunk_noun_phrases, np_head
+from repro.text.lexicon import Lexicon, default_lexicon
+from repro.text.normalizer import normalize
+from repro.text.pos import PosTagger
+
+
+class SyntacticDetector:
+    """Right-headed NP rule with a PP special case."""
+
+    def __init__(self, lexicon: Lexicon | None = None) -> None:
+        self._lexicon = lexicon or default_lexicon()
+        self._tagger = PosTagger(self._lexicon)
+
+    def detect(self, text: str) -> Detection:
+        """Detect the head with POS tagging and the NP head rule."""
+        query = normalize(text)
+        tagged = self._tagger.tag(query)
+        if not tagged:
+            return Detection(query=query, terms=(), score=0.0, method="empty")
+        chunks = chunk_noun_phrases(tagged)
+        if not chunks:
+            return Detection(
+                query=query,
+                terms=tuple(
+                    DetectedTerm(t.text, TermRole.OTHER, kind=t.tag) for t in tagged
+                ),
+                score=0.0,
+                method="syntactic",
+            )
+        # PP rule: in "NP1 in/for NP2", NP1 carries the head; otherwise the
+        # last NP does ("cheap rome hotels").
+        head_chunk = chunks[0] if len(chunks) > 1 and self._has_preposition(tagged) else chunks[-1]
+        head_word = np_head(head_chunk)
+        terms = []
+        for token in tagged:
+            if head_word is not None and token.text == head_word:
+                terms.append(DetectedTerm(token.text, TermRole.HEAD, kind=token.tag))
+                head_word = None  # only the first occurrence is the head
+            elif token.tag in {"NN", "JJ", "CD"}:
+                terms.append(DetectedTerm(token.text, TermRole.MODIFIER, kind=token.tag))
+            else:
+                terms.append(DetectedTerm(token.text, TermRole.OTHER, kind=token.tag))
+        return Detection(query=query, terms=tuple(terms), score=0.5, method="syntactic")
+
+    def detect_batch(self, texts) -> list[Detection]:
+        """Detect over an iterable of texts."""
+        return [self.detect(t) for t in texts]
+
+    def _has_preposition(self, tagged) -> bool:
+        return any(t.tag == "IN" for t in tagged)

@@ -1,0 +1,296 @@
+"""Command-line interface.
+
+Exposes the full offline pipeline and the runtime detector::
+
+    repro taxonomy-build --out taxonomy.tsv.gz
+    repro log-generate --taxonomy taxonomy.tsv.gz --out log.jsonl.gz --intents 4000
+    repro train --log log.jsonl.gz --taxonomy taxonomy.tsv.gz --out model/
+    repro detect --model model/ "popular iphone 5s smart cover"
+    repro evaluate --model model/ --log heldout.jsonl.gz
+    repro patterns --model model/ --top 20
+
+Every command is deterministic given its ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.core.model import load_model, save_model
+from repro.core.pipeline import TrainingConfig, train_model
+from repro.errors import ReproError
+from repro.eval.datasets import build_eval_set
+from repro.eval.harness import evaluate_constraints, evaluate_head_detection
+from repro.eval.reporting import format_table
+from repro.querylog.generator import LogConfig, generate_log
+from repro.querylog.storage import load_query_log, save_query_log
+from repro.taxonomy.builder import build_from_corpus, build_from_seed
+from repro.taxonomy.corpus import CorpusConfig, generate_corpus
+from repro.taxonomy.serialization import load_taxonomy_tsv, save_taxonomy_tsv
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Head, modifier, and constraint detection in short texts "
+        "(ICDE 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    p = sub.add_parser("taxonomy-build", help="build the isA taxonomy")
+    p.add_argument("--out", required=True, help="output TSV (.gz supported)")
+    p.add_argument(
+        "--from-corpus",
+        action="store_true",
+        help="build via Hearst extraction over a generated corpus instead of "
+        "materializing the seed directly",
+    )
+    p.add_argument("--sentences", type=int, default=200, help="corpus sentences per concept")
+    p.add_argument("--min-count", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(handler=_cmd_taxonomy_build)
+
+    p = sub.add_parser("log-generate", help="generate a synthetic search log")
+    p.add_argument("--taxonomy", required=True)
+    p.add_argument("--out", required=True, help="output JSONL (.gz supported)")
+    p.add_argument("--intents", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=13)
+    p.add_argument(
+        "--no-gold", action="store_true", help="omit ground-truth labels from the file"
+    )
+    p.set_defaults(handler=_cmd_log_generate)
+
+    p = sub.add_parser("train", help="train a model from a log + taxonomy")
+    p.add_argument("--log", required=True)
+    p.add_argument("--taxonomy", required=True)
+    p.add_argument("--out", required=True, help="output model directory")
+    p.add_argument("--pattern-mass", type=float, default=0.99)
+    p.add_argument("--max-patterns", type=int, default=None)
+    p.add_argument("--no-classifier", action="store_true")
+    p.set_defaults(handler=_cmd_train)
+
+    p = sub.add_parser("detect", help="detect head/modifiers/constraints")
+    p.add_argument("--model", required=True)
+    p.add_argument("queries", nargs="*", metavar="QUERY")
+    p.add_argument(
+        "--input",
+        metavar="FILE",
+        help="read one query per line from FILE ('-' = stdin) "
+        "in addition to positional QUERYs",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON lines")
+    p.add_argument("--spell", action="store_true", help="enable typo correction")
+    p.add_argument(
+        "--explain", action="store_true", help="print the full decision trace"
+    )
+    p.set_defaults(handler=_cmd_detect)
+
+    p = sub.add_parser("evaluate", help="evaluate a model on a labelled log")
+    p.add_argument("--model", required=True)
+    p.add_argument("--log", required=True, help="held-out log with gold labels")
+    p.add_argument("--max-examples", type=int, default=2000)
+    p.add_argument(
+        "--show-errors",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print up to N head errors with a failure breakdown",
+    )
+    p.set_defaults(handler=_cmd_evaluate)
+
+    p = sub.add_parser("patterns", help="inspect the concept-pattern table")
+    p.add_argument("--model", required=True)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(handler=_cmd_patterns)
+
+    p = sub.add_parser("rewrite", help="constraint-preserving relaxations")
+    p.add_argument("--model", required=True)
+    p.add_argument("queries", nargs="+", metavar="QUERY")
+    p.set_defaults(handler=_cmd_rewrite)
+
+    p = sub.add_parser("similar", help="intent-level similarity of two texts")
+    p.add_argument("--model", required=True)
+    p.add_argument("query_a", metavar="QUERY_A")
+    p.add_argument("query_b", metavar="QUERY_B")
+    p.set_defaults(handler=_cmd_similar)
+
+    return parser
+
+
+def _cmd_taxonomy_build(args: argparse.Namespace) -> int:
+    if args.from_corpus:
+        config = CorpusConfig(seed=args.seed, sentences_per_concept=args.sentences)
+        taxonomy = build_from_corpus(generate_corpus(config), min_count=args.min_count)
+    else:
+        taxonomy = build_from_seed()
+    save_taxonomy_tsv(taxonomy, args.out)
+    print(
+        f"wrote {args.out}: {taxonomy.num_instances} instances, "
+        f"{taxonomy.num_concepts} concepts, {taxonomy.num_edges} edges"
+    )
+    return 0
+
+
+def _cmd_log_generate(args: argparse.Namespace) -> int:
+    taxonomy = load_taxonomy_tsv(args.taxonomy)
+    log = generate_log(taxonomy, LogConfig(seed=args.seed, num_intents=args.intents))
+    save_query_log(log, args.out, include_gold=not args.no_gold)
+    print(
+        f"wrote {args.out}: {log.num_queries} distinct queries, "
+        f"volume {log.total_frequency}, {log.num_sessions} sessions"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    taxonomy = load_taxonomy_tsv(args.taxonomy)
+    log = load_query_log(args.log, include_gold=False)
+    config = TrainingConfig(
+        pattern_mass=args.pattern_mass,
+        max_patterns=args.max_patterns,
+        train_classifier=not args.no_classifier,
+    )
+    model = train_model(log, taxonomy, config)
+    save_model(model, args.out)
+    classifier = "yes" if model.classifier is not None else "no"
+    print(
+        f"wrote {args.out}: {len(model.pairs)} mined pairs, "
+        f"{len(model.patterns)} concept patterns, classifier: {classifier}"
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    queries = list(args.queries)
+    if args.input:
+        if args.input == "-":
+            queries.extend(line.strip() for line in sys.stdin if line.strip())
+        else:
+            with open(args.input, encoding="utf-8") as handle:
+                queries.extend(line.strip() for line in handle if line.strip())
+    if not queries:
+        print("error: no queries given (positional or --input)", file=sys.stderr)
+        return 2
+    model = load_model(args.model)
+    detector = model.detector(correct_spelling=args.spell)
+    for query in queries:
+        if args.explain:
+            from repro.core.explain import explain_detection
+
+            print(explain_detection(detector, query).render())
+            print()
+            continue
+        detection = detector.detect(query)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "query": detection.query,
+                        "head": detection.head,
+                        "modifiers": list(detection.modifiers),
+                        "constraints": list(detection.constraints),
+                        "method": detection.method,
+                        "score": detection.score,
+                    },
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(f"{query}\n  {detection.explain()}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    log = load_query_log(args.log)
+    examples = build_eval_set(log, min_modifiers=1, max_examples=args.max_examples)
+    if not examples:
+        print("error: log contains no labelled multi-segment queries", file=sys.stderr)
+        return 2
+    detector = model.detector()
+    head = evaluate_head_detection(detector, examples)
+    rows = [
+        ["examples", len(examples)],
+        ["head accuracy", head.head_accuracy],
+        ["head precision", head.head_precision],
+        ["coverage", head.coverage],
+        ["modifier F1", head.modifier_metrics.f1],
+    ]
+    if model.classifier is not None:
+        constraints = evaluate_constraints(model.classifier, examples)
+        rows.append(["constraint accuracy", constraints.accuracy])
+        rows.append(["constraint F1", constraints.f1])
+    print(format_table(["metric", "value"], rows, title=f"evaluation: {args.log}"))
+    if args.show_errors > 0:
+        from repro.eval.errors import collect_head_errors, format_head_error_report
+
+        errors = collect_head_errors(detector, examples)
+        print()
+        print(format_head_error_report(errors, max_rows=args.show_errors))
+    return 0
+
+
+def _cmd_patterns(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    rows = [
+        [pattern.modifier_concept, pattern.head_concept, weight]
+        for pattern, weight in model.patterns.top(args.top)
+    ]
+    print(
+        format_table(
+            ["modifier concept", "head concept", "weight"],
+            rows,
+            title=f"top {len(rows)} of {len(model.patterns)} concept patterns",
+        )
+    )
+    return 0
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    from repro.apps.rewriter import QueryRewriter
+
+    model = load_model(args.model)
+    rewriter = QueryRewriter(model.detector())
+    for query in args.queries:
+        ladder = rewriter.relax(query)
+        print(query)
+        for step, rewrite in enumerate(ladder):
+            print(f"  relax[{step}]: {rewrite}")
+    return 0
+
+
+def _cmd_similar(args: argparse.Namespace) -> int:
+    from repro.apps.similarity import QueryIntentMatcher
+
+    model = load_model(args.model)
+    matcher = QueryIntentMatcher(model.detector())
+    comparison = matcher.compare(args.query_a, args.query_b)
+    verdict = "same intent" if comparison.score >= 0.75 else "different intent"
+    print(f"{args.query_a!r} vs {args.query_b!r}")
+    print(f"  head agreement:       {comparison.head_score:.2f}")
+    print(f"  constraint agreement: {comparison.constraint_score:.2f}")
+    print(f"  preference agreement: {comparison.preference_score:.2f}")
+    print(f"  constraint conflicts: {comparison.conflicts}")
+    print(f"  similarity:           {comparison.score:.2f}  ({verdict})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

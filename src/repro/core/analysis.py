@@ -1,0 +1,178 @@
+"""Analysis utilities over trained artifacts.
+
+Tools for inspecting what training produced: how concentrated the pattern
+table is, whether any concept pair is directionally ambiguous, how much of
+the mined pair support the patterns explain, and how two tables differ
+(e.g. across training-log sizes). Used by the ``inspect_patterns``
+example and by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.concept_patterns import ConceptPattern, PatternTable
+from repro.core.conceptualizer import Conceptualizer
+from repro.mining.pairs import PairCollection
+from repro.utils.mathx import safe_div
+
+
+@dataclass(frozen=True)
+class TableSummary:
+    """Shape statistics of a pattern table."""
+
+    num_patterns: int
+    total_weight: float
+    max_weight: float
+    #: Smallest number of patterns covering 50% / 90% of total weight.
+    patterns_for_half_mass: int
+    patterns_for_90_mass: int
+    #: Number of distinct modifier / head concepts involved.
+    num_modifier_concepts: int
+    num_head_concepts: int
+
+
+def summarize_table(table: PatternTable) -> TableSummary:
+    """Concentration and vocabulary statistics of a pattern table."""
+    ordered = table.top()
+    total = table.total_weight
+    half = _prefix_for_mass(ordered, total * 0.5)
+    ninety = _prefix_for_mass(ordered, total * 0.9)
+    return TableSummary(
+        num_patterns=len(table),
+        total_weight=total,
+        max_weight=table.max_weight,
+        patterns_for_half_mass=half,
+        patterns_for_90_mass=ninety,
+        num_modifier_concepts=len({p.modifier_concept for p, _ in ordered}),
+        num_head_concepts=len({p.head_concept for p, _ in ordered}),
+    )
+
+
+def _prefix_for_mass(ordered: list[tuple[ConceptPattern, float]], target: float) -> int:
+    accumulated = 0.0
+    for index, (_, weight) in enumerate(ordered, start=1):
+        accumulated += weight
+        if accumulated >= target:
+            return index
+    return len(ordered)
+
+
+@dataclass(frozen=True)
+class DirectionConflict:
+    """A concept pair carrying weight in both directions.
+
+    Genuine patterns are strongly directional (smartphone → accessory,
+    never the reverse); weight in both directions flags mining noise or a
+    true bidirectional relation worth inspecting.
+    """
+
+    concept_a: str
+    concept_b: str
+    forward_weight: float
+    backward_weight: float
+
+    @property
+    def balance(self) -> float:
+        """0 = fully one-directional, 1 = perfectly balanced."""
+        hi = max(self.forward_weight, self.backward_weight)
+        lo = min(self.forward_weight, self.backward_weight)
+        return safe_div(lo, hi)
+
+
+def direction_conflicts(
+    table: PatternTable, min_balance: float = 0.2
+) -> list[DirectionConflict]:
+    """Concept pairs whose weaker direction is at least ``min_balance`` of
+    the stronger one, most balanced first."""
+    seen: set[frozenset[str]] = set()
+    conflicts = []
+    for pattern, forward in table.top():
+        backward = table.weight(pattern.head_concept, pattern.modifier_concept)
+        if backward <= 0:
+            continue
+        key = frozenset((pattern.modifier_concept, pattern.head_concept))
+        if key in seen:
+            continue
+        seen.add(key)
+        conflict = DirectionConflict(
+            pattern.modifier_concept, pattern.head_concept, forward, backward
+        )
+        if conflict.balance >= min_balance:
+            conflicts.append(conflict)
+    conflicts.sort(key=lambda c: (-c.balance, c.concept_a, c.concept_b))
+    return conflicts
+
+
+def pair_coverage(
+    pairs: PairCollection,
+    table: PatternTable,
+    conceptualizer: Conceptualizer,
+    top_k_concepts: int = 5,
+) -> float:
+    """Fraction of mined-pair support explained by the pattern table.
+
+    A pair is *explained* when some concept reading of its sides hits a
+    pattern in the table. The gap to 1.0 is the support lost to pruning
+    plus the composite/noise pairs that never conceptualized.
+    """
+    explained = 0.0
+    total = 0.0
+    for modifier, head, support in pairs.items():
+        total += support
+        modifier_concepts = conceptualizer.conceptualize(modifier, top_k_concepts)
+        head_concepts = conceptualizer.conceptualize(head, top_k_concepts)
+        hit = any(
+            ConceptPattern(mc, hc) in table
+            for mc, _ in modifier_concepts
+            for hc, _ in head_concepts
+        )
+        if hit:
+            explained += support
+    return safe_div(explained, total)
+
+
+@dataclass(frozen=True)
+class TableDiff:
+    """Weight-rank comparison of two pattern tables."""
+
+    only_in_a: tuple[ConceptPattern, ...]
+    only_in_b: tuple[ConceptPattern, ...]
+    common: int
+    #: Spearman-style agreement of the common patterns' rank orders, in
+    #: [-1, 1]; 1 means identical ordering.
+    rank_agreement: float
+
+
+def compare_tables(a: PatternTable, b: PatternTable) -> TableDiff:
+    """Structural diff of two tables (e.g. small-log vs large-log)."""
+    rank_a = {pattern: rank for rank, (pattern, _) in enumerate(a.top())}
+    rank_b = {pattern: rank for rank, (pattern, _) in enumerate(b.top())}
+    common = sorted(set(rank_a) & set(rank_b), key=lambda p: rank_a[p])
+    only_a = tuple(p for p, _ in a.top() if p not in rank_b)
+    only_b = tuple(p for p, _ in b.top() if p not in rank_a)
+    agreement = _spearman(
+        [rank_a[p] for p in common], [rank_b[p] for p in common]
+    )
+    return TableDiff(
+        only_in_a=only_a,
+        only_in_b=only_b,
+        common=len(common),
+        rank_agreement=agreement,
+    )
+
+
+def _spearman(xs: list[int], ys: list[int]) -> float:
+    n = len(xs)
+    if n < 2:
+        return 1.0 if n == 1 else 0.0
+    d_squared = sum((x - y) ** 2 for x, y in zip(_ranks(xs), _ranks(ys)))
+    return 1.0 - 6.0 * d_squared / (n * (n * n - 1))
+
+
+def _ranks(values: list[int]) -> list[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    for rank, index in enumerate(order):
+        ranks[index] = float(rank)
+    return ranks

@@ -1,0 +1,86 @@
+"""Compound short texts: titles and captions with several intents.
+
+Queries are usually one intent, but titles often coordinate several:
+"iphone 5s smart cover and galaxy s4 screen protector". Running the
+detector on the whole string would force one global head; the compound
+detector first splits the *segmented* text at coordinator tokens and
+detects per clause.
+
+Splitting after segmentation (not on raw tokens) is what keeps
+"bed and breakfast" intact: its "and" lives inside one taxonomy-instance
+segment and is therefore never a split point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detector import Detection, HeadModifierDetector
+from repro.core.segmentation import Segment
+
+#: Tokens that coordinate clauses when they stand as their own segment.
+#: ("with" is deliberately absent: it attaches modifiers, not clauses.)
+COORDINATORS = frozenset({"and", "or", "vs", "versus", "plus"})
+
+
+@dataclass(frozen=True)
+class CompoundDetection:
+    """Per-clause detections of one compound text."""
+
+    text: str
+    clauses: tuple[Detection, ...]
+
+    @property
+    def heads(self) -> tuple[str, ...]:
+        """Detected heads of all clauses, in order."""
+        return tuple(d.head for d in self.clauses if d.head is not None)
+
+    @property
+    def constraints(self) -> tuple[str, ...]:
+        """Constraint modifiers pooled across all clauses."""
+        return tuple(c for d in self.clauses for c in d.constraints)
+
+    @property
+    def is_compound(self) -> bool:
+        """Whether the text coordinated more than one clause."""
+        return len(self.clauses) > 1
+
+
+class CompoundDetector:
+    """Clause splitting + per-clause head/modifier detection."""
+
+    def __init__(self, detector: HeadModifierDetector) -> None:
+        self._detector = detector
+
+    def detect(self, text: str) -> CompoundDetection:
+        """Detect each coordinated clause of ``text``.
+
+        A text with no coordinators yields exactly one clause, identical
+        to plain detection.
+        """
+        segments = self._detector.segmenter.segment(text)
+        clause_texts = [
+            " ".join(s.text for s in clause)
+            for clause in _split_clauses(segments)
+        ]
+        detections = tuple(
+            self._detector.detect(clause) for clause in clause_texts if clause
+        )
+        return CompoundDetection(
+            text=" ".join(s.text for s in segments), clauses=detections
+        )
+
+
+def _split_clauses(segments: list[Segment]) -> list[list[Segment]]:
+    clauses: list[list[Segment]] = []
+    current: list[Segment] = []
+    for segment in segments:
+        if segment.num_tokens == 1 and segment.text in COORDINATORS:
+            if current:
+                clauses.append(current)
+                current = []
+            continue
+        current.append(segment)
+    if current:
+        clauses.append(current)
+    return clauses

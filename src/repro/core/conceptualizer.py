@@ -1,0 +1,167 @@
+"""Conceptualization: mapping instance phrases to weighted concepts.
+
+The paper's step 2 lifts instance-level head-modifier pairs to concept
+level. The primitive is "given this phrase, what concepts is it an
+instance of, with what probability" — typicality ``P(concept | instance)``
+from the taxonomy, with two practical additions:
+
+- **head-word backoff** for unknown multi-word phrases: "purple iphone 5s"
+  is not in the taxonomy, but its suffix "iphone 5s" is; conceptualizing
+  the suffix is the right generalization for noun compounds.
+- **context disambiguation** (naive Bayes): "apple" alone is a fruit or a
+  company; next to "charger" the concept distribution should tilt to the
+  company. Given candidate concepts for the context term, senses of the
+  target that co-occur in the pattern table get boosted.
+- **concept self-readings**: short texts use concept words directly
+  ("smartphone case"); a phrase that *is* a concept name reads as that
+  concept, blended with any instance readings it also has. In Probase the
+  same falls out of concepts being nodes of one network.
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.taxonomy.typicality import TypicalityScorer
+from repro.text.normalizer import normalize_term
+from repro.utils.mathx import normalize_distribution
+
+
+class Conceptualizer:
+    """Weighted instance → concept mapping with backoff."""
+
+    def __init__(
+        self,
+        taxonomy: ConceptTaxonomy,
+        smoothing: float = 0.0,
+        max_backoff_tokens: int = 2,
+        self_concept_weight: float = 0.6,
+    ) -> None:
+        """``self_concept_weight`` is the probability mass given to the
+        self-reading when the phrase is itself a concept name (the rest
+        goes to its instance readings, if any)."""
+        if not 0 <= self_concept_weight <= 1:
+            raise ValueError("self_concept_weight must be in [0, 1]")
+        self._taxonomy = taxonomy
+        self._scorer = TypicalityScorer(taxonomy, smoothing=smoothing)
+        self._max_backoff_tokens = max_backoff_tokens
+        self._self_concept_weight = self_concept_weight
+
+    @property
+    def taxonomy(self) -> ConceptTaxonomy:
+        """The underlying isA taxonomy."""
+        return self._taxonomy
+
+    @property
+    def scorer(self) -> TypicalityScorer:
+        """The typicality scorer over the taxonomy."""
+        return self._scorer
+
+    def conceptualize(self, phrase: str, top_k: int = 5) -> list[tuple[str, float]]:
+        """Top concepts of ``phrase`` with probabilities, best first.
+
+        Falls back to progressively shorter suffixes for unknown
+        multi-word phrases; the backoff result is attenuated by how much
+        of the phrase was discarded.
+
+        >>> # doctest-style illustration; see tests for executable checks
+        """
+        norm = normalize_term(phrase)
+        is_concept = (
+            self._self_concept_weight > 0 and self._taxonomy.has_concept(norm)
+        )
+        if self._taxonomy.has_instance(norm):
+            readings = self._scorer.top_concepts(norm, top_k if not is_concept else top_k + 1)
+            if not is_concept:
+                return readings
+            return self._blend_self_reading(norm, readings, top_k)
+        if is_concept:
+            return [(norm, 1.0)]
+        return self._backoff(norm, top_k)
+
+    def expand_with_ancestors(
+        self,
+        readings: list[tuple[str, float]],
+        discount: float,
+    ) -> list[tuple[str, float]]:
+        """Add super-concept readings, attenuated by ``discount`` per level.
+
+        A reading ``(smartphone, p)`` gains ``(device, p * discount * P(device|smartphone))``
+        when the taxonomy records the concept as an instance of a
+        super-concept (the Probase hierarchy encoding). One level only —
+        deeper ancestry dilutes meaning faster than it generalizes.
+        """
+        if not 0 <= discount <= 1:
+            raise ValueError("discount must be in [0, 1]")
+        expanded: dict[str, float] = {}
+        for concept, probability in readings:
+            expanded[concept] = expanded.get(concept, 0.0) + probability
+            if discount == 0:
+                continue
+            for parent, parent_probability in self._scorer.concept_distribution(
+                concept
+            ).items():
+                expanded[parent] = (
+                    expanded.get(parent, 0.0)
+                    + probability * discount * parent_probability
+                )
+        return sorted(expanded.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def _blend_self_reading(
+        self, concept: str, readings: list[tuple[str, float]], top_k: int
+    ) -> list[tuple[str, float]]:
+        w = self._self_concept_weight
+        blended = {concept: w}
+        for reading, probability in readings:
+            if reading != concept:
+                blended[reading] = blended.get(reading, 0.0) + (1 - w) * probability
+        ranked = sorted(blended.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top_k]
+
+    def is_known(self, phrase: str) -> bool:
+        """Whether the phrase (or a backoff suffix of it) conceptualizes."""
+        return bool(self.conceptualize(phrase, top_k=1))
+
+    def conceptualize_with_context(
+        self,
+        phrase: str,
+        context_concepts: dict[str, float],
+        compatibility,
+        top_k: int = 5,
+    ) -> list[tuple[str, float]]:
+        """Disambiguate ``phrase`` using a context term's concepts.
+
+        ``compatibility(concept, context_concept)`` returns a non-negative
+        affinity (typically a pattern-table weight). Each sense ``c`` is
+        rescored as ``P(c|phrase) * (eps + Σ_ctx P(ctx) * compat(c, ctx))``
+        — naive-Bayes style evidence combination.
+        """
+        base = dict(self.conceptualize(phrase, top_k=max(top_k * 3, 10)))
+        if not base or not context_concepts:
+            return sorted(base.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+        epsilon = 1e-6
+        rescored = {}
+        for concept, prior in base.items():
+            evidence = sum(
+                p_ctx * compatibility(concept, ctx)
+                for ctx, p_ctx in context_concepts.items()
+            )
+            rescored[concept] = prior * (epsilon + evidence)
+        if all(v <= epsilon for v in rescored.values()):
+            rescored = base  # no signal: keep the prior
+        dist = normalize_distribution(rescored)
+        return sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+
+    def _backoff(self, norm: str, top_k: int) -> list[tuple[str, float]]:
+        tokens = norm.split()
+        if len(tokens) < 2:
+            return []
+        limit = min(len(tokens) - 1, self._max_backoff_tokens)
+        for n_dropped in range(1, limit + 1):
+            suffix = " ".join(tokens[n_dropped:])
+            if self._taxonomy.has_instance(suffix) or self._taxonomy.has_concept(suffix):
+                attenuation = 1.0 / (1.0 + n_dropped)
+                return [
+                    (concept, p * attenuation)
+                    for concept, p in self.conceptualize(suffix, top_k)
+                ]
+        return []

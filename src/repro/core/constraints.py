@@ -1,0 +1,276 @@
+"""Constraint vs. non-constraint classification of modifiers.
+
+Two classifiers:
+
+- :class:`ConstraintClassifier` — the paper's approach: a trained model
+  over the semantic + behavioural features of
+  :mod:`repro.core.features`. Training labels come from *distant
+  supervision*: in the log, dropping a modifier either left the click
+  distribution intact (non-constraint) or changed it (constraint), so no
+  human labels are required.
+- :class:`RuleConstraintClassifier` — the lexicon baseline: subjective
+  adjectives and intent verbs are non-constraints, everything else is a
+  constraint.
+
+The logistic regression is implemented from scratch on numpy (full-batch
+gradient descent with L2); the model is tiny, so simplicity beats pulling
+in a solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detector import Detection, DetectedTerm, TermRole
+from repro.core.features import ConstraintFeatureExtractor
+from repro.errors import ModelError, NotFittedError
+from repro.text.lexicon import Lexicon, default_lexicon
+
+
+class LogisticRegression:
+    """Minimal L2-regularized logistic regression (full-batch GD)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        epochs: int = 400,
+        l2: float = 1e-3,
+    ) -> None:
+        if learning_rate <= 0 or epochs <= 0 or l2 < 0:
+            raise ModelError("invalid logistic regression hyperparameters")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "LogisticRegression":
+        """Fit on ``features`` (n×d) against binary ``labels`` (n,)."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.ndim != 2 or labels.ndim != 1 or len(features) != len(labels):
+            raise ModelError("features must be (n, d) and labels (n,)")
+        if len(features) == 0:
+            raise ModelError("cannot fit on an empty training set")
+        if not set(np.unique(labels)) <= {0.0, 1.0}:
+            raise ModelError("labels must be binary")
+        n, d = features.shape
+        weight = (
+            np.ones(n) if sample_weight is None else np.asarray(sample_weight, float)
+        )
+        if weight.shape != (n,) or (weight < 0).any():
+            raise ModelError("sample_weight must be non-negative with shape (n,)")
+        weight = weight / max(weight.sum(), 1e-12)
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.epochs):
+            z = features @ w + b
+            p = _sigmoid(z)
+            residual = (p - labels) * weight
+            grad_w = features.T @ residual + self.l2 * w
+            grad_b = residual.sum()
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.weights = w
+        self.bias = b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(label = 1) for each row."""
+        if self.weights is None:
+            raise NotFittedError("LogisticRegression is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        return _sigmoid(features @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions at the given probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    # -- persistence --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the fitted model."""
+        if self.weights is None:
+            raise NotFittedError("cannot serialize an unfitted model")
+        return {
+            "weights": self.weights.tolist(),
+            "bias": self.bias,
+            "learning_rate": self.learning_rate,
+            "epochs": self.epochs,
+            "l2": self.l2,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogisticRegression":
+        """Rebuild a fitted model from :meth:`to_dict` output."""
+        model = cls(
+            learning_rate=data["learning_rate"],
+            epochs=data["epochs"],
+            l2=data["l2"],
+        )
+        model.weights = np.asarray(data["weights"], dtype=np.float64)
+        model.bias = float(data["bias"])
+        return model
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+
+class ConstraintClassifier:
+    """Feature-based constraint detector applied to detection modifiers."""
+
+    def __init__(
+        self,
+        extractor: ConstraintFeatureExtractor,
+        model: LogisticRegression,
+        threshold: float = 0.5,
+    ) -> None:
+        if not 0 < threshold < 1:
+            raise ModelError("threshold must be in (0, 1)")
+        self._extractor = extractor
+        self._model = model
+        self._threshold = threshold
+
+    @property
+    def extractor(self) -> ConstraintFeatureExtractor:
+        """The feature extractor this classifier scores with."""
+        return self._extractor
+
+    @property
+    def model(self) -> LogisticRegression:
+        """The fitted logistic-regression model."""
+        return self._model
+
+    @property
+    def threshold(self) -> float:
+        """Decision threshold on the constraint probability."""
+        return self._threshold
+
+    def constraint_probability(self, query: str, modifier: str) -> float:
+        """P(``modifier`` is a constraint of ``query``)."""
+        features = self._extractor.extract(query, modifier)
+        return float(self._model.predict_proba(features)[0])
+
+    def is_constraint(self, query: str, modifier: str) -> bool:
+        """Whether ``modifier`` is a constraint of ``query``."""
+        return self.constraint_probability(query, modifier) >= self._threshold
+
+    def annotate(self, detection: Detection) -> Detection:
+        """Return ``detection`` with every modifier's constraint flag set."""
+        terms = tuple(
+            self._annotate_term(detection.query, term) for term in detection.terms
+        )
+        return Detection(
+            query=detection.query,
+            terms=terms,
+            score=detection.score,
+            method=detection.method,
+        )
+
+    def _annotate_term(self, query: str, term: DetectedTerm) -> DetectedTerm:
+        if term.role is not TermRole.MODIFIER:
+            return term
+        return DetectedTerm(
+            text=term.text,
+            role=term.role,
+            kind=term.kind,
+            concepts=term.concepts,
+            is_constraint=self.is_constraint(query, term.text),
+        )
+
+    def with_stats(self, stats) -> "ConstraintClassifier":
+        """A copy whose features use different (or no) log statistics."""
+        return ConstraintClassifier(
+            self._extractor.with_stats(stats), self._model, self._threshold
+        )
+
+    def calibrated(
+        self,
+        rows: list[tuple[str, str]],
+        labels: list[bool],
+        grid: int = 19,
+    ) -> "ConstraintClassifier":
+        """A copy whose threshold maximizes F1 on a validation set.
+
+        ``rows`` are (query, modifier) pairs with binary ``labels``
+        (True = constraint). The default 0.5 threshold is right when the
+        distant-supervision label balance matches deployment; calibration
+        fixes it when it does not.
+        """
+        if len(rows) != len(labels) or not rows:
+            raise ModelError("rows and labels must be non-empty and aligned")
+        probabilities = [
+            self.constraint_probability(query, modifier) for query, modifier in rows
+        ]
+        best_threshold, best_f1 = self._threshold, -1.0
+        for step in range(1, grid + 1):
+            threshold = step / (grid + 1)
+            tp = fp = fn = 0
+            for probability, label in zip(probabilities, labels):
+                predicted = probability >= threshold
+                if predicted and label:
+                    tp += 1
+                elif predicted and not label:
+                    fp += 1
+                elif not predicted and label:
+                    fn += 1
+            precision = tp / (tp + fp) if tp + fp else 0.0
+            recall = tp / (tp + fn) if tp + fn else 0.0
+            f1 = (
+                2 * precision * recall / (precision + recall)
+                if precision + recall
+                else 0.0
+            )
+            if f1 > best_f1:
+                best_threshold, best_f1 = threshold, f1
+        return ConstraintClassifier(self._extractor, self._model, best_threshold)
+
+
+class RuleConstraintClassifier:
+    """Lexicon baseline: subjective/verb modifiers are non-constraints."""
+
+    def __init__(self, lexicon: Lexicon | None = None) -> None:
+        self._lexicon = lexicon or default_lexicon()
+
+    def is_constraint(self, query: str, modifier: str) -> bool:
+        """Constraint unless every word is subjective or an intent verb."""
+        words = modifier.split()
+        non_constraint = all(
+            self._lexicon.is_subjective(w) or w in self._lexicon.intent_verbs
+            for w in words
+        )
+        return not non_constraint
+
+    def constraint_probability(self, query: str, modifier: str) -> float:
+        """1.0 or 0.0 — the rule is binary."""
+        return 1.0 if self.is_constraint(query, modifier) else 0.0
+
+    def annotate(self, detection: Detection) -> Detection:
+        """Return ``detection`` with rule-based constraint flags set."""
+        terms = tuple(
+            DetectedTerm(
+                text=t.text,
+                role=t.role,
+                kind=t.kind,
+                concepts=t.concepts,
+                is_constraint=(
+                    self.is_constraint(detection.query, t.text)
+                    if t.role is TermRole.MODIFIER
+                    else t.is_constraint
+                ),
+            )
+            for t in detection.terms
+        )
+        return Detection(
+            query=detection.query,
+            terms=terms,
+            score=detection.score,
+            method=detection.method,
+        )

@@ -1,0 +1,370 @@
+"""The runtime head-modifier detector.
+
+Given a short text, the detector:
+
+1. segments it (:class:`repro.core.segmentation.Segmenter`);
+2. scores every content segment as head candidate: for candidate ``h``,
+   each other content segment ``m`` contributes an interpolation of
+   *instance-level memory* (mined pair support) and *concept-pattern*
+   evidence ``Σ P(c_m|m) P(c_h|h) · w(c_m → c_h)``;
+3. applies the connector heuristic ("cases **for** iphone 5s" names the
+   head side) when present;
+4. falls back to the rightmost content segment (English compounds are
+   head-final) when no semantic evidence exists;
+5. optionally classifies each modifier as constraint / non-constraint.
+
+The result is a :class:`Detection` with per-segment roles, concept
+readings, and a confidence score.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.concept_patterns import PatternTable
+from repro.core.conceptualizer import Conceptualizer
+from repro.core.segmentation import (
+    CONTENT_KINDS,
+    KIND_CONNECTOR,
+    KIND_SUBJECTIVE,
+    Segment,
+    Segmenter,
+)
+from repro.errors import ModelError
+from repro.mining.pairs import PairCollection
+from repro.text.lexicon import Lexicon, default_lexicon
+from repro.text.normalizer import normalize
+
+
+class TermRole(enum.Enum):
+    """Role of one segment in the detected structure."""
+
+    HEAD = "head"
+    MODIFIER = "modifier"
+    OTHER = "other"
+
+
+@dataclass(frozen=True, slots=True)
+class DetectedTerm:
+    """One segment with its detected role and concept readings."""
+
+    text: str
+    role: TermRole
+    kind: str
+    concepts: tuple[tuple[str, float], ...] = ()
+    is_constraint: bool | None = None
+
+    @property
+    def top_concept(self) -> str | None:
+        """Most probable concept reading, if any."""
+        return self.concepts[0][0] if self.concepts else None
+
+
+@dataclass(frozen=True)
+class Detection:
+    """Full detection result for one short text."""
+
+    query: str
+    terms: tuple[DetectedTerm, ...]
+    score: float
+    method: str
+
+    @property
+    def head(self) -> str | None:
+        """Text of the head segment (None when undetected)."""
+        for term in self.terms:
+            if term.role is TermRole.HEAD:
+                return term.text
+        return None
+
+    @property
+    def head_term(self) -> DetectedTerm | None:
+        """The head's full term record (None when undetected)."""
+        for term in self.terms:
+            if term.role is TermRole.HEAD:
+                return term
+        return None
+
+    @property
+    def modifiers(self) -> tuple[str, ...]:
+        """Texts of all modifier segments, in query order."""
+        return tuple(t.text for t in self.terms if t.role is TermRole.MODIFIER)
+
+    @property
+    def modifier_terms(self) -> tuple[DetectedTerm, ...]:
+        """Full term records of all modifiers."""
+        return tuple(t for t in self.terms if t.role is TermRole.MODIFIER)
+
+    @property
+    def constraints(self) -> tuple[str, ...]:
+        """Texts of modifiers flagged as constraints."""
+        return tuple(
+            t.text
+            for t in self.terms
+            if t.role is TermRole.MODIFIER and t.is_constraint
+        )
+
+    def explain(self) -> str:
+        """Human-readable one-line breakdown (for examples and debugging)."""
+        parts = []
+        for term in self.terms:
+            tag = term.role.value
+            if term.role is TermRole.MODIFIER and term.is_constraint is not None:
+                tag += ":constraint" if term.is_constraint else ":preference"
+            concept = f" ({term.top_concept})" if term.top_concept else ""
+            parts.append(f"[{term.text} → {tag}{concept}]")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Detector knobs (defaults follow the ablations in EXPERIMENTS.md)."""
+
+    top_k_concepts: int = 5
+    #: Interpolation between instance-level memory and concept patterns.
+    instance_weight: float = 0.35
+    #: Smoothing count in the instance-support ratio.
+    instance_smoothing: float = 5.0
+    #: Below this best-candidate score the detector falls back to position.
+    min_evidence: float = 1e-4
+    use_connector_heuristic: bool = True
+    #: Disambiguate modifier concepts using the detected head's concepts.
+    contextualize_modifiers: bool = True
+    #: Attenuation for super-concept readings during pattern matching
+    #: (0 disables hierarchy backoff). Pair with the same setting in
+    #: TrainingConfig so the table contains the coarse patterns.
+    hierarchy_discount: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.instance_weight <= 1:
+            raise ModelError("instance_weight must be in [0, 1]")
+        if self.top_k_concepts <= 0:
+            raise ModelError("top_k_concepts must be positive")
+        if not 0 <= self.hierarchy_discount <= 1:
+            raise ModelError("hierarchy_discount must be in [0, 1]")
+
+
+class HeadModifierDetector:
+    """Scores head candidates against the weighted concept-pattern table."""
+
+    def __init__(
+        self,
+        patterns: PatternTable,
+        conceptualizer: Conceptualizer,
+        instance_pairs: PairCollection | None = None,
+        constraint_classifier=None,
+        segmenter: Segmenter | None = None,
+        lexicon: Lexicon | None = None,
+        config: DetectorConfig | None = None,
+        speller=None,
+    ) -> None:
+        """``speller`` is an optional
+        :class:`repro.text.spelling.SpellingNormalizer` applied to the
+        normalized text before segmentation (typo robustness)."""
+        self._patterns = patterns
+        self._conceptualizer = conceptualizer
+        self._pairs = instance_pairs
+        self._classifier = constraint_classifier
+        self._lexicon = lexicon or default_lexicon()
+        self._segmenter = segmenter or Segmenter(conceptualizer.taxonomy, self._lexicon)
+        self._config = config or DetectorConfig()
+        self._speller = speller
+        self._concept_cache: dict[str, tuple[tuple[str, float], ...]] = {}
+
+    @property
+    def patterns(self) -> PatternTable:
+        """The weighted concept-pattern table in use."""
+        return self._patterns
+
+    @property
+    def conceptualizer(self) -> Conceptualizer:
+        """The conceptualizer in use."""
+        return self._conceptualizer
+
+    @property
+    def segmenter(self) -> Segmenter:
+        """The segmenter in use."""
+        return self._segmenter
+
+    @property
+    def instance_pairs(self) -> PairCollection | None:
+        """The mined instance-pair memory (None when disabled)."""
+        return self._pairs
+
+    @property
+    def config(self) -> DetectorConfig:
+        """The detector's configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def detect(self, text: str) -> Detection:
+        """Detect head, modifiers, and (when a classifier is attached)
+        constraints in ``text``."""
+        query = normalize(text)
+        if self._speller is not None:
+            query = self._speller.correct(query)
+        segments = self._segmenter.segment(query)
+        if not segments:
+            return Detection(query=query, terms=(), score=0.0, method="empty")
+        content = [s for s in segments if s.kind in CONTENT_KINDS]
+        if not content:
+            return self._all_structural(query, segments)
+        if len(content) == 1:
+            return self._finish(query, segments, head=content[0], score=1.0, method="single")
+        head, score, method = self._choose_head(segments, content)
+        return self._finish(query, segments, head=head, score=score, method=method)
+
+    def detect_batch(self, texts) -> list[Detection]:
+        """Detect over an iterable of texts."""
+        return [self.detect(t) for t in texts]
+
+    # ------------------------------------------------------------------
+    # head choice
+    # ------------------------------------------------------------------
+    def _choose_head(
+        self, segments: list[Segment], content: list[Segment]
+    ) -> tuple[Segment, float, str]:
+        candidates = content
+        connector_side = self._connector_head_side(segments)
+        if connector_side is not None:
+            side_content = [s for s in connector_side if s.kind in CONTENT_KINDS]
+            if side_content:
+                candidates = side_content
+        scored = [
+            (self._head_score(candidate, content), candidate) for candidate in candidates
+        ]
+        scored.sort(key=lambda sc: (-sc[0], sc[1].start))
+        best_score, best = scored[0]
+        if best_score < self._config.min_evidence:
+            if connector_side is not None and candidates is not content:
+                # Connector names the side; position picks within it.
+                return candidates[-1], 0.25, "connector"
+            return content[-1], 0.1, "fallback"
+        margin = 1.0
+        if len(scored) > 1 and best_score > 0:
+            margin = (best_score - scored[1][0]) / best_score
+        confidence = min(1.0, 0.5 + 0.5 * margin)
+        method = "connector+pattern" if candidates is not content else "pattern"
+        return best, confidence, method
+
+    def _connector_head_side(self, segments: list[Segment]) -> list[Segment] | None:
+        """Segments on the head side of a single connector, if present."""
+        if not self._config.use_connector_heuristic:
+            return None
+        connector_positions = [
+            i for i, s in enumerate(segments) if s.kind == KIND_CONNECTOR
+        ]
+        if len(connector_positions) != 1:
+            return None
+        index = connector_positions[0]
+        left, right = segments[:index], segments[index + 1 :]
+        if not left or not right:
+            return None
+        return left
+
+    def _head_score(self, candidate: Segment, content: list[Segment]) -> float:
+        total = 0.0
+        for other in content:
+            if other is candidate:
+                continue
+            total += self._pair_affinity(modifier=other.text, head=candidate.text)
+        return total
+
+    def _pair_affinity(self, modifier: str, head: str) -> float:
+        """Interpolated evidence that ``modifier`` modifies ``head``."""
+        cfg = self._config
+        instance = self._instance_score(modifier, head)
+        pattern = self._pattern_score(modifier, head)
+        return cfg.instance_weight * instance + (1 - cfg.instance_weight) * pattern
+
+    def _instance_score(self, modifier: str, head: str) -> float:
+        if self._pairs is None:
+            return 0.0
+        forward = self._pairs.support(modifier, head)
+        backward = self._pairs.support(head, modifier)
+        denominator = forward + backward + self._config.instance_smoothing
+        return forward / denominator if denominator > 0 else 0.0
+
+    def _pattern_score(self, modifier: str, head: str) -> float:
+        modifier_concepts = self._concepts_of(modifier)
+        head_concepts = self._concepts_of(head)
+        score = 0.0
+        for m_concept, m_prob in modifier_concepts:
+            for h_concept, h_prob in head_concepts:
+                if m_concept == h_concept:
+                    continue
+                score += m_prob * h_prob * self._patterns.score(m_concept, h_concept)
+        return score
+
+    def _concepts_of(self, phrase: str) -> tuple[tuple[str, float], ...]:
+        cached = self._concept_cache.get(phrase)
+        if cached is None:
+            readings = self._conceptualizer.conceptualize(
+                phrase, self._config.top_k_concepts
+            )
+            if self._config.hierarchy_discount > 0 and readings:
+                readings = self._conceptualizer.expand_with_ancestors(
+                    readings, self._config.hierarchy_discount
+                )
+            cached = tuple(readings)
+            self._concept_cache[phrase] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # assembling the result
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        query: str,
+        segments: list[Segment],
+        head: Segment,
+        score: float,
+        method: str,
+    ) -> Detection:
+        head_concepts = self._concepts_of(head.text)
+        head_concept_dict = dict(head_concepts)
+        terms = []
+        for segment in segments:
+            if segment is head:
+                terms.append(
+                    DetectedTerm(segment.text, TermRole.HEAD, segment.kind, head_concepts)
+                )
+            elif segment.kind in CONTENT_KINDS or segment.kind == KIND_SUBJECTIVE:
+                concepts = self._modifier_concepts(segment.text, head_concept_dict)
+                terms.append(
+                    DetectedTerm(segment.text, TermRole.MODIFIER, segment.kind, concepts)
+                )
+            else:
+                terms.append(DetectedTerm(segment.text, TermRole.OTHER, segment.kind))
+        detection = Detection(query=query, terms=tuple(terms), score=score, method=method)
+        if self._classifier is not None:
+            detection = self._classifier.annotate(detection)
+        return detection
+
+    def _modifier_concepts(
+        self, phrase: str, head_concepts: dict[str, float]
+    ) -> tuple[tuple[str, float], ...]:
+        if not self._config.contextualize_modifiers or not head_concepts:
+            return self._concepts_of(phrase)
+        ranked = self._conceptualizer.conceptualize_with_context(
+            phrase,
+            head_concepts,
+            compatibility=lambda cm, ch: self._patterns.weight(cm, ch),
+            top_k=self._config.top_k_concepts,
+        )
+        return tuple(ranked)
+
+    def _all_structural(self, query: str, segments: list[Segment]) -> Detection:
+        """No content segments at all (e.g. "best of the best")."""
+        terms = tuple(
+            DetectedTerm(
+                s.text,
+                TermRole.MODIFIER if s.kind == KIND_SUBJECTIVE else TermRole.OTHER,
+                s.kind,
+            )
+            for s in segments
+        )
+        return Detection(query=query, terms=terms, score=0.0, method="structural")

@@ -1,0 +1,169 @@
+"""Structured explanations of detection decisions.
+
+``Detection.explain()`` says *what* was decided;
+:func:`explain_detection` says *why*: every head candidate's score, and
+for the winner, the concept patterns that carried the decision with their
+contributions. Production debugging ("why did this query pick that
+head?") needs exactly this view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detector import Detection, HeadModifierDetector
+from repro.core.segmentation import CONTENT_KINDS
+
+
+@dataclass(frozen=True)
+class PatternContribution:
+    """One concept pattern's contribution to a (modifier, head) pair."""
+
+    modifier: str
+    modifier_concept: str
+    head_concept: str
+    probability_mass: float  # P(c_m|m) * P(c_h|h)
+    pattern_score: float     # normalized table score
+    contribution: float      # product
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.modifier} as [{self.modifier_concept}] -> "
+            f"[{self.head_concept}]: {self.contribution:.4f}"
+        )
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Total evidence for one head candidate."""
+
+    text: str
+    score: float
+    instance_component: float
+    pattern_component: float
+
+
+@dataclass(frozen=True)
+class DetectionExplanation:
+    """The decision trace for one query."""
+
+    detection: Detection
+    candidates: tuple[CandidateScore, ...]
+    winning_patterns: tuple[PatternContribution, ...]
+
+    @property
+    def margin(self) -> float:
+        """Relative gap between the best and second-best candidate."""
+        if len(self.candidates) < 2 or self.candidates[0].score <= 0:
+            return 1.0
+        return (
+            self.candidates[0].score - self.candidates[1].score
+        ) / self.candidates[0].score
+
+    def render(self, max_patterns: int = 5) -> str:
+        """Multi-line human-readable trace."""
+        lines = [f"query: {self.detection.query}"]
+        lines.append(f"decision: {self.detection.explain()}")
+        lines.append(f"method: {self.detection.method}  margin: {self.margin:.2f}")
+        lines.append("head candidates:")
+        for candidate in self.candidates:
+            lines.append(
+                f"  {candidate.text:24} score={candidate.score:.4f} "
+                f"(instance={candidate.instance_component:.4f}, "
+                f"patterns={candidate.pattern_component:.4f})"
+            )
+        if self.winning_patterns:
+            lines.append("winning evidence:")
+            for contribution in self.winning_patterns[:max_patterns]:
+                lines.append(f"  {contribution}")
+        return "\n".join(lines)
+
+
+def explain_detection(
+    detector: HeadModifierDetector, text: str, top_patterns: int = 10
+) -> DetectionExplanation:
+    """Detect ``text`` and reconstruct the decision trace.
+
+    Uses only the detector's public configuration plus its pattern table /
+    conceptualizer, so the trace matches what ``detect`` computed.
+    """
+    detection = detector.detect(text)
+    segments = detector.segmenter.segment(detection.query)
+    content = [s for s in segments if s.kind in CONTENT_KINDS]
+    config = detector.config
+    conceptualizer = detector.conceptualizer
+
+    def concepts_of(phrase: str) -> list[tuple[str, float]]:
+        readings = conceptualizer.conceptualize(phrase, config.top_k_concepts)
+        if config.hierarchy_discount > 0 and readings:
+            readings = conceptualizer.expand_with_ancestors(
+                readings, config.hierarchy_discount
+            )
+        return list(readings)
+
+    candidates = []
+    per_candidate_patterns: dict[str, list[PatternContribution]] = {}
+    for candidate in content:
+        instance_total = 0.0
+        pattern_total = 0.0
+        contributions: list[PatternContribution] = []
+        for other in content:
+            if other is candidate:
+                continue
+            instance_total += _instance_score(detector, other.text, candidate.text)
+            for m_concept, m_prob in concepts_of(other.text):
+                for h_concept, h_prob in concepts_of(candidate.text):
+                    if m_concept == h_concept:
+                        continue
+                    pattern_score = detector.patterns.score(m_concept, h_concept)
+                    if pattern_score <= 0:
+                        continue
+                    mass = m_prob * h_prob
+                    pattern_total += mass * pattern_score
+                    contributions.append(
+                        PatternContribution(
+                            modifier=other.text,
+                            modifier_concept=m_concept,
+                            head_concept=h_concept,
+                            probability_mass=mass,
+                            pattern_score=pattern_score,
+                            contribution=mass * pattern_score,
+                        )
+                    )
+        score = (
+            config.instance_weight * instance_total
+            + (1 - config.instance_weight) * pattern_total
+        )
+        candidates.append(
+            CandidateScore(
+                text=candidate.text,
+                score=score,
+                instance_component=instance_total,
+                pattern_component=pattern_total,
+            )
+        )
+        contributions.sort(key=lambda c: -c.contribution)
+        per_candidate_patterns[candidate.text] = contributions
+
+    candidates.sort(key=lambda c: (-c.score, c.text))
+    winning = (
+        tuple(per_candidate_patterns.get(detection.head, [])[:top_patterns])
+        if detection.head is not None
+        else ()
+    )
+    return DetectionExplanation(
+        detection=detection,
+        candidates=tuple(candidates),
+        winning_patterns=winning,
+    )
+
+
+def _instance_score(detector: HeadModifierDetector, modifier: str, head: str) -> float:
+    # Mirrors HeadModifierDetector._instance_score through public state.
+    pairs = detector.instance_pairs
+    if pairs is None:
+        return 0.0
+    forward = pairs.support(modifier, head)
+    backward = pairs.support(head, modifier)
+    denominator = forward + backward + detector.config.instance_smoothing
+    return forward / denominator if denominator > 0 else 0.0

@@ -1,0 +1,234 @@
+"""End-to-end training: query log + taxonomy → :class:`HdmModel`.
+
+Mirrors the paper's offline pipeline:
+
+1. mine instance-level head-modifier pairs from the log;
+2. conceptualize them and derive the weighted concept-pattern table;
+3. prune the table to a concise high-mass prefix;
+4. build the concept-droppability table and train the constraint
+   classifier with distant supervision from click behaviour.
+
+No step reads gold labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.concept_patterns import derive_pattern_table
+from repro.core.conceptualizer import Conceptualizer
+from repro.core.constraints import ConstraintClassifier, LogisticRegression
+from repro.core.detector import DetectorConfig
+from repro.core.features import (
+    ConstraintFeatureExtractor,
+    build_droppability_tables,
+)
+from repro.core.model import HdmModel
+from repro.core.segmentation import Segmenter
+from repro.errors import ModelError
+from repro.mining.pairs import MinedPair, MiningConfig, PairCollection, mine_pairs
+from repro.querylog.models import QueryLog
+from repro.querylog.stats import LogStatistics, host_path_similarity
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Knobs of the offline pipeline."""
+
+    mining: MiningConfig = field(default_factory=MiningConfig)
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    #: Concepts considered per instance side during pattern derivation.
+    top_k_concepts: int = 5
+    #: Super-concept attenuation during derivation (0 = no hierarchy
+    #: backoff; pair with DetectorConfig.hierarchy_discount).
+    hierarchy_discount: float = 0.0
+    #: Fraction of pattern mass kept after pruning (1.0 = keep all).
+    pattern_mass: float = 0.99
+    #: Hard cap on pattern count after mass pruning (None = no cap).
+    max_patterns: int | None = None
+    train_classifier: bool = True
+    #: Distant-supervision label boundary on drop-similarity.
+    drop_label_threshold: float = 0.5
+    classifier_epochs: int = 400
+    classifier_learning_rate: float = 0.5
+    classifier_l2: float = 1e-3
+    constraint_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.pattern_mass <= 1:
+            raise ModelError("pattern_mass must be in (0, 1]")
+        if not 0 < self.drop_label_threshold < 1:
+            raise ModelError("drop_label_threshold must be in (0, 1)")
+
+
+def train_model(
+    log: QueryLog,
+    taxonomy: ConceptTaxonomy,
+    config: TrainingConfig | None = None,
+) -> HdmModel:
+    """Run the full offline pipeline and return the trained bundle."""
+    config = config or TrainingConfig()
+    stats = LogStatistics(log)
+    conceptualizer = Conceptualizer(taxonomy)
+    segmenter = Segmenter(taxonomy)
+
+    pairs = mine_pairs(log, config.mining)
+    patterns = derive_pattern_table(
+        pairs,
+        conceptualizer,
+        config.top_k_concepts,
+        hierarchy_discount=config.hierarchy_discount,
+    )
+    if config.pattern_mass < 1.0:
+        patterns = patterns.pruned_to_mass(config.pattern_mass)
+    if config.max_patterns is not None:
+        patterns = patterns.pruned_to_count(config.max_patterns)
+
+    classifier = None
+    if config.train_classifier:
+        classifier = _train_constraint_classifier(
+            stats, conceptualizer, segmenter, config
+        )
+
+    return HdmModel(
+        taxonomy=taxonomy,
+        patterns=patterns,
+        pairs=pairs,
+        classifier=classifier,
+        detector_config=config.detector,
+    )
+
+
+def constraint_training_rows(
+    stats: LogStatistics,
+    segmenter: Segmenter,
+    drop_label_threshold: float = 0.5,
+) -> tuple[list[tuple[str, str]], list[int], list[float]]:
+    """Distant-supervision rows for the constraint classifier.
+
+    Rows are (query, modifier-segment) pairs with drop evidence in the
+    log; the label is whether dropping the segment changed clicks (1 =
+    constraint). Head-like segments are excluded — dropping the head
+    always changes results, which says nothing about modifiers. Weights
+    are query volumes. Public so ablation experiments can retrain on
+    feature subsets.
+    """
+    rows: list[tuple[str, str]] = []
+    labels: list[int] = []
+    weights: list[float] = []
+    for record in stats.log.records():
+        if len(record.tokens) < 2:
+            continue
+        for segment in segmenter.segment(record.query):
+            if segment.num_tokens >= len(record.tokens):
+                continue
+            similarity = stats.drop_similarity(record.query, segment.text)
+            if similarity is None:
+                continue
+            if _is_head_like(stats.log, record, segment.text):
+                continue
+            rows.append((record.query, segment.text))
+            labels.append(int(similarity < drop_label_threshold))
+            weights.append(float(record.frequency))
+    return rows, labels, weights
+
+
+def update_model(
+    model: HdmModel,
+    new_log: QueryLog,
+    config: TrainingConfig | None = None,
+    decay: float = 1.0,
+) -> HdmModel:
+    """Incrementally fold a new log slice into an existing model.
+
+    Mines the new slice, merges the pair memory, derives the slice's
+    pattern contribution and merges it into the existing table (derivation
+    is linear in support, so this approximates a batch retrain on the
+    union without touching the old log). ``decay`` < 1 down-weights the
+    *existing* patterns and pairs first — a rolling-window deployment.
+
+    The constraint classifier is retrained on the new slice when the
+    original model had one and the slice carries enough evidence;
+    otherwise the existing classifier is kept.
+    """
+    config = config or TrainingConfig()
+    if not 0 < decay <= 1:
+        raise ModelError("decay must be in (0, 1]")
+    conceptualizer = Conceptualizer(model.taxonomy)
+    segmenter = Segmenter(model.taxonomy)
+    stats = LogStatistics(new_log)
+
+    new_pairs = mine_pairs(new_log, config.mining)
+    merged_pairs = model.pairs.copy()
+    if decay < 1.0:
+        scaled = PairCollection()
+        for modifier, head, support in merged_pairs.items():
+            scaled.add(MinedPair(modifier, head, support * decay, "decayed"))
+        merged_pairs = scaled
+    merged_pairs.merge(new_pairs)
+
+    new_patterns = derive_pattern_table(
+        new_pairs,
+        conceptualizer,
+        config.top_k_concepts,
+        hierarchy_discount=config.hierarchy_discount,
+    )
+    merged_patterns = (
+        model.patterns.scaled(decay) if decay < 1.0 else model.patterns.scaled(1.0)
+    )
+    merged_patterns.merge(new_patterns)
+    if config.pattern_mass < 1.0:
+        merged_patterns = merged_patterns.pruned_to_mass(config.pattern_mass)
+    if config.max_patterns is not None:
+        merged_patterns = merged_patterns.pruned_to_count(config.max_patterns)
+
+    classifier = model.classifier
+    if classifier is not None and config.train_classifier:
+        retrained = _train_constraint_classifier(
+            stats, conceptualizer, segmenter, config
+        )
+        if retrained is not None:
+            classifier = retrained
+
+    return HdmModel(
+        taxonomy=model.taxonomy,
+        patterns=merged_patterns,
+        pairs=merged_pairs,
+        classifier=classifier,
+        detector_config=model.detector_config,
+    )
+
+
+def _train_constraint_classifier(
+    stats: LogStatistics,
+    conceptualizer: Conceptualizer,
+    segmenter: Segmenter,
+    config: TrainingConfig,
+) -> ConstraintClassifier | None:
+    """Distant-supervision training of the constraint classifier."""
+    droppability = build_droppability_tables(stats, conceptualizer, segmenter)
+    extractor = ConstraintFeatureExtractor(
+        conceptualizer, stats=stats, droppability=droppability
+    )
+    rows, labels, weights = constraint_training_rows(
+        stats, segmenter, config.drop_label_threshold
+    )
+    if len(rows) < 10 or len(set(labels)) < 2:
+        return None  # not enough distant supervision in this log
+    features = extractor.extract_batch(rows)
+    model = LogisticRegression(
+        learning_rate=config.classifier_learning_rate,
+        epochs=config.classifier_epochs,
+        l2=config.classifier_l2,
+    ).fit(features, np.asarray(labels, float), np.asarray(weights, float))
+    return ConstraintClassifier(extractor, model, threshold=config.constraint_threshold)
+
+
+def _is_head_like(log: QueryLog, record, segment_text: str) -> bool:
+    segment_record = log.lookup(segment_text)
+    if segment_record is None or not segment_record.clicks:
+        return False
+    return host_path_similarity(record.clicks, segment_record.clicks) >= 0.6

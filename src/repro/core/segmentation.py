@@ -1,0 +1,146 @@
+"""Short-text segmentation.
+
+Queries arrive as flat token strings; before head/modifier reasoning the
+detector must know that "new york hotels" is ["new york", "hotels"], not
+three tokens. The segmenter runs a Viterbi dynamic program over token
+positions where multi-token spans are only allowed when they are taxonomy
+instances, scored to prefer long, popular dictionary matches.
+
+Each output :class:`Segment` is tagged with a *kind* so the detector can
+route it: taxonomy instances and unknown words can bear head/modifier
+roles; subjective adjectives are modifier-only; connectors, intent verbs,
+and stopwords are structural.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.text.lexicon import Lexicon, default_lexicon
+from repro.text.normalizer import normalize
+
+#: Segment kinds, in routing order.
+KIND_INSTANCE = "instance"
+KIND_SUBJECTIVE = "subjective"
+KIND_CONNECTOR = "connector"
+KIND_VERB = "verb"
+KIND_STOPWORD = "stopword"
+KIND_WORD = "word"
+
+#: Kinds that may carry a head or modifier role.
+CONTENT_KINDS = frozenset({KIND_INSTANCE, KIND_WORD})
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A contiguous token span of the query."""
+
+    text: str
+    start: int
+    end: int
+    kind: str
+
+    @property
+    def num_tokens(self) -> int:
+        """Number of tokens the segment spans."""
+        return self.end - self.start
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.text
+
+
+class Segmenter:
+    """Dictionary-driven Viterbi segmenter."""
+
+    def __init__(
+        self,
+        taxonomy: ConceptTaxonomy | None = None,
+        lexicon: Lexicon | None = None,
+    ) -> None:
+        self._taxonomy = taxonomy
+        self._lexicon = lexicon or default_lexicon()
+        self._max_span = taxonomy.max_instance_tokens() if taxonomy else 1
+        self._max_span = max(1, self._max_span)
+
+    def segment(self, text: str) -> list[Segment]:
+        """Segment ``text`` into the best-scoring span sequence.
+
+        The DP maximizes total span score; ties prefer fewer segments
+        (i.e. longer dictionary matches).
+        """
+        tokens = normalize(text).split()
+        if not tokens:
+            return []
+        n = len(tokens)
+        # best[i] = (score, -segments, backpointer_start) for prefix of length i
+        best: list[tuple[float, int, int] | None] = [None] * (n + 1)
+        best[0] = (0.0, 0, -1)
+        for end in range(1, n + 1):
+            for start in range(max(0, end - self._max_span), end):
+                prev = best[start]
+                if prev is None:
+                    continue
+                span_score = self._span_score(tokens[start:end])
+                if span_score is None:
+                    continue
+                candidate = (prev[0] + span_score, prev[1] - 1, start)
+                if best[end] is None or candidate[:2] > best[end][:2]:
+                    best[end] = candidate
+        return self._backtrack(tokens, best)
+
+    def _span_score(self, span: list[str]) -> float | None:
+        """Score of one candidate span; ``None`` when disallowed."""
+        phrase = " ".join(span)
+        if len(span) == 1:
+            return self._single_token_score(phrase)
+        if self._taxonomy is not None and self._taxonomy.has_instance(phrase):
+            popularity = math.log1p(self._taxonomy.instance_total(phrase))
+            return len(span) ** 2 * (1.0 + 0.1 * popularity)
+        return None  # multi-token spans must be dictionary instances
+
+    def _single_token_score(self, token: str) -> float:
+        if self._taxonomy is not None and self._taxonomy.has_instance(token):
+            return 1.0 + 0.1 * math.log1p(self._taxonomy.instance_total(token))
+        if self._lexicon.is_subjective(token):
+            return 0.8
+        if token in self._lexicon.connectors:
+            return 0.6
+        if token in self._lexicon.intent_verbs:
+            return 0.6
+        if self._lexicon.is_stopword(token):
+            return 0.5
+        return 0.7  # unknown word
+
+    def _kind_of(self, phrase: str, num_tokens: int) -> str:
+        if self._taxonomy is not None and self._taxonomy.has_instance(phrase):
+            return KIND_INSTANCE
+        if num_tokens > 1:
+            return KIND_WORD  # pragma: no cover - multi-token spans are instances
+        if self._lexicon.is_subjective(phrase):
+            return KIND_SUBJECTIVE
+        if phrase in self._lexicon.connectors:
+            return KIND_CONNECTOR
+        if phrase in self._lexicon.intent_verbs:
+            return KIND_VERB
+        if self._lexicon.is_stopword(phrase):
+            return KIND_STOPWORD
+        return KIND_WORD
+
+    def _backtrack(
+        self, tokens: list[str], best: list[tuple[float, int, int] | None]
+    ) -> list[Segment]:
+        segments: list[Segment] = []
+        end = len(tokens)
+        while end > 0:
+            entry = best[end]
+            assert entry is not None  # every prefix is reachable via singles
+            start = entry[2]
+            phrase = " ".join(tokens[start:end])
+            segments.append(
+                Segment(phrase, start, end, self._kind_of(phrase, end - start))
+            )
+            end = start
+        segments.reverse()
+        return segments

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base type. Subclasses mark the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TaxonomyError(ReproError):
+    """Raised for invalid taxonomy data or malformed taxonomy files."""
+
+
+class QueryLogError(ReproError):
+    """Raised for malformed query-log records or unusable log files."""
+
+
+class MiningError(ReproError):
+    """Raised when head-modifier pair mining receives unusable input."""
+
+
+class ModelError(ReproError):
+    """Raised for model (de)serialization and fitting problems."""
+
+
+class NotFittedError(ModelError):
+    """Raised when a component is used before it has been fitted/trained."""
+
+
+class EvaluationError(ReproError):
+    """Raised for malformed evaluation datasets or metric misuse."""

@@ -1,0 +1,62 @@
+"""Evaluation: metrics, labelled datasets, harness, and reporting.
+
+The labelled sets come from held-out generator intents (standing in for
+the paper's human-judged queries); every detector — the full method and
+each baseline — is evaluated through the same harness.
+"""
+
+from repro.eval.datasets import EvalExample, build_eval_set, unseen_pair_subset
+from repro.eval.harness import (
+    ConstraintEvalResult,
+    HeadEvalResult,
+    evaluate_constraints,
+    evaluate_head_detection,
+)
+from repro.eval.metrics import (
+    SetMetrics,
+    average_precision_at_k,
+    ndcg_at_k,
+    precision_recall_f1,
+)
+from repro.eval.errors import (
+    ConstraintError,
+    HeadError,
+    collect_constraint_errors,
+    collect_head_errors,
+    format_head_error_report,
+    summarize_head_errors,
+)
+from repro.eval.reporting import format_table
+from repro.eval.significance import (
+    BootstrapCI,
+    PairedComparison,
+    bootstrap_ci,
+    head_correctness,
+    paired_bootstrap_test,
+)
+
+__all__ = [
+    "EvalExample",
+    "build_eval_set",
+    "unseen_pair_subset",
+    "HeadEvalResult",
+    "ConstraintEvalResult",
+    "evaluate_head_detection",
+    "evaluate_constraints",
+    "SetMetrics",
+    "precision_recall_f1",
+    "ndcg_at_k",
+    "average_precision_at_k",
+    "format_table",
+    "BootstrapCI",
+    "PairedComparison",
+    "bootstrap_ci",
+    "paired_bootstrap_test",
+    "head_correctness",
+    "HeadError",
+    "ConstraintError",
+    "collect_head_errors",
+    "collect_constraint_errors",
+    "summarize_head_errors",
+    "format_head_error_report",
+]

@@ -1,0 +1,115 @@
+"""Failure analysis: collect and summarize detection errors.
+
+Aggregate metrics say *how much* a system fails; shipping a detector needs
+to know *where*. These helpers collect per-query head errors and
+constraint misclassifications with enough context (method used, domain,
+gold answer) to spot systematic failure modes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.eval.datasets import EvalExample
+from repro.eval.reporting import format_table
+
+
+@dataclass(frozen=True)
+class HeadError:
+    """One wrong (or abstained) head decision."""
+
+    query: str
+    predicted: str | None
+    gold: str
+    method: str
+    domain: str
+
+
+@dataclass(frozen=True)
+class ConstraintError:
+    """One wrong constraint flag."""
+
+    query: str
+    modifier: str
+    predicted_constraint: bool
+    gold_constraint: bool
+    domain: str
+
+
+def collect_head_errors(
+    detector, examples: list[EvalExample], limit: int | None = None
+) -> list[HeadError]:
+    """Queries where the detector's head differs from gold."""
+    errors = []
+    for example in examples:
+        detection = detector.detect(example.query)
+        if detection.head == example.gold.head:
+            continue
+        errors.append(
+            HeadError(
+                query=example.query,
+                predicted=detection.head,
+                gold=example.gold.head,
+                method=detection.method,
+                domain=example.domain,
+            )
+        )
+        if limit is not None and len(errors) >= limit:
+            break
+    return errors
+
+
+def collect_constraint_errors(
+    classifier, examples: list[EvalExample], limit: int | None = None
+) -> list[ConstraintError]:
+    """Gold modifiers whose constraint flag the classifier gets wrong."""
+    errors = []
+    for example in examples:
+        for modifier in example.gold.modifiers:
+            predicted = classifier.is_constraint(example.query, modifier.surface)
+            if predicted == modifier.is_constraint:
+                continue
+            errors.append(
+                ConstraintError(
+                    query=example.query,
+                    modifier=modifier.surface,
+                    predicted_constraint=predicted,
+                    gold_constraint=modifier.is_constraint,
+                    domain=example.domain,
+                )
+            )
+            if limit is not None and len(errors) >= limit:
+                return errors
+    return errors
+
+
+def summarize_head_errors(errors: list[HeadError]) -> dict[str, Counter]:
+    """Error counts by domain and by decision method."""
+    return {
+        "by_domain": Counter(e.domain for e in errors),
+        "by_method": Counter(e.method for e in errors),
+    }
+
+
+def format_head_error_report(errors: list[HeadError], max_rows: int = 20) -> str:
+    """Readable error listing plus breakdown counters."""
+    if not errors:
+        return "no head errors"
+    rows = [
+        [e.query, e.predicted or "(abstained)", e.gold, e.method, e.domain]
+        for e in errors[:max_rows]
+    ]
+    report = format_table(
+        ["query", "predicted", "gold", "method", "domain"],
+        rows,
+        title=f"head errors (showing {len(rows)} of {len(errors)})",
+    )
+    summary = summarize_head_errors(errors)
+    domain_line = ", ".join(
+        f"{domain}={count}" for domain, count in summary["by_domain"].most_common()
+    )
+    method_line = ", ".join(
+        f"{method}={count}" for method, count in summary["by_method"].most_common()
+    )
+    return f"{report}\nby domain: {domain_line}\nby method: {method_line}"

@@ -1,0 +1,135 @@
+"""Uniform evaluation harness for head detection and constraint
+classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.datasets import EvalExample
+from repro.eval.metrics import SetMetrics, precision_recall_f1
+from repro.utils.mathx import safe_div
+
+#: Detection methods that count as "the system declined to decide".
+_ABSTAIN_METHODS = frozenset({"abstain", "empty", "structural"})
+#: Methods where the decision used no evidence, only position.
+_FALLBACK_METHODS = frozenset({"fallback", "statistical-fallback"})
+
+
+@dataclass(frozen=True)
+class HeadEvalResult:
+    """Aggregate head/modifier detection quality over one example set."""
+
+    n: int
+    head_correct: int
+    head_attempted: int
+    modifier_metrics: SetMetrics
+    fallback_used: int
+
+    @property
+    def head_accuracy(self) -> float:
+        """Correct heads over all examples (abstentions count as wrong)."""
+        return safe_div(self.head_correct, self.n)
+
+    @property
+    def head_precision(self) -> float:
+        """Correct heads over attempted examples only."""
+        return safe_div(self.head_correct, self.head_attempted)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of examples with a non-abstaining prediction."""
+        return safe_div(self.head_attempted, self.n)
+
+    @property
+    def evidence_rate(self) -> float:
+        """Fraction decided with actual evidence (not positional fallback)."""
+        return safe_div(self.head_attempted - self.fallback_used, self.n)
+
+
+def evaluate_head_detection(detector, examples: list[EvalExample]) -> HeadEvalResult:
+    """Run ``detector`` over ``examples`` and score heads and modifiers.
+
+    A head is correct iff it string-equals the gold head (the strict
+    criterion; segmentation errors therefore count against the system).
+    Modifier metrics are micro-aggregated set P/R/F1 over gold modifier
+    surfaces.
+    """
+    head_correct = 0
+    attempted = 0
+    fallback = 0
+    modifier_totals = SetMetrics(0, 0, 0)
+    for example in examples:
+        detection = detector.detect(example.query)
+        predicted_head = detection.head
+        if predicted_head is not None and detection.method not in _ABSTAIN_METHODS:
+            attempted += 1
+            if detection.method in _FALLBACK_METHODS:
+                fallback += 1
+            if predicted_head == example.gold.head:
+                head_correct += 1
+        modifier_totals = modifier_totals + precision_recall_f1(
+            detection.modifiers, example.gold.modifier_surfaces
+        )
+    return HeadEvalResult(
+        n=len(examples),
+        head_correct=head_correct,
+        head_attempted=attempted,
+        modifier_metrics=modifier_totals,
+        fallback_used=fallback,
+    )
+
+
+@dataclass(frozen=True)
+class ConstraintEvalResult:
+    """Constraint classification quality over gold modifiers."""
+
+    n_modifiers: int
+    metrics: SetMetrics
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of modifiers with the correct flag."""
+        return safe_div(self.correct, self.n_modifiers)
+
+    @property
+    def precision(self) -> float:
+        """Precision of the constraint class."""
+        return self.metrics.precision
+
+    @property
+    def recall(self) -> float:
+        """Recall of the constraint class."""
+        return self.metrics.recall
+
+    @property
+    def f1(self) -> float:
+        """F1 of the constraint class."""
+        return self.metrics.f1
+
+
+def evaluate_constraints(classifier, examples: list[EvalExample]) -> ConstraintEvalResult:
+    """Score constraint classification directly on gold modifiers.
+
+    Decoupled from head detection: the classifier is asked about each gold
+    modifier of each query, so this measures the constraint decision in
+    isolation (as the paper's constraint experiments do).
+    """
+    tp = fp = fn = 0
+    correct = 0
+    n = 0
+    for example in examples:
+        for modifier in example.gold.modifiers:
+            n += 1
+            predicted = classifier.is_constraint(example.query, modifier.surface)
+            if predicted and modifier.is_constraint:
+                tp += 1
+            elif predicted and not modifier.is_constraint:
+                fp += 1
+            elif not predicted and modifier.is_constraint:
+                fn += 1
+            if predicted == modifier.is_constraint:
+                correct += 1
+    return ConstraintEvalResult(
+        n_modifiers=n, metrics=SetMetrics(tp, fp, fn), correct=correct
+    )

@@ -1,0 +1,94 @@
+"""Metric primitives: set P/R/F1, ranking quality."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.utils.mathx import safe_div
+
+
+@dataclass(frozen=True, slots=True)
+class SetMetrics:
+    """Precision / recall / F1 with the raw counts behind them."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP), 0 when undefined."""
+        return safe_div(self.true_positives, self.true_positives + self.false_positives)
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN), 0 when undefined."""
+        return safe_div(self.true_positives, self.true_positives + self.false_negatives)
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return safe_div(2 * p * r, p + r)
+
+    def __add__(self, other: "SetMetrics") -> "SetMetrics":
+        return SetMetrics(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+        )
+
+
+def precision_recall_f1(predicted: Iterable[str], gold: Iterable[str]) -> SetMetrics:
+    """Set-overlap metrics between predicted and gold item sets."""
+    predicted_set = set(predicted)
+    gold_set = set(gold)
+    tp = len(predicted_set & gold_set)
+    return SetMetrics(
+        true_positives=tp,
+        false_positives=len(predicted_set) - tp,
+        false_negatives=len(gold_set) - tp,
+    )
+
+
+def ndcg_at_k(relevances: Sequence[float], k: int) -> float:
+    """Normalized discounted cumulative gain of a ranked relevance list.
+
+    ``relevances[i]`` is the graded relevance of the item ranked at
+    position ``i`` (0-based). Returns 0 when nothing is relevant.
+    """
+    if k <= 0:
+        raise EvaluationError("k must be positive")
+    dcg = _dcg(relevances[:k])
+    ideal = _dcg(sorted(relevances, reverse=True)[:k])
+    return safe_div(dcg, ideal)
+
+
+def average_precision_at_k(relevant_flags: Sequence[bool], k: int) -> float:
+    """AP@k of a ranked binary-relevance list."""
+    if k <= 0:
+        raise EvaluationError("k must be positive")
+    hits = 0
+    total = 0.0
+    for index, flag in enumerate(relevant_flags[:k]):
+        if flag:
+            hits += 1
+            total += hits / (index + 1)
+    return safe_div(total, min(k, max(1, sum(relevant_flags))))
+
+
+def precision_at_k(relevant_flags: Sequence[bool], k: int) -> float:
+    """Fraction of the top-``k`` that is relevant."""
+    if k <= 0:
+        raise EvaluationError("k must be positive")
+    top = relevant_flags[:k]
+    if not top:
+        return 0.0
+    return sum(top) / len(top)
+
+
+def _dcg(relevances: Sequence[float]) -> float:
+    return sum(rel / math.log2(rank + 2) for rank, rel in enumerate(relevances))

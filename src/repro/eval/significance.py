@@ -1,0 +1,114 @@
+"""Statistical significance for detector comparisons.
+
+Accuracy deltas on a finite eval set need error bars before claiming a
+winner. Two standard tools:
+
+- :func:`bootstrap_ci` — percentile bootstrap confidence interval for a
+  per-example binary outcome (e.g. head correctness);
+- :func:`paired_bootstrap_test` — paired bootstrap comparing two systems
+  on the *same* examples: the probability that system B would beat system
+  A on a resample. Paired designs exploit that both systems see identical
+  queries, giving far more power than unpaired comparison.
+
+numpy-based; deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile-bootstrap confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.estimate:.3f} [{self.lower:.3f}, {self.upper:.3f}]"
+
+
+def bootstrap_ci(
+    outcomes: list[bool] | np.ndarray,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for the mean of binary outcomes."""
+    if not 0 < confidence < 1:
+        raise EvaluationError("confidence must be in (0, 1)")
+    values = np.asarray(outcomes, dtype=np.float64)
+    if values.size == 0:
+        raise EvaluationError("cannot bootstrap an empty outcome list")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, values.size, size=(resamples, values.size))
+    means = values[indices].mean(axis=1)
+    alpha = (1 - confidence) / 2
+    return BootstrapCI(
+        estimate=float(values.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired bootstrap test between two systems."""
+
+    mean_a: float
+    mean_b: float
+    delta: float  # mean_b - mean_a
+    #: P(resampled delta <= 0): small means B reliably beats A.
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether B beats A at the given one-sided alpha."""
+        return self.p_value < alpha
+
+
+def paired_bootstrap_test(
+    outcomes_a: list[bool] | np.ndarray,
+    outcomes_b: list[bool] | np.ndarray,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired bootstrap: does B beat A beyond resampling noise?
+
+    ``outcomes_a[i]`` and ``outcomes_b[i]`` must refer to the same
+    example. The reported p-value is one-sided for "B > A".
+    """
+    a = np.asarray(outcomes_a, dtype=np.float64)
+    b = np.asarray(outcomes_b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise EvaluationError("outcome vectors must be 1-D and aligned")
+    if a.size == 0:
+        raise EvaluationError("cannot compare empty outcome lists")
+    deltas = b - a
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, a.size, size=(resamples, a.size))
+    resampled = deltas[indices].mean(axis=1)
+    p_value = float((resampled <= 0).mean())
+    return PairedComparison(
+        mean_a=float(a.mean()),
+        mean_b=float(b.mean()),
+        delta=float(deltas.mean()),
+        p_value=p_value,
+    )
+
+
+def head_correctness(detector, examples) -> list[bool]:
+    """Per-example head correctness — the outcome vector the tests above
+    consume (abstentions count as wrong, matching HeadEvalResult)."""
+    outcomes = []
+    for example in examples:
+        detection = detector.detect(example.query)
+        outcomes.append(detection.head == example.gold.head)
+    return outcomes

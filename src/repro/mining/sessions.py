@@ -1,0 +1,146 @@
+"""Session-reformulation mining.
+
+Within a session, users edit their queries: dropping a modifier and being
+satisfied means it was negligible (a preference); adding one back after an
+underspecified query means it was needed (a constraint). This is a second,
+click-free source of the same droppability signal the click-based features
+use — the paper's log offered both, and a deployed system can combine
+them.
+
+:class:`ReformulationMiner` diffs consecutive queries of each session at
+the segment level and aggregates per-phrase *dropped* / *added* counts;
+:class:`SessionConstraintClassifier` turns those into a standalone
+constraint detector (evaluated against the click-based classifier in the
+R6 benchmark).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.querylog.models import QueryLog
+from repro.text.lexicon import Lexicon, default_lexicon
+from repro.utils.mathx import safe_div
+
+
+@dataclass
+class ReformulationEvidence:
+    """Per-phrase counts of session edits.
+
+    ``dropped[p]``: sessions where the user removed ``p`` and moved on;
+    ``added[p]``: sessions where the user added ``p`` to refine a query.
+    """
+
+    dropped: Counter = field(default_factory=Counter)
+    added: Counter = field(default_factory=Counter)
+
+    @property
+    def num_phrases(self) -> int:
+        """Number of distinct phrases with any edit evidence."""
+        return len(set(self.dropped) | set(self.added))
+
+    def droppability(self, phrase: str, smoothing: float = 1.0) -> float | None:
+        """P(phrase is droppable) from session edits; ``None`` without
+        evidence. Smoothed toward 0.5."""
+        drops = self.dropped.get(phrase, 0)
+        adds = self.added.get(phrase, 0)
+        if drops + adds == 0:
+            return None
+        return (drops + smoothing * 0.5) / (drops + adds + smoothing)
+
+    def merge(self, other: "ReformulationEvidence") -> None:
+        """Accumulate another evidence table into this one."""
+        self.dropped.update(other.dropped)
+        self.added.update(other.added)
+
+
+class ReformulationMiner:
+    """Extracts per-phrase edit evidence from session reformulations."""
+
+    def __init__(self, lexicon: Lexicon | None = None, max_diff_tokens: int = 3) -> None:
+        self._lexicon = lexicon or default_lexicon()
+        self._max_diff_tokens = max_diff_tokens
+
+    def mine(self, log: QueryLog) -> ReformulationEvidence:
+        """Aggregate edits over every session of ``log``."""
+        evidence = ReformulationEvidence()
+        for session in log.sessions():
+            for earlier, later in session.reformulation_pairs():
+                self._record_edit(evidence, earlier, later)
+        return evidence
+
+    def _record_edit(
+        self, evidence: ReformulationEvidence, earlier: str, later: str
+    ) -> None:
+        """Classify one reformulation as a drop, an addition, or neither.
+
+        Only pure subset edits count — rewrites that change other tokens
+        are ambiguous and ignored.
+        """
+        earlier_tokens = earlier.split()
+        later_tokens = later.split()
+        removed = _contiguous_difference(earlier_tokens, later_tokens)
+        if removed is not None and len(removed) <= self._max_diff_tokens:
+            evidence.dropped[" ".join(removed)] += 1
+            return
+        added = _contiguous_difference(later_tokens, earlier_tokens)
+        if added is not None and len(added) <= self._max_diff_tokens:
+            evidence.added[" ".join(added)] += 1
+
+
+def _contiguous_difference(longer: list[str], shorter: list[str]) -> list[str] | None:
+    """Tokens removed from ``longer`` to obtain ``shorter``, when the edit
+    is exactly one contiguous deletion; ``None`` otherwise."""
+    extra = len(longer) - len(shorter)
+    if extra <= 0:
+        return None
+    for start in range(len(longer) - extra + 1):
+        if longer[:start] + longer[start + extra :] == shorter:
+            return longer[start : start + extra]
+    return None
+
+
+class SessionConstraintClassifier:
+    """Constraint detection from session evidence alone.
+
+    A modifier with session evidence is a constraint iff users tend to
+    add it rather than drop it; without evidence it falls back to the
+    subjectivity lexicon. Exists to quantify how far reformulations alone
+    go (R6) — the trained classifier combines this signal with clicks.
+    """
+
+    def __init__(
+        self,
+        evidence: ReformulationEvidence,
+        threshold: float = 0.5,
+        lexicon: Lexicon | None = None,
+    ) -> None:
+        if not 0 < threshold < 1:
+            raise ValueError("threshold must be in (0, 1)")
+        self._evidence = evidence
+        self._threshold = threshold
+        self._lexicon = lexicon or default_lexicon()
+
+    def constraint_probability(self, query: str, modifier: str) -> float:
+        """P(constraint) from session edits, lexicon fallback."""
+        droppability = self._evidence.droppability(modifier)
+        if droppability is not None:
+            return 1.0 - droppability
+        words = modifier.split()
+        subjective = all(
+            self._lexicon.is_subjective(w) or w in self._lexicon.intent_verbs
+            for w in words
+        )
+        return 0.0 if subjective else 1.0
+
+    def is_constraint(self, query: str, modifier: str) -> bool:
+        """Whether session evidence marks ``modifier`` as a constraint."""
+        return self.constraint_probability(query, modifier) >= self._threshold
+
+    def coverage(self, modifiers: list[str]) -> float:
+        """Fraction of modifiers with direct session evidence."""
+        with_evidence = sum(
+            1 for m in modifiers if self._evidence.droppability(m) is not None
+        )
+        return safe_div(with_evidence, len(modifiers))

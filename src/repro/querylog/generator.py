@@ -1,0 +1,456 @@
+"""Generative search-log model.
+
+Latent *intents* are sampled from the taxonomy's ground-truth concept
+patterns and rendered into query surfaces, click histograms, and sessions.
+See the package docstring for the invariants the click model guarantees.
+
+Everything is deterministic given ``LogConfig.seed``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.errors import QueryLogError
+from repro.querylog.models import GoldLabel, GoldModifier, QueryLog, SessionRecord
+from repro.querylog.urls import result_urls
+from repro.taxonomy.seed_data import PatternSeed, pattern_seeds
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.taxonomy.typicality import TypicalityScorer
+from repro.text.lexicon import INTENT_VERBS, SUBJECTIVE_MODIFIERS
+from repro.utils.mathx import zipf_weights
+from repro.utils.randx import rng_from_seed, stable_hash, weighted_choice
+
+#: Connector word used when rendering "head CONNECTOR modifier" surfaces.
+_PLACE_CONCEPTS = frozenset({"city", "country"})
+
+_SUBJECTIVE = tuple(sorted(SUBJECTIVE_MODIFIERS))
+_VERBS = tuple(sorted(INTENT_VERBS))
+
+_NOISE_QUERIES = (
+    "facebook login", "gmail", "youtube", "weather", "maps", "news",
+    "craigslist", "translate", "calculator", "ebay", "netflix", "amazon",
+)
+
+
+@dataclass(frozen=True)
+class LogConfig:
+    """Knobs of the log generator.
+
+    The defaults produce a log of ~10-40k distinct queries (depending on
+    ``num_intents``) whose shape matches the regularities the paper's
+    miners rely on; individual probabilities are exposed so tests and
+    ablations can switch phenomena off.
+    """
+
+    seed: int = 13
+    num_intents: int = 4000
+    volume_per_intent: float = 12.0
+    zipf_exponent: float = 0.9
+    subjective_prob: float = 0.3
+    intent_verb_prob: float = 0.08
+    connector_prob: float = 0.25
+    #: Probability of also emitting a head-first surface ("hotels rome").
+    reversed_prob: float = 0.12
+    second_modifier_prob: float = 0.12
+    #: Concepts whose modifiers are only *sometimes* constraints; their
+    #: flag is sampled per intent. These make constraint detection harder
+    #: than a lexicon lookup, as in real logs.
+    weak_constraint_concepts: frozenset[str] = frozenset({"color", "year"})
+    weak_constraint_prob: float = 0.5
+    head_only_factor: float = 0.7
+    modifier_only_factor: float = 0.4
+    session_prob: float = 0.25
+    noise_volume: int = 400
+    click_rate: float = 0.65
+    #: Fraction of each query's clicks diverted to unrelated URLs
+    #: (misclicks, bots, result-page noise). 0 = clean log.
+    click_noise: float = 0.0
+    domains: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_intents <= 0:
+            raise QueryLogError("num_intents must be positive")
+        for name in (
+            "subjective_prob", "intent_verb_prob", "connector_prob",
+            "reversed_prob", "second_modifier_prob", "weak_constraint_prob",
+            "session_prob", "click_noise",
+        ):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise QueryLogError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class _Intent:
+    """One latent intent with its sampled volume."""
+
+    head: str
+    head_concept: str
+    domain: str
+    modifiers: list[GoldModifier] = field(default_factory=list)
+    frequency: int = 1
+
+    @property
+    def constraints(self) -> tuple[str, ...]:
+        return tuple(m.surface for m in self.modifiers if m.is_constraint)
+
+    def urls(self) -> list[str]:
+        return result_urls(self.head, self.head_concept, self.constraints)
+
+
+class QueryLogGenerator:
+    """Renders sampled intents into a :class:`QueryLog`."""
+
+    def __init__(
+        self,
+        taxonomy: ConceptTaxonomy,
+        config: LogConfig | None = None,
+        patterns: tuple[PatternSeed, ...] | None = None,
+    ) -> None:
+        self._taxonomy = taxonomy
+        self._typicality = TypicalityScorer(taxonomy)
+        self._config = config or LogConfig()
+        pats = patterns if patterns is not None else pattern_seeds()
+        if self._config.domains is not None:
+            allowed = set(self._config.domains)
+            pats = tuple(p for p in pats if p.domain in allowed)
+        if not pats:
+            raise QueryLogError("no concept patterns available for generation")
+        self._patterns = pats
+        self._pattern_weights = [p.weight for p in pats]
+        # (concept -> sorted instance distribution), cached for sampling.
+        self._instance_cache: dict[str, tuple[list[str], list[float]]] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self) -> QueryLog:
+        """Produce the full log: intent queries, standalone sub-queries,
+        sessions, and background noise."""
+        cfg = self._config
+        rng = rng_from_seed(cfg.seed, "querylog")
+        intents = self._sample_intents(rng)
+        surfaces: list[tuple[str, int, dict[str, int], GoldLabel]] = []
+        sessions: list[SessionRecord] = []
+        head_usage: Counter[tuple[str, str]] = Counter()
+        modifier_usage: Counter[str] = Counter()
+
+        for intent in intents:
+            head_usage[(intent.head, intent.head_concept)] += intent.frequency
+            for modifier in intent.modifiers:
+                if modifier.concept is not None:
+                    modifier_usage[modifier.surface] += intent.frequency
+            surfaces.extend(self._render_intent(rng, intent))
+            session, extra_surfaces = self._maybe_session(rng, intent, len(sessions))
+            if session is not None:
+                sessions.append(session)
+                surfaces.extend(extra_surfaces)
+
+        surfaces.extend(self._standalone_heads(rng, head_usage))
+        surfaces.extend(self._standalone_modifiers(rng, modifier_usage))
+        surfaces.extend(self._noise(rng))
+
+        log = QueryLog()
+        # Highest-volume surface first so gold-label collisions resolve to
+        # the dominant intent.
+        for query, freq, clicks, gold in sorted(
+            surfaces, key=lambda s: (-s[1], s[0])
+        ):
+            log.add_record(query, freq, clicks, gold=gold)
+        for session in sessions:
+            log.add_session(session)
+        return log
+
+    # ------------------------------------------------------------------
+    # intent sampling
+    # ------------------------------------------------------------------
+    def _sample_intents(self, rng: Random) -> list[_Intent]:
+        cfg = self._config
+        volumes = zipf_weights(cfg.num_intents, cfg.zipf_exponent)
+        total_volume = cfg.num_intents * cfg.volume_per_intent
+        intents: list[_Intent] = []
+        attempts = 0
+        while len(intents) < cfg.num_intents and attempts < cfg.num_intents * 20:
+            attempts += 1
+            intent = self._sample_one_intent(rng)
+            if intent is None:
+                continue
+            intent.frequency = max(1, round(total_volume * volumes[len(intents)]))
+            intents.append(intent)
+        if len(intents) < cfg.num_intents:
+            raise QueryLogError(
+                "could not sample enough intents; taxonomy too small for config"
+            )
+        return intents
+
+    def _sample_one_intent(self, rng: Random) -> _Intent | None:
+        cfg = self._config
+        pattern = weighted_choice(rng, self._patterns, self._pattern_weights)
+        head = self._sample_instance(rng, pattern.head_concept)
+        modifier = self._sample_instance(rng, pattern.modifier_concept)
+        if head is None or modifier is None or head == modifier:
+            return None
+        intent = _Intent(head=head, head_concept=pattern.head_concept, domain=pattern.domain)
+        intent.modifiers.append(
+            self._make_modifier(rng, modifier, pattern.modifier_concept)
+        )
+        if rng.random() < cfg.second_modifier_prob:
+            extra = self._sample_second_modifier(rng, pattern, {head, modifier})
+            if extra is not None:
+                intent.modifiers.append(extra)
+        if rng.random() < cfg.subjective_prob:
+            adjective = rng.choice(_SUBJECTIVE)
+            if adjective not in {head, modifier}:
+                intent.modifiers.insert(
+                    0, GoldModifier(adjective, is_constraint=False, concept=None)
+                )
+        return intent
+
+    def _make_modifier(self, rng: Random, surface: str, concept: str) -> GoldModifier:
+        cfg = self._config
+        is_constraint = True
+        if concept in cfg.weak_constraint_concepts:
+            # Deterministic per instance: e.g. users at large treat "black"
+            # as a preference but "2013" as a requirement. Instance-level
+            # droppability evidence in the log can therefore learn it.
+            roll = stable_hash("weak-constraint", surface) % 1000
+            is_constraint = roll >= cfg.weak_constraint_prob * 1000
+        return GoldModifier(surface, is_constraint=is_constraint, concept=concept)
+
+    def _sample_second_modifier(
+        self, rng: Random, pattern: PatternSeed, taken: set[str]
+    ) -> GoldModifier | None:
+        """A second modifier drawn from another pattern with the same head
+        concept ("nurse jobs" + "seattle" → "nurse jobs in seattle")."""
+        candidates = [
+            p
+            for p in self._patterns
+            if p.head_concept == pattern.head_concept
+            and p.modifier_concept != pattern.modifier_concept
+        ]
+        if not candidates:
+            return None
+        other = weighted_choice(rng, candidates, [p.weight for p in candidates])
+        surface = self._sample_instance(rng, other.modifier_concept)
+        if surface is None or surface in taken:
+            return None
+        return self._make_modifier(rng, surface, other.modifier_concept)
+
+    def _sample_instance(self, rng: Random, concept: str) -> str | None:
+        if concept not in self._instance_cache:
+            dist = sorted(self._typicality.instance_distribution(concept).items())
+            self._instance_cache[concept] = (
+                [k for k, _ in dist],
+                [v for _, v in dist],
+            )
+        instances, weights = self._instance_cache[concept]
+        if not instances:
+            return None
+        return weighted_choice(rng, instances, weights)
+
+    # ------------------------------------------------------------------
+    # surface rendering
+    # ------------------------------------------------------------------
+    def _render_intent(
+        self, rng: Random, intent: _Intent
+    ) -> list[tuple[str, int, dict[str, int], GoldLabel]]:
+        """Render an intent into 1-3 surface variants with split volume."""
+        cfg = self._config
+        variants: list[tuple[str, float, tuple[GoldModifier, ...]]] = []
+
+        concept_mods = [m for m in intent.modifiers if m.concept is not None]
+        lexical_mods = [m for m in intent.modifiers if m.concept is None]
+
+        base_tokens = [m.surface for m in lexical_mods + concept_mods] + [intent.head]
+        all_mods = tuple(lexical_mods + concept_mods)
+        variants.append((" ".join(base_tokens), 0.6, all_mods))
+
+        if concept_mods and rng.random() < cfg.reversed_prob:
+            # Head-first keyword order ("hotels rome", "movies 2013"):
+            # common in real logs and adversarial for positional rules.
+            reversed_tokens = [intent.head] + [m.surface for m in concept_mods]
+            variants.append((" ".join(reversed_tokens), 0.15, tuple(concept_mods)))
+        if concept_mods and rng.random() < cfg.connector_prob:
+            variants.append(
+                (self._connector_surface(intent, concept_mods), 0.25, tuple(concept_mods))
+            )
+        if lexical_mods:
+            stripped = [m.surface for m in concept_mods] + [intent.head]
+            variants.append((" ".join(stripped), 0.15, tuple(concept_mods)))
+        if rng.random() < cfg.intent_verb_prob:
+            verb = rng.choice(_VERBS)
+            verb_mod = GoldModifier(verb, is_constraint=False, concept=None)
+            variants.append(
+                (f"{verb} {' '.join(base_tokens)}", 0.1, (verb_mod,) + all_mods)
+            )
+
+        total_weight = sum(w for _, w, _ in variants)
+        rendered = []
+        for surface, weight, mods in variants:
+            freq = max(1, round(intent.frequency * weight / total_weight))
+            clicks = self._sample_clicks(rng, intent.urls(), freq)
+            gold = GoldLabel(
+                head=intent.head,
+                modifiers=mods,
+                domain=intent.domain,
+                head_concept=intent.head_concept,
+            )
+            rendered.append((surface, freq, clicks, gold))
+        return rendered
+
+    def _connector_surface(self, intent: _Intent, concept_mods: list[GoldModifier]) -> str:
+        """"case for iphone 5s" / "hotels in rome" style surface."""
+        first, *rest = concept_mods
+        connector = "in" if first.concept in _PLACE_CONCEPTS else "for"
+        prefix = " ".join(m.surface for m in rest)
+        head_part = f"{prefix} {intent.head}".strip()
+        return f"{head_part} {connector} {first.surface}"
+
+    def _sample_clicks(self, rng: Random, urls: list[str], freq: int) -> dict[str, int]:
+        """Expected click counts over the result URLs (largest remainder).
+
+        Deterministic proportional allocation, not per-click sampling: the
+        paper's log aggregates millions of impressions, so click
+        histograms are dense — two queries with the same result set must
+        have near-identical histograms even at low volume.
+        """
+        total = round(freq * self._config.click_rate)
+        if total <= 0:
+            return {}
+        noise_clicks = round(total * self._config.click_noise)
+        total -= noise_clicks
+        weights = zipf_weights(len(urls), 1.2)
+        floors = [int(total * w) for w in weights]
+        remainders = [total * w - f for w, f in zip(weights, floors)]
+        leftover = total - sum(floors)
+        for index in sorted(
+            range(len(urls)), key=lambda i: -remainders[i]
+        )[:leftover]:
+            floors[index] += 1
+        clicks = {url: count for url, count in zip(urls, floors) if count > 0}
+        for _ in range(noise_clicks):
+            # Misclicks land on a small pool of popular off-topic pages
+            # (portals, ads), shared across queries — correlated noise is
+            # what actually hurts similarity-based mining; uniform noise
+            # is orthogonal to everything and cosine ignores it.
+            noise_url = f"https://portal{rng.randrange(40)}.example.org/home"
+            clicks[noise_url] = clicks.get(noise_url, 0) + 1
+        return clicks
+
+    # ------------------------------------------------------------------
+    # standalone sub-queries, sessions, noise
+    # ------------------------------------------------------------------
+    def _standalone_heads(
+        self, rng: Random, usage: Counter[tuple[str, str]]
+    ) -> list[tuple[str, int, dict[str, int], GoldLabel]]:
+        cfg = self._config
+        out = []
+        for (head, concept), volume in usage.items():
+            freq = max(1, round(volume * cfg.head_only_factor))
+            urls = result_urls(head, concept, ())
+            clicks = self._sample_clicks(rng, urls, freq)
+            domain = self._taxonomy.domain_of(concept) or "general"
+            gold = GoldLabel(head=head, modifiers=(), domain=domain, head_concept=concept)
+            out.append((head, freq, clicks, gold))
+        return out
+
+    def _standalone_modifiers(
+        self, rng: Random, usage: Counter[str]
+    ) -> list[tuple[str, int, dict[str, int], GoldLabel]]:
+        cfg = self._config
+        out = []
+        for surface, volume in usage.items():
+            top = self._typicality.top_concepts(surface, 1)
+            if not top:
+                continue
+            concept = top[0][0]
+            freq = max(1, round(volume * cfg.modifier_only_factor))
+            urls = result_urls(surface, concept, ())
+            clicks = self._sample_clicks(rng, urls, freq)
+            domain = self._taxonomy.domain_of(concept) or "general"
+            gold = GoldLabel(head=surface, modifiers=(), domain=domain, head_concept=concept)
+            out.append((surface, freq, clicks, gold))
+        return out
+
+    def _maybe_session(
+        self, rng: Random, intent: _Intent, session_index: int
+    ) -> tuple[SessionRecord | None, list]:
+        """One reformulation session for this intent, plus log records for
+        any session query the rendered variants did not already cover.
+
+        Users drop *non-constraint* modifiers (subjective or weak concept
+        modifiers) and stay satisfied; for constraint-only intents they
+        start underspecified and add the constraint back.
+        """
+        if rng.random() >= self._config.session_prob:
+            return None, []
+        session_id = f"s{session_index:06d}"
+        ordered = self._ordered_modifiers(intent)
+        full = " ".join([m.surface for m in ordered] + [intent.head])
+        droppable = [m for m in ordered if not m.is_constraint]
+        if droppable:
+            dropped = droppable[0]
+            remaining = [m for m in ordered if m is not dropped]
+            reduced = " ".join([m.surface for m in remaining] + [intent.head])
+            session = SessionRecord(session_id, (full, reduced))
+            extra = [self._session_surface(rng, intent, remaining, reduced)]
+            return session, extra
+        if ordered:
+            # All modifiers are constraints: underspecify, then refine.
+            dropped = ordered[0]
+            remaining = [m for m in ordered if m is not dropped]
+            under = " ".join([m.surface for m in remaining] + [intent.head])
+            session = SessionRecord(session_id, (under, full))
+            extra = [self._session_surface(rng, intent, remaining, under)]
+            return session, extra
+        return None, []
+
+    def _ordered_modifiers(self, intent: _Intent) -> list[GoldModifier]:
+        """Modifiers in surface order (lexical first, as rendered)."""
+        lexical = [m for m in intent.modifiers if m.concept is None]
+        concept = [m for m in intent.modifiers if m.concept is not None]
+        return lexical + concept
+
+    def _session_surface(
+        self,
+        rng: Random,
+        intent: _Intent,
+        modifiers: list[GoldModifier],
+        query: str,
+    ) -> tuple[str, int, dict[str, int], GoldLabel]:
+        """A low-volume record for a session query (users did issue it)."""
+        constraints = tuple(m.surface for m in modifiers if m.is_constraint)
+        urls = result_urls(intent.head, intent.head_concept, constraints)
+        freq = max(1, round(intent.frequency * 0.05))
+        clicks = self._sample_clicks(rng, urls, freq)
+        gold = GoldLabel(
+            head=intent.head,
+            modifiers=tuple(modifiers),
+            domain=intent.domain,
+            head_concept=intent.head_concept,
+        )
+        return query, freq, clicks, gold
+
+    def _noise(self, rng: Random) -> list[tuple[str, int, dict[str, int], GoldLabel]]:
+        cfg = self._config
+        if cfg.noise_volume <= 0:
+            return []
+        out = []
+        per_query = max(1, cfg.noise_volume // len(_NOISE_QUERIES))
+        for query in _NOISE_QUERIES:
+            url = f"https://www.{query.split()[0]}.com/"
+            freq = max(1, round(per_query * (0.5 + rng.random())))
+            out.append((query, freq, {url: round(freq * cfg.click_rate)}, None))
+        return out
+
+
+def generate_log(
+    taxonomy: ConceptTaxonomy,
+    config: LogConfig | None = None,
+    patterns: tuple[PatternSeed, ...] | None = None,
+) -> QueryLog:
+    """Convenience wrapper: build a generator and run it once."""
+    return QueryLogGenerator(taxonomy, config, patterns).generate()

@@ -1,0 +1,173 @@
+"""Aggregate statistics over a query log.
+
+These are the observable signals mining and the constraint features build
+on: click-distribution similarity at two granularities, term document
+frequencies, standalone-query probabilities, and click dispersion.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Mapping
+
+from repro.querylog.models import QueryLog
+from repro.querylog.urls import url_host_path
+from repro.utils.mathx import entropy, safe_div
+
+
+def click_similarity(a: Mapping[str, int], b: Mapping[str, int]) -> float:
+    """Cosine similarity between two clicked-URL histograms.
+
+    Full-URL granularity: high only when two queries land users on the
+    same *result pages* — the signal that tells constraints apart from
+    droppable modifiers.
+    """
+    return _cosine(a, b)
+
+
+def host_path_similarity(a: Mapping[str, int], b: Mapping[str, int]) -> float:
+    """Cosine similarity after collapsing URLs to host+path.
+
+    Host+path identifies *what the page is about* regardless of result
+    specialization, so a query and its head-only sub-query score high here
+    even when their full URLs differ.
+    """
+    return _cosine(_collapse(a), _collapse(b))
+
+
+def _collapse(clicks: Mapping[str, int]) -> Counter[str]:
+    collapsed: Counter[str] = Counter()
+    for url, count in clicks.items():
+        collapsed[url_host_path(url)] += count
+    return collapsed
+
+
+def _cosine(a: Mapping[str, int], b: Mapping[str, int]) -> float:
+    if not a or not b:
+        return 0.0
+    dot = sum(count * b.get(url, 0) for url, count in a.items())
+    norm_a = math.sqrt(sum(c * c for c in a.values()))
+    norm_b = math.sqrt(sum(c * c for c in b.values()))
+    return safe_div(dot, norm_a * norm_b)
+
+
+class LogStatistics:
+    """Precomputed per-term and per-query statistics over one log.
+
+    Construction is a single pass; lookups are O(1). Everything here uses
+    only the observable log interface (never gold labels).
+    """
+
+    def __init__(self, log: QueryLog) -> None:
+        self._log = log
+        self._term_query_freq: Counter[str] = Counter()
+        self._term_volume: Counter[str] = Counter()
+        self._total_volume = 0
+        for record in log.records():
+            self._total_volume += record.frequency
+            seen = set(record.tokens)
+            for term in seen:
+                self._term_query_freq[term] += 1
+            for term in record.tokens:
+                self._term_volume[term] += record.frequency
+        self._num_queries = log.num_queries
+
+    @property
+    def log(self) -> QueryLog:
+        """The underlying query log."""
+        return self._log
+
+    @property
+    def total_volume(self) -> int:
+        """Total query volume of the log."""
+        return self._total_volume
+
+    # ------------------------------------------------------------------
+    # term statistics
+    # ------------------------------------------------------------------
+    def term_idf(self, term: str) -> float:
+        """Smoothed inverse query frequency of a single token."""
+        df = self._term_query_freq.get(term, 0)
+        return math.log((self._num_queries + 1) / (df + 1)) + 1.0
+
+    def phrase_idf(self, phrase: str) -> float:
+        """Mean token IDF of a (possibly multi-token) phrase."""
+        tokens = phrase.split()
+        if not tokens:
+            return 0.0
+        return sum(self.term_idf(t) for t in tokens) / len(tokens)
+
+    def term_volume(self, term: str) -> int:
+        """Total query volume containing the token."""
+        return self._term_volume.get(term, 0)
+
+    # ------------------------------------------------------------------
+    # query statistics
+    # ------------------------------------------------------------------
+    def standalone_probability(self, phrase: str) -> float:
+        """P(a random log query is exactly this phrase).
+
+        The statistical baseline scores head candidates with this: heads
+        are things people also search for on their own.
+        """
+        record = self._log.lookup(phrase)
+        if record is None:
+            return 0.0
+        return safe_div(record.frequency, self._total_volume)
+
+    def click_entropy(self, query: str) -> float:
+        """Entropy (nats) of a query's click distribution; 0 when unknown.
+
+        Navigational queries have near-zero entropy; ambiguous ones spread
+        clicks across unrelated hosts.
+        """
+        record = self._log.lookup(query)
+        if record is None or not record.clicks:
+            return 0.0
+        return entropy(record.clicks.values())
+
+    def drop_similarity(self, query: str, without: str) -> float | None:
+        """Full-URL click similarity between ``query`` and ``query`` with
+        the segment ``without`` removed.
+
+        Returns ``None`` when the reduced query is absent from the log (no
+        evidence either way). High values mean the removed segment did not
+        change what users clicked — i.e. it was not a constraint.
+        """
+        record = self._log.lookup(query)
+        if record is None:
+            return None
+        reduced = _remove_segment(query, without)
+        if reduced is None:
+            return None
+        reduced_record = self._log.lookup(reduced)
+        if reduced_record is None:
+            return None
+        return click_similarity(record.clicks, reduced_record.clicks)
+
+    def subquery_support(self, query: str, part: str) -> tuple[float, float] | None:
+        """(host-path similarity, standalone probability) of ``part`` as a
+        sub-query of ``query``; ``None`` when ``part`` is not in the log."""
+        record = self._log.lookup(query)
+        part_record = self._log.lookup(part)
+        if record is None or part_record is None:
+            return None
+        return (
+            host_path_similarity(record.clicks, part_record.clicks),
+            self.standalone_probability(part),
+        )
+
+
+def _remove_segment(query: str, segment: str) -> str | None:
+    """Remove one occurrence of a (token-aligned) segment from a query."""
+    tokens = query.split()
+    seg_tokens = segment.split()
+    n = len(seg_tokens)
+    if n == 0 or n >= len(tokens):
+        return None
+    for start in range(len(tokens) - n + 1):
+        if tokens[start : start + n] == seg_tokens:
+            remaining = tokens[:start] + tokens[start + n :]
+            return " ".join(remaining)
+    return None

@@ -1,0 +1,158 @@
+"""Query-log persistence (JSON-lines, optionally gzipped).
+
+One JSON object per line with a ``kind`` discriminator::
+
+    {"kind": "meta", "version": 1}
+    {"kind": "query", "q": "...", "f": 12, "clicks": {"url": 3}}
+    {"kind": "gold", "q": "...", "head": "...", "mods": [["best", false, null]], "domain": "..."}
+    {"kind": "session", "id": "s1", "queries": ["a", "b"]}
+
+Gold records are separate lines so a "mining-only" consumer can skip them
+entirely — mirroring that the paper's miners never see labels.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import IO
+
+from repro.errors import QueryLogError
+from repro.querylog.models import GoldLabel, GoldModifier, QueryLog, SessionRecord
+
+_VERSION = 1
+
+
+def save_query_log(log: QueryLog, path: str | Path, include_gold: bool = True) -> None:
+    """Write ``log`` to ``path`` (gzip when the suffix is ``.gz``)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        with _open(tmp, "wt", gz=path.suffix == ".gz") as out:
+            out.write(json.dumps({"kind": "meta", "version": _VERSION}) + "\n")
+            for record in log.records():
+                out.write(
+                    json.dumps(
+                        {
+                            "kind": "query",
+                            "q": record.query,
+                            "f": record.frequency,
+                            "clicks": dict(record.clicks),
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            if include_gold:
+                for query, gold in log.gold_labels.items():
+                    out.write(json.dumps(_gold_to_json(query, gold), sort_keys=True) + "\n")
+            for session in log.sessions():
+                out.write(
+                    json.dumps(
+                        {
+                            "kind": "session",
+                            "id": session.session_id,
+                            "queries": list(session.queries),
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def load_query_log(path: str | Path, include_gold: bool = True) -> QueryLog:
+    """Read a log written by :func:`save_query_log`.
+
+    Raises :class:`QueryLogError` for any malformed or truncated file
+    (including a corrupt gzip stream); low-level IO errors other than
+    "file not found" never escape.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        return _load_query_log(path, include_gold)
+    except (EOFError, OSError, UnicodeDecodeError) as exc:
+        raise QueryLogError(f"{path}: unreadable log file ({exc})") from exc
+
+
+def _load_query_log(path: Path, include_gold: bool) -> QueryLog:
+    log = QueryLog()
+    gold_rows: list[tuple[str, GoldLabel]] = []
+    with _open(path, "rt", gz=path.suffix == ".gz") as handle:
+        first = handle.readline()
+        meta = _parse_line(first, path, 1)
+        if meta.get("kind") != "meta" or meta.get("version") != _VERSION:
+            raise QueryLogError(f"{path}: unsupported log header {first!r}")
+        for line_no, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            obj = _parse_line(line, path, line_no)
+            kind = obj.get("kind")
+            try:
+                if kind == "query":
+                    log.add_record(obj["q"], obj["f"], obj["clicks"])
+                elif kind == "gold":
+                    if include_gold:
+                        gold_rows.append((obj["q"], _gold_from_json(obj)))
+                elif kind == "session":
+                    log.add_session(SessionRecord(obj["id"], tuple(obj["queries"])))
+                else:
+                    raise QueryLogError(
+                        f"{path}:{line_no}: unknown record kind {kind!r}"
+                    )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise QueryLogError(
+                    f"{path}:{line_no}: malformed {kind!r} record"
+                ) from exc
+    for query, gold in gold_rows:
+        if log.lookup(query) is not None:
+            log.attach_gold(query, gold)
+    return log
+
+
+def _gold_to_json(query: str, gold: GoldLabel) -> dict:
+    return {
+        "kind": "gold",
+        "q": query,
+        "head": gold.head,
+        "head_concept": gold.head_concept,
+        "mods": [[m.surface, m.is_constraint, m.concept] for m in gold.modifiers],
+        "domain": gold.domain,
+    }
+
+
+def _gold_from_json(obj: dict) -> GoldLabel:
+    return GoldLabel(
+        head=obj["head"],
+        modifiers=tuple(
+            GoldModifier(surface, is_constraint=bool(flag), concept=concept)
+            for surface, flag, concept in obj["mods"]
+        ),
+        domain=obj["domain"],
+        head_concept=obj.get("head_concept"),
+    )
+
+
+def _parse_line(line: str, path: Path, line_no: int) -> dict:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise QueryLogError(f"{path}:{line_no}: invalid JSON") from exc
+    if not isinstance(obj, dict):
+        raise QueryLogError(f"{path}:{line_no}: expected an object")
+    return obj
+
+
+def _open(path: Path, mode: str, gz: bool) -> IO[str]:
+    if gz:
+        return gzip.open(path, mode, encoding="utf-8")
+    return open(path, mode, encoding="utf-8")

@@ -1,0 +1,60 @@
+"""Synthetic result-URL model.
+
+URLs encode the semantics the click model needs:
+
+- **host** is derived from the head's *concept* (result pages about phone
+  accessories live on one site, about hotels on another);
+- **path** is the head *instance* (the page is about that thing);
+- **query string** lists the intent's *constraint* modifiers, sorted (the
+  page is specialized to them);
+- non-constraint modifiers do not appear anywhere.
+
+So two queries share full URLs iff they share head + constraints, and they
+share host+path iff they share the head — the two granularities the miners
+compare at.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.utils.randx import stable_hash
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+#: Number of distinct result URLs per intent (top search results).
+RESULTS_PER_INTENT = 3
+
+
+def slugify(text: str) -> str:
+    """Lowercase URL-safe slug of a term."""
+    return _SLUG_RE.sub("-", text.lower()).strip("-")
+
+
+def intent_base_url(head: str, head_concept: str, constraints: tuple[str, ...]) -> str:
+    """Deterministic landing-page URL for an intent."""
+    host = f"{slugify(head_concept)}.example.com"
+    path = slugify(head)
+    base = f"https://{host}/{path}"
+    if constraints:
+        params = "+".join(slugify(c) for c in sorted(constraints))
+        base = f"{base}?c={params}"
+    return base
+
+
+def result_urls(head: str, head_concept: str, constraints: tuple[str, ...]) -> list[str]:
+    """The top-``RESULTS_PER_INTENT`` result URLs for an intent.
+
+    Rank suffixes are derived from a stable hash so different intents do
+    not accidentally share URLs.
+    """
+    base = intent_base_url(head, head_concept, constraints)
+    token = stable_hash(base) % 100_000
+    return [f"{base}&r={token + rank}" if "?" in base else f"{base}?r={token + rank}"
+            for rank in range(RESULTS_PER_INTENT)]
+
+
+def url_host_path(url: str) -> str:
+    """Strip scheme and query string: the "what page is this about" key."""
+    without_scheme = url.split("://", 1)[-1]
+    return without_scheme.split("?", 1)[0]

@@ -1,0 +1,108 @@
+"""Construct :class:`ConceptTaxonomy` objects.
+
+Two build paths, matching how Probase-style taxonomies come to exist:
+
+- :func:`build_from_seed` — materialize the curated seed directly with
+  Zipf-shaped counts (fast; used by most of the pipeline and tests).
+- :func:`build_from_corpus` — run Hearst extraction over raw sentences and
+  count the observations (the full Probase path; exercised by tests and the
+  ``taxonomy_from_text`` example).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.hearst import HearstExtraction, extract_isa_pairs
+from repro.taxonomy.seed_data import ConceptSeed, concept_seeds
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.utils.mathx import zipf_weights
+
+
+class TaxonomyBuilder:
+    """Accumulates isA observations and produces a cleaned taxonomy."""
+
+    def __init__(self) -> None:
+        self._counts: dict[tuple[str, str], float] = {}
+        self._domains: dict[str, str] = {}
+
+    def add(self, instance: str, concept: str, count: float = 1.0) -> None:
+        """Record ``count`` observations of ``instance isA concept``."""
+        if count <= 0:
+            raise TaxonomyError("observation count must be positive")
+        key = (instance, concept)
+        self._counts[key] = self._counts.get(key, 0.0) + count
+
+    def add_extraction(self, extraction: HearstExtraction) -> None:
+        """Record one Hearst extraction (counts as a single observation)."""
+        self.add(extraction.instance, extraction.concept)
+
+    def set_domain(self, concept: str, domain: str) -> None:
+        """Attach a domain label to a concept."""
+        self._domains[concept] = domain
+
+    @property
+    def num_observations(self) -> float:
+        """Total observations accumulated so far."""
+        return sum(self._counts.values())
+
+    def build(self, min_count: float = 1.0) -> ConceptTaxonomy:
+        """Produce the taxonomy, dropping edges observed fewer than
+        ``min_count`` times (extraction-noise cleaning)."""
+        taxonomy = ConceptTaxonomy()
+        for (instance, concept), count in self._counts.items():
+            if count >= min_count:
+                taxonomy.add_edge(
+                    instance, concept, count, domain=self._domains.get(concept)
+                )
+        return taxonomy
+
+
+def build_from_seed(
+    seeds: tuple[ConceptSeed, ...] | None = None,
+    base_count: float = 1000.0,
+    zipf_exponent: float = 0.8,
+    include_hierarchy: bool = True,
+) -> ConceptTaxonomy:
+    """Materialize the seed knowledge base with rank-based Zipf counts.
+
+    The most popular instance of each concept gets roughly
+    ``base_count * w_1`` observations and the tail decays as a power law,
+    mimicking the count distribution of a web-scale extraction.
+
+    With ``include_hierarchy`` the concept hierarchy is materialized the
+    Probase way: each concept becomes an *instance* of its super-concept
+    in the same network.
+    """
+    seeds = seeds if seeds is not None else concept_seeds()
+    taxonomy = ConceptTaxonomy()
+    for seed in seeds:
+        weights = zipf_weights(len(seed.instances), zipf_exponent)
+        for instance, weight in zip(seed.instances, weights):
+            count = max(1.0, round(base_count * weight))
+            taxonomy.add_edge(instance, seed.concept, count, domain=seed.domain)
+    if include_hierarchy and seeds is concept_seeds():
+        from repro.taxonomy.seed_data import super_concept_seeds
+
+        for concept, parent in super_concept_seeds():
+            taxonomy.add_edge(concept, parent, base_count * 0.8, domain="general")
+    return taxonomy
+
+
+def build_from_corpus(
+    sentences: Iterable[str],
+    min_count: float = 2.0,
+    domains: dict[str, str] | None = None,
+) -> ConceptTaxonomy:
+    """Run Hearst extraction over ``sentences`` and count the results.
+
+    ``min_count`` drops hapax extractions, which in real corpora are
+    dominated by pattern misfires.
+    """
+    builder = TaxonomyBuilder()
+    for extraction in extract_isa_pairs(sentences):
+        builder.add_extraction(extraction)
+    for concept, domain in (domains or {}).items():
+        builder.set_domain(concept, domain)
+    return builder.build(min_count=min_count)

@@ -1,0 +1,104 @@
+"""Synthetic web-corpus generator.
+
+Probase's input was web text; ours is this generator. It renders the seed
+knowledge base into English sentences that instantiate Hearst patterns, with
+Zipf-shaped mention frequencies (popular instances are mentioned more, so
+extraction counts — and therefore typicality — follow popularity), plus
+pattern-free filler sentences so the extractor runs against realistic noise.
+
+Running :func:`repro.taxonomy.hearst.extract_isa_pairs` over this corpus and
+counting the results reconstructs (a noisy version of) the seed taxonomy —
+the same build path Probase used, end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.text.inflect import pluralize
+from repro.taxonomy.seed_data import ConceptSeed, concept_seeds
+from repro.utils.randx import rng_from_seed, weighted_choice
+from repro.utils.mathx import zipf_weights
+
+_TEMPLATES = (
+    "{plural} such as {ilist} are popular this year",
+    "many people prefer {plural} such as {ilist}",
+    "such {plural} as {ilist} can be found online",
+    "{ilist} and other {plural} are widely reviewed",
+    "{ilist} or other {plural} may suit you better",
+    "popular {plural} including {ilist} sell out quickly",
+    "{plural} like {ilist} dominate the market",
+    "{instance} is a {concept} that many people recommend",
+)
+
+_FILLER = (
+    "the weather was pleasant for most of the week",
+    "prices rose slightly compared to last month",
+    "experts disagree about what happens next",
+    "the store opens at nine and closes at six",
+    "shipping is free for orders over fifty dollars",
+    "the event was postponed because of the rain",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusConfig:
+    """Knobs for corpus generation.
+
+    ``sentences_per_concept`` scales extraction counts; ``zipf_exponent``
+    controls how skewed instance popularity is (1.0 ≈ web text);
+    ``filler_ratio`` is the fraction of pattern-free sentences mixed in.
+    """
+
+    seed: int = 7
+    sentences_per_concept: int = 120
+    zipf_exponent: float = 1.0
+    filler_ratio: float = 0.3
+    max_instances_per_sentence: int = 3
+
+    def __post_init__(self) -> None:
+        if self.sentences_per_concept <= 0:
+            raise ValueError("sentences_per_concept must be positive")
+        if not 0 <= self.filler_ratio < 1:
+            raise ValueError("filler_ratio must be in [0, 1)")
+        if self.max_instances_per_sentence <= 0:
+            raise ValueError("max_instances_per_sentence must be positive")
+
+
+def generate_corpus(
+    config: CorpusConfig | None = None,
+    seeds: tuple[ConceptSeed, ...] | None = None,
+) -> Iterator[str]:
+    """Yield synthetic web sentences for the given concept seeds."""
+    config = config or CorpusConfig()
+    seeds = seeds if seeds is not None else concept_seeds()
+    rng = rng_from_seed(config.seed, "corpus")
+    for concept_seed in seeds:
+        weights = zipf_weights(len(concept_seed.instances), config.zipf_exponent)
+        for _ in range(config.sentences_per_concept):
+            if rng.random() < config.filler_ratio:
+                yield rng.choice(_FILLER)
+            yield _render_sentence(rng, concept_seed, weights, config)
+
+
+def _render_sentence(rng, concept_seed: ConceptSeed, weights, config: CorpusConfig) -> str:
+    template = rng.choice(_TEMPLATES)
+    if "{instance}" in template:
+        instance = weighted_choice(rng, concept_seed.instances, weights)
+        return template.format(instance=instance, concept=concept_seed.concept)
+    n = rng.randint(2, config.max_instances_per_sentence)
+    chosen: list[str] = []
+    for _ in range(n):
+        pick = weighted_choice(rng, concept_seed.instances, weights)
+        if pick not in chosen:
+            chosen.append(pick)
+    ilist = _join_list(chosen)
+    return template.format(plural=pluralize(concept_seed.concept), ilist=ilist)
+
+
+def _join_list(items: list[str]) -> str:
+    """Render an instance list the way web text writes enumerations."""
+    if len(items) == 1:
+        return items[0]
+    return ", ".join(items[:-1]) + " and " + items[-1]

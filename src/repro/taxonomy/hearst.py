@@ -1,0 +1,220 @@
+"""Hearst-pattern isA extraction.
+
+Probase was built by running Hearst patterns ("NP such as NP, NP and NP")
+over web text at scale. This module is that extractor: it consumes raw
+sentences and yields ``(instance, concept)`` observations; the taxonomy
+builder counts repeated observations into edge weights.
+
+Patterns supported (concept position marked ``C``, instances ``I``):
+
+==============  =============================================
+name            example
+==============  =============================================
+``such_as``     "C such as I, I and I"
+``such_np_as``  "such C as I and I"
+``and_other``   "I, I and other C"
+``or_other``    "I or other C"
+``including``   "C including I and I"
+``especially``  "C especially I"
+``like``        "C like I and I"
+``is_a``        "I is a C"
+==============  =============================================
+
+Because the patterns are regular expressions over free text, the raw
+captures carry surrounding sentence context ("many people prefer
+smartphones such as ..."). The cleaning pass trims captures at *boundary
+words* (be-forms, modals, common verbs) and strips leading determiners and
+evaluative adjectives — the shallow-NP approximation large-scale extraction
+systems actually use.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.text.inflect import singularize
+from repro.text.lexicon import STOPWORDS, default_lexicon
+
+#: A concept mention: one to three words, no digits (concept names are
+#: class nouns, not model numbers).
+_CONCEPT = r"(?P<concept>[a-z]+(?: [a-z]+){0,2})"
+#: An instance list: words/numbers separated by commas / "and" / "or".
+_ILIST = (
+    r"(?P<instances>[a-z0-9$%.'][a-z0-9$%.' ]*"
+    r"(?:, [a-z0-9$%.' ]+)*(?: (?:and|or) [a-z0-9$%.' ]+)?)"
+)
+
+#: (pattern name, regex, concept position relative to the instance list).
+#: An optional comma is tolerated before each trigger ("cities, such as").
+_PATTERNS: tuple[tuple[str, re.Pattern[str], str], ...] = (
+    ("such_as", re.compile(rf"{_CONCEPT},? such as {_ILIST}"), "before"),
+    ("such_np_as", re.compile(rf"such {_CONCEPT} as {_ILIST}"), "before"),
+    ("and_other", re.compile(rf"{_ILIST},? and other {_CONCEPT}"), "after"),
+    ("or_other", re.compile(rf"{_ILIST},? or other {_CONCEPT}"), "after"),
+    ("including", re.compile(rf"{_CONCEPT},? including {_ILIST}"), "before"),
+    ("especially", re.compile(rf"{_CONCEPT},? especially {_ILIST}"), "before"),
+    ("like", re.compile(rf"{_CONCEPT},? like {_ILIST}"), "before"),
+    (
+        "is_a",
+        re.compile(r"(?P<instances>[a-z0-9$%.' ]+?) is an? (?P<concept>[a-z]+(?: [a-z]+){0,2})"),
+        "after",
+    ),
+)
+
+_LIST_SPLIT = re.compile(r", | and | or ")
+
+#: Words that terminate an NP capture: be-forms, modals, frequent verbs.
+_BOUNDARY_WORDS = frozenset(
+    """
+    is are was were be been being am
+    can could will would may might shall should must
+    prefer prefers sell sells sold dominate dominates recommend
+    recommends suit suits remain remains become becomes seem seems
+    offer offers include includes provide provides
+    """.split()
+)
+
+#: Upper bound on instance length; longer spans are list-parse noise.
+_MAX_INSTANCE_TOKENS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class HearstExtraction:
+    """One extracted isA observation."""
+
+    instance: str
+    concept: str
+    pattern: str
+
+
+def extract_isa_pairs(sentences: Iterable[str]) -> Iterator[HearstExtraction]:
+    """Run all Hearst patterns over ``sentences``.
+
+    Sentences are normalized first; extraction is case/punctuation
+    insensitive. The same (instance, concept) pair may be yielded many
+    times — counting duplicates is the builder's job, because repeated
+    observation is exactly what the edge weights mean.
+    """
+    for sentence in sentences:
+        yield from extract_from_sentence(sentence)
+
+
+_HEARST_STRIP_RE = re.compile(r"[^\w\s,$%.']", re.UNICODE)
+_WS_RE = re.compile(r"\s+")
+_COMMA_RE = re.compile(r"\s*,\s*")
+
+
+def _normalize_for_extraction(sentence: str) -> str:
+    """Like :func:`repro.text.normalizer.normalize` but keeps commas —
+    Hearst list boundaries live in the punctuation."""
+    import unicodedata
+
+    text = unicodedata.normalize("NFKC", sentence).lower()
+    text = re.sub(r"[-–—_/]+", " ", text)
+    text = _HEARST_STRIP_RE.sub(" ", text)
+    text = _COMMA_RE.sub(", ", text)
+    return _WS_RE.sub(" ", text).strip()
+
+
+def extract_from_sentence(sentence: str) -> Iterator[HearstExtraction]:
+    """Extractions from one sentence (several patterns may match)."""
+    norm = _normalize_for_extraction(sentence)
+    for name, pattern, position in _PATTERNS:
+        for match in pattern.finditer(norm):
+            concept = _clean_concept(match.group("concept"), position)
+            if concept is None:
+                continue
+            elements = _LIST_SPLIT.split(match.group("instances"))
+            for index, raw in enumerate(elements):
+                instance = _clean_instance(
+                    raw, index == 0, index == len(elements) - 1, position
+                )
+                if instance is not None and instance != concept:
+                    yield HearstExtraction(instance, concept, name)
+
+
+def _clean_concept(raw: str, position: str) -> str | None:
+    """Trim sentence context from a concept capture and singularize it.
+
+    ``position`` is where the concept sits relative to the instance list:
+    ``"before"`` captures may carry a *leading* clause ("people prefer
+    smartphones"), ``"after"`` captures a *trailing* one ("smartphones that
+    many people recommend" is prevented by the boundary cut).
+    """
+    words = raw.split()
+    if position == "before":
+        words = _after_last_boundary(words)
+    else:
+        words = _before_first_boundary(words)
+        words = _strip_trailing_context(words)
+    words = _strip_leading_context(words)
+    if not words or len(words) > 3:
+        return None
+    return singularize(" ".join(words))
+
+
+def _clean_instance(
+    raw: str, is_first: bool, is_last: bool, position: str
+) -> str | None:
+    """Trim one element of an instance list.
+
+    The last element may run into the rest of the sentence. The first may
+    carry the clause preceding the pattern — but *only* in patterns whose
+    instance list comes before the trigger (``position == "after"``); in
+    "C such as I..." patterns the list starts right at the trigger, so
+    leading words are part of the name ("the beatles"). "the" is never
+    stripped: titled names keep it, as Probase does.
+    """
+    words = raw.strip().split()
+    # Trailing context first: a single-element list carries both kinds of
+    # context, and a boundary word in the tail must not anchor the
+    # leading cut ("iphone 5s are widely reviewed").
+    if is_last:
+        words = _before_first_boundary(words)
+    if is_first and position == "after":
+        words = _after_last_boundary(words)
+        while words and words[0] in STOPWORDS and words[0] != "the":
+            words = words[1:]
+    if not words or len(words) > _MAX_INSTANCE_TOKENS:
+        return None
+    return " ".join(words)
+
+
+def _after_last_boundary(words: list[str]) -> list[str]:
+    for i in range(len(words) - 1, -1, -1):
+        if words[i] in _BOUNDARY_WORDS:
+            return words[i + 1 :]
+    return words
+
+
+def _before_first_boundary(words: list[str]) -> list[str]:
+    # Position 0 is exempt: an element may legitimately *be* a word that
+    # doubles as a verb elsewhere ("download", "watch").
+    for i in range(1, len(words)):
+        if words[i] in _BOUNDARY_WORDS:
+            return words[:i]
+    return words
+
+
+def _strip_leading_context(words: list[str]) -> list[str]:
+    """Drop leading determiners/quantifiers/evaluative adjectives."""
+    lexicon = default_lexicon()
+    skip = {"many", "most", "some", "few", "several", "other", "various", "all"}
+    while words and (
+        words[0] in lexicon.determiners
+        or words[0] in lexicon.subjective
+        or words[0] in skip
+    ):
+        words = words[1:]
+    return words
+
+
+def _strip_trailing_context(words: list[str]) -> list[str]:
+    """Drop a trailing relative-clause opener ("that", "which", "who")."""
+    openers = {"that", "which", "who", "where", "when"}
+    for i, word in enumerate(words):
+        if word in openers:
+            return words[:i]
+    return words

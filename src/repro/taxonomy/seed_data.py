@@ -1,0 +1,753 @@
+"""Curated multi-domain isA seed knowledge base.
+
+This stands in for Probase (the paper's taxonomy, built from billions of web
+pages). It is small enough to audit by eye but structured like the real
+thing: multi-word instances, Zipf-shaped popularity (the builder assigns
+rank-based counts), deliberately ambiguous instances ("apple", "kindle",
+"polo"), and per-domain concept-pair priors that the intent sampler uses to
+generate realistic queries.
+
+Two kinds of records:
+
+- :class:`ConceptSeed` — a concept and its instances, ordered by intended
+  popularity (rank 0 = most popular).
+- :class:`PatternSeed` — a (modifier concept → head concept) pair with a
+  prior weight; the query-log generator samples intents from these, and the
+  mined concept patterns should recover them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cache
+
+
+@dataclass(frozen=True, slots=True)
+class ConceptSeed:
+    """A concept with its instance list (most popular first)."""
+
+    concept: str
+    domain: str
+    instances: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PatternSeed:
+    """A ground-truth concept-level head-modifier pattern.
+
+    ``weight`` is the relative frequency with which the intent sampler uses
+    this pattern inside its domain.
+    """
+
+    modifier_concept: str
+    head_concept: str
+    domain: str
+    weight: float = 1.0
+
+
+_CONCEPTS: tuple[ConceptSeed, ...] = (
+    # ------------------------------------------------------------------
+    # electronics
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "smartphone",
+        "electronics",
+        (
+            "iphone 5s", "galaxy s4", "iphone 5", "iphone 4s", "galaxy s3",
+            "galaxy note 3", "nexus 5", "lumia 920", "htc one", "moto x",
+            "xperia z1", "blackberry z10", "galaxy note 2", "nexus 4",
+            "lumia 1020", "iphone 5c", "droid maxx", "lg g2", "oneplus one",
+            "galaxy mega",
+        ),
+    ),
+    ConceptSeed(
+        "laptop",
+        "electronics",
+        (
+            "macbook pro", "macbook air", "thinkpad x230", "dell xps 13",
+            "chromebook pixel", "surface pro", "hp envy 15", "asus zenbook",
+            "acer aspire s7", "toshiba satellite", "lenovo yoga",
+            "dell inspiron 15", "alienware 14", "samsung ativ book",
+            "vaio pro 13",
+        ),
+    ),
+    ConceptSeed(
+        "tablet",
+        "electronics",
+        (
+            "ipad air", "ipad mini", "kindle fire", "nexus 7", "galaxy tab 3",
+            "surface rt", "nook hd", "kindle", "ipad 2", "xperia tablet z",
+        ),
+    ),
+    ConceptSeed(
+        "camera",
+        "electronics",
+        (
+            "canon eos 70d", "nikon d5300", "gopro hero 3", "sony a7",
+            "canon rebel t5i", "nikon d3200", "fujifilm x100s",
+            "panasonic lumix gh3", "olympus om d", "canon powershot s120",
+        ),
+    ),
+    ConceptSeed(
+        "phone accessory",
+        "electronics",
+        (
+            "case", "charger", "screen protector", "smart cover", "battery",
+            "headphones", "car mount", "armband", "stylus", "dock",
+            "bluetooth headset", "cable", "flip cover", "power bank",
+            "belt clip", "earbuds", "lens kit", "holster", "car charger",
+            "wallet case",
+        ),
+    ),
+    ConceptSeed(
+        "computer accessory",
+        "electronics",
+        (
+            "sleeve", "docking station", "keyboard", "mouse", "adapter",
+            "cooling pad", "laptop bag", "usb hub", "external battery",
+            "privacy screen", "trackball", "webcam", "laptop stand",
+            "carrying case", "port replicator",
+        ),
+    ),
+    ConceptSeed(
+        "electronics brand",
+        "electronics",
+        (
+            "apple", "samsung", "sony", "nokia", "htc", "lg", "motorola",
+            "blackberry", "asus", "acer", "lenovo", "dell", "toshiba",
+            "panasonic", "canon", "nikon", "microsoft", "google",
+        ),
+    ),
+    ConceptSeed(
+        "product information",
+        "electronics",
+        (
+            "review", "price", "specs", "manual", "warranty", "release date",
+            "comparison", "unboxing", "firmware update", "user guide",
+            "troubleshooting", "battery life",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # travel
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "city",
+        "travel",
+        (
+            "new york", "london", "paris", "rome", "tokyo", "barcelona",
+            "san francisco", "las vegas", "chicago", "amsterdam", "berlin",
+            "sydney", "miami", "seattle", "boston", "venice", "dubai",
+            "hong kong", "istanbul", "prague", "vienna", "lisbon", "madrid",
+            "austin", "denver", "phoenix", "orlando", "honolulu",
+            "new orleans", "washington dc",
+        ),
+    ),
+    ConceptSeed(
+        "country",
+        "travel",
+        (
+            "italy", "france", "spain", "japan", "thailand", "mexico",
+            "greece", "portugal", "ireland", "iceland", "croatia", "peru",
+            "morocco", "vietnam", "turkey", "egypt", "brazil", "india",
+        ),
+    ),
+    ConceptSeed(
+        "lodging",
+        "travel",
+        (
+            "hotels", "hostels", "resorts", "bed and breakfast",
+            "vacation rentals", "apartments", "motels", "guest houses",
+            "boutique hotels", "campsites", "villas", "inns",
+        ),
+    ),
+    ConceptSeed(
+        "attraction",
+        "travel",
+        (
+            "museums", "beaches", "parks", "landmarks", "tours",
+            "walking tours", "day trips", "nightlife", "markets", "zoos",
+            "aquariums", "castles", "gardens", "churches",
+        ),
+    ),
+    ConceptSeed(
+        "travel service",
+        "travel",
+        (
+            "flights", "car rental", "airport shuttle", "travel guide",
+            "weather", "map", "itinerary", "travel insurance", "visa",
+            "currency exchange", "train tickets", "city pass",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # autos
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "car model",
+        "autos",
+        (
+            "honda civic", "toyota camry", "ford focus", "toyota corolla",
+            "honda accord", "ford f150", "chevy silverado", "vw golf",
+            "nissan altima", "jeep wrangler", "subaru outback", "mazda 3",
+            "hyundai elantra", "bmw 3 series", "audi a4", "vw polo",
+            "dodge ram", "kia optima", "mini cooper", "tesla model s",
+        ),
+    ),
+    ConceptSeed(
+        "car brand",
+        "autos",
+        (
+            "toyota", "honda", "ford", "chevrolet", "bmw", "audi",
+            "volkswagen", "nissan", "hyundai", "jeep", "subaru", "mazda",
+            "kia", "volvo", "jaguar", "porsche", "lexus", "tesla",
+        ),
+    ),
+    ConceptSeed(
+        "auto part",
+        "autos",
+        (
+            "brake pads", "oil filter", "tires", "battery", "headlights",
+            "spark plugs", "alternator", "windshield wipers", "air filter",
+            "radiator", "floor mats", "timing belt", "fuel pump", "muffler",
+            "catalytic converter", "shock absorbers", "tail lights",
+            "side mirrors",
+        ),
+    ),
+    ConceptSeed(
+        "auto service",
+        "autos",
+        (
+            "oil change", "repair", "maintenance schedule", "recall",
+            "insurance", "lease deals", "towing", "inspection",
+            "transmission repair", "detailing", "alignment", "tune up",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # food
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "dish",
+        "food",
+        (
+            "pizza", "lasagna", "sushi", "tacos", "pad thai", "ramen",
+            "burgers", "pancakes", "risotto", "paella", "curry", "pho",
+            "dumplings", "falafel", "meatloaf", "chili", "gumbo",
+            "mac and cheese", "fried rice", "enchiladas",
+        ),
+    ),
+    ConceptSeed(
+        "ingredient",
+        "food",
+        (
+            "chicken", "salmon", "tofu", "quinoa", "avocado", "eggplant",
+            "mushrooms", "shrimp", "kale", "lentils", "chickpeas",
+            "sweet potato", "ground beef", "zucchini", "spinach", "apple",
+            "banana", "pumpkin",
+        ),
+    ),
+    ConceptSeed(
+        "diet",
+        "food",
+        (
+            "vegan", "vegetarian", "gluten free", "keto", "paleo",
+            "low carb", "dairy free", "whole30", "mediterranean",
+            "low sodium",
+        ),
+    ),
+    ConceptSeed(
+        "food resource",
+        "food",
+        (
+            "recipe", "recipes", "calories", "nutrition facts",
+            "cooking time", "ingredients list", "meal plan", "substitutes",
+            "side dishes", "marinade", "leftovers ideas",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # media
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "actor",
+        "media",
+        (
+            "tom hanks", "jennifer lawrence", "brad pitt", "meryl streep",
+            "leonardo dicaprio", "sandra bullock", "johnny depp",
+            "will smith", "julia roberts", "denzel washington",
+            "scarlett johansson", "robert downey jr", "emma stone",
+            "morgan freeman", "anne hathaway", "matt damon",
+        ),
+    ),
+    ConceptSeed(
+        "tv show",
+        "media",
+        (
+            "breaking bad", "game of thrones", "the walking dead", "homeland",
+            "house of cards", "downton abbey", "mad men", "sherlock",
+            "big bang theory", "doctor who", "true detective", "dexter",
+        ),
+    ),
+    ConceptSeed(
+        "band",
+        "media",
+        (
+            "the beatles", "coldplay", "radiohead", "u2", "daft punk",
+            "arcade fire", "imagine dragons", "the rolling stones",
+            "pink floyd", "nirvana", "metallica", "pearl jam",
+        ),
+    ),
+    ConceptSeed(
+        "media resource",
+        "media",
+        (
+            "movies", "episodes", "soundtrack", "cast", "trailer",
+            "season finale", "filmography", "albums", "lyrics", "tour dates",
+            "box office", "quotes", "songs", "discography",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # jobs
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "profession",
+        "jobs",
+        (
+            "nurse", "software engineer", "teacher", "accountant",
+            "electrician", "graphic designer", "data analyst", "paralegal",
+            "pharmacist", "physical therapist", "welder", "dental hygienist",
+            "project manager", "truck driver", "chef", "social worker",
+        ),
+    ),
+    ConceptSeed(
+        "job resource",
+        "jobs",
+        (
+            "jobs", "salary", "resume", "interview questions",
+            "cover letter", "certification", "training", "internships",
+            "job description", "career path", "openings", "apprenticeship",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "medical condition",
+        "health",
+        (
+            "diabetes", "asthma", "migraine", "arthritis", "hypertension",
+            "allergies", "insomnia", "anemia", "bronchitis", "eczema",
+            "gout", "vertigo", "shingles", "anxiety", "heartburn",
+            "sciatica",
+        ),
+    ),
+    ConceptSeed(
+        "health resource",
+        "health",
+        (
+            "symptoms", "treatment", "diet", "medication", "causes",
+            "home remedies", "prevention", "diagnosis", "exercises",
+            "side effects", "pain relief", "specialist",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # fashion
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "clothing item",
+        "fashion",
+        (
+            "dress", "jacket", "jeans", "boots", "sneakers", "handbag",
+            "scarf", "coat", "sweater", "skirt", "blazer", "polo",
+            "leggings", "sandals", "watch", "sunglasses", "backpack",
+            "raincoat",
+        ),
+    ),
+    ConceptSeed(
+        "fashion brand",
+        "fashion",
+        (
+            "nike", "adidas", "zara", "gucci", "prada", "levis",
+            "ralph lauren", "north face", "uniqlo", "burberry", "coach",
+            "puma", "timberland", "lululemon",
+        ),
+    ),
+    ConceptSeed(
+        "fashion resource",
+        "fashion",
+        (
+            "outfits", "size chart", "sale", "outlet", "lookbook",
+            "new arrivals", "gift ideas", "styles", "trends",
+            "care instructions",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # software
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "application",
+        "software",
+        (
+            "photoshop", "excel", "autocad", "itunes", "chrome", "skype",
+            "spotify", "minecraft", "dropbox", "evernote", "quickbooks",
+            "illustrator", "outlook", "vlc", "whatsapp", "instagram",
+        ),
+    ),
+    ConceptSeed(
+        "operating system",
+        "software",
+        (
+            "windows 8", "windows 7", "os x mavericks", "ubuntu", "android",
+            "ios 7", "windows xp", "debian", "fedora", "chrome os",
+        ),
+    ),
+    ConceptSeed(
+        "programming language",
+        "software",
+        (
+            "python", "java", "javascript", "ruby", "php", "scala",
+            "haskell", "perl", "go", "swift", "objective c", "clojure",
+        ),
+    ),
+    ConceptSeed(
+        "software resource",
+        "software",
+        (
+            "tutorial", "download", "shortcuts", "plugins", "license",
+            "update", "alternatives", "documentation", "templates",
+            "keyboard shortcuts", "cheat sheet", "system requirements",
+            "error codes", "drivers",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # sports
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "sports team",
+        "sports",
+        (
+            "lakers", "yankees", "real madrid", "manchester united",
+            "patriots", "red sox", "barcelona fc", "cowboys", "celtics",
+            "packers", "bulls", "dodgers", "seahawks", "heat", "broncos",
+            "giants",
+        ),
+    ),
+    ConceptSeed(
+        "sport",
+        "sports",
+        (
+            "tennis", "golf", "yoga", "running", "cycling", "swimming",
+            "basketball", "soccer", "baseball", "skiing", "snowboarding",
+            "surfing", "boxing", "climbing",
+        ),
+    ),
+    ConceptSeed(
+        "sports resource",
+        "sports",
+        (
+            "tickets", "schedule", "roster", "jersey", "scores",
+            "standings", "highlights", "trade rumors", "injury report",
+            "draft picks",
+        ),
+    ),
+    ConceptSeed(
+        "sports equipment",
+        "sports",
+        (
+            "racket", "clubs", "mat", "shoes", "helmet", "gloves",
+            "goggles", "wetsuit", "skis", "board", "rope", "balls",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # gaming
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "console",
+        "gaming",
+        (
+            "ps4", "xbox one", "ps3", "xbox 360", "wii u", "nintendo 3ds",
+            "psp", "wii", "ps vita", "sega genesis",
+        ),
+    ),
+    ConceptSeed(
+        "video game",
+        "gaming",
+        (
+            "minecraft", "gta 5", "skyrim", "fifa 14", "call of duty ghosts",
+            "candy crush", "halo 4", "the last of us", "portal 2",
+            "mario kart", "tetris", "battlefield 4", "assassins creed 4",
+            "pokemon x",
+        ),
+    ),
+    ConceptSeed(
+        "gaming accessory",
+        "gaming",
+        (
+            "controller", "gaming headset", "memory card", "charging station",
+            "steering wheel", "gamepad", "console stand", "carry bag",
+            "av cable", "skin sticker",
+        ),
+    ),
+    ConceptSeed(
+        "game resource",
+        "gaming",
+        (
+            "cheats", "walkthrough", "mods", "dlc", "achievements",
+            "gameplay", "save file", "patch notes", "trophies", "tips",
+            "multiplayer maps", "easter eggs",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # books
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "author",
+        "books",
+        (
+            "stephen king", "j k rowling", "george r r martin",
+            "agatha christie", "dan brown", "ernest hemingway",
+            "jane austen", "mark twain", "haruki murakami", "john grisham",
+            "neil gaiman", "terry pratchett",
+        ),
+    ),
+    ConceptSeed(
+        "book resource",
+        "books",
+        (
+            "books", "novels", "quotes", "biography", "reading order",
+            "audiobooks", "box set", "first editions", "short stories",
+            "new releases", "signed copies",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # pets
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "dog breed",
+        "pets",
+        (
+            "labrador", "golden retriever", "german shepherd", "poodle",
+            "bulldog", "beagle", "chihuahua", "husky", "dachshund",
+            "corgi", "pug", "border collie", "rottweiler",
+        ),
+    ),
+    ConceptSeed(
+        "pet resource",
+        "pets",
+        (
+            "puppies", "training", "grooming", "temperament", "food",
+            "rescue", "breeders", "names", "shedding", "lifespan",
+            "health problems", "adoption",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # home
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "appliance",
+        "home",
+        (
+            "dishwasher", "refrigerator", "washing machine", "dryer",
+            "microwave", "oven", "vacuum cleaner", "air conditioner",
+            "water heater", "freezer", "coffee maker", "toaster",
+        ),
+    ),
+    ConceptSeed(
+        "appliance part",
+        "home",
+        (
+            "door seal", "filter", "drain pump", "heating element",
+            "thermostat", "drum belt", "compressor", "control board",
+            "hose", "gasket", "shelf", "knob",
+        ),
+    ),
+    # ------------------------------------------------------------------
+    # cross-domain concepts
+    # ------------------------------------------------------------------
+    ConceptSeed(
+        "fruit",
+        "food",
+        (
+            "apple", "banana", "orange", "mango", "strawberry", "pineapple",
+            "watermelon", "grape", "peach", "kiwi", "blueberry", "pear",
+        ),
+    ),
+    ConceptSeed(
+        "year",
+        "general",
+        ("2013", "2014", "2012", "2011", "2010", "2009", "2008"),
+    ),
+    ConceptSeed(
+        "color",
+        "general",
+        (
+            "black", "white", "red", "blue", "green", "pink", "silver",
+            "gold", "purple", "navy", "gray",
+        ),
+    ),
+)
+
+_PATTERNS: tuple[PatternSeed, ...] = (
+    # electronics: device/brand modifies accessory or info head
+    PatternSeed("smartphone", "phone accessory", "electronics", 3.0),
+    PatternSeed("smartphone", "product information", "electronics", 2.0),
+    PatternSeed("laptop", "computer accessory", "electronics", 2.0),
+    PatternSeed("laptop", "product information", "electronics", 1.5),
+    PatternSeed("tablet", "phone accessory", "electronics", 1.0),
+    PatternSeed("tablet", "product information", "electronics", 1.0),
+    PatternSeed("camera", "product information", "electronics", 1.0),
+    PatternSeed("electronics brand", "smartphone", "electronics", 1.0),
+    PatternSeed("electronics brand", "laptop", "electronics", 0.8),
+    PatternSeed("color", "phone accessory", "electronics", 0.6),
+    PatternSeed("year", "smartphone", "electronics", 0.4),
+    # travel: place modifies lodging/attraction/service head
+    PatternSeed("city", "lodging", "travel", 3.0),
+    PatternSeed("city", "attraction", "travel", 2.0),
+    PatternSeed("city", "travel service", "travel", 1.5),
+    PatternSeed("country", "lodging", "travel", 1.0),
+    PatternSeed("country", "attraction", "travel", 1.0),
+    PatternSeed("country", "travel service", "travel", 0.8),
+    # autos
+    PatternSeed("car model", "auto part", "autos", 3.0),
+    PatternSeed("car model", "auto service", "autos", 1.5),
+    PatternSeed("car brand", "auto part", "autos", 1.0),
+    PatternSeed("car brand", "car model", "autos", 0.8),
+    PatternSeed("year", "car model", "autos", 0.8),
+    # food
+    PatternSeed("dish", "food resource", "food", 3.0),
+    PatternSeed("ingredient", "food resource", "food", 2.0),
+    PatternSeed("diet", "food resource", "food", 1.5),
+    PatternSeed("ingredient", "dish", "food", 1.0),
+    PatternSeed("diet", "dish", "food", 1.0),
+    # media
+    PatternSeed("actor", "media resource", "media", 2.5),
+    PatternSeed("tv show", "media resource", "media", 2.0),
+    PatternSeed("band", "media resource", "media", 2.0),
+    PatternSeed("year", "media resource", "media", 0.8),
+    # jobs
+    PatternSeed("profession", "job resource", "jobs", 3.0),
+    PatternSeed("city", "job resource", "jobs", 1.0),
+    # health
+    PatternSeed("medical condition", "health resource", "health", 3.0),
+    # fashion
+    PatternSeed("fashion brand", "clothing item", "fashion", 2.5),
+    PatternSeed("fashion brand", "fashion resource", "fashion", 1.5),
+    PatternSeed("clothing item", "fashion resource", "fashion", 1.0),
+    PatternSeed("color", "clothing item", "fashion", 1.0),
+    # software
+    PatternSeed("application", "software resource", "software", 3.0),
+    PatternSeed("operating system", "software resource", "software", 2.0),
+    PatternSeed("programming language", "software resource", "software", 2.0),
+    # sports
+    PatternSeed("sports team", "sports resource", "sports", 3.0),
+    PatternSeed("sport", "sports equipment", "sports", 2.0),
+    PatternSeed("sport", "sports resource", "sports", 1.0),
+    # gaming
+    PatternSeed("console", "gaming accessory", "gaming", 2.5),
+    PatternSeed("console", "video game", "gaming", 2.0),
+    PatternSeed("video game", "game resource", "gaming", 3.0),
+    PatternSeed("console", "product information", "gaming", 0.8),
+    # books
+    PatternSeed("author", "book resource", "books", 3.0),
+    PatternSeed("year", "book resource", "books", 0.5),
+    # pets
+    PatternSeed("dog breed", "pet resource", "pets", 3.0),
+    # home
+    PatternSeed("appliance", "appliance part", "home", 3.0),
+    PatternSeed("appliance", "product information", "home", 1.2),
+)
+
+
+#: The concept hierarchy: (concept, super-concept). In Probase, concepts
+#: are themselves instances of higher concepts in the same network; these
+#: edges are materialized exactly that way by the builder, enabling
+#: hierarchy-backoff generalization (experiment A4).
+_SUPER_CONCEPTS: tuple[tuple[str, str], ...] = (
+    ("smartphone", "device"),
+    ("laptop", "device"),
+    ("tablet", "device"),
+    ("camera", "device"),
+    ("phone accessory", "accessory"),
+    ("computer accessory", "accessory"),
+    ("gaming accessory", "accessory"),
+    ("console", "device"),
+    ("appliance", "device"),
+    ("auto part", "part"),
+    ("appliance part", "part"),
+    ("city", "place"),
+    ("country", "place"),
+    ("electronics brand", "brand"),
+    ("car brand", "brand"),
+    ("fashion brand", "brand"),
+    ("dish", "food"),
+    ("ingredient", "food"),
+    ("product information", "information resource"),
+    ("food resource", "information resource"),
+    ("media resource", "information resource"),
+    ("job resource", "information resource"),
+    ("health resource", "information resource"),
+    ("software resource", "information resource"),
+    ("sports resource", "information resource"),
+    ("fashion resource", "information resource"),
+    ("travel service", "information resource"),
+    ("game resource", "information resource"),
+    ("book resource", "information resource"),
+    ("pet resource", "information resource"),
+    # Multiple parents are allowed (Probase concepts typically have many):
+    # the "product" layer cross-cuts the device/vehicle/media split.
+    ("smartphone", "product"),
+    ("laptop", "product"),
+    ("tablet", "product"),
+    ("camera", "product"),
+    ("console", "product"),
+    ("appliance", "product"),
+    ("car model", "product"),
+    ("clothing item", "product"),
+    ("video game", "product"),
+    ("application", "product"),
+)
+
+
+@cache
+def super_concept_seeds() -> tuple[tuple[str, str], ...]:
+    """Validated (concept, super-concept) pairs."""
+    names = {seed.concept for seed in concept_seeds()}
+    for concept, parent in _SUPER_CONCEPTS:
+        if concept not in names:
+            raise ValueError(f"super-concept edge references unknown concept: {concept}")
+        if parent in names:
+            raise ValueError(f"super-concept {parent} collides with a base concept")
+    return _SUPER_CONCEPTS
+
+
+@cache
+def concept_seeds() -> tuple[ConceptSeed, ...]:
+    """All concept seeds, validated once on first access."""
+    seen = set()
+    for seed in _CONCEPTS:
+        if seed.concept in seen:
+            raise ValueError(f"duplicate concept seed: {seed.concept}")
+        seen.add(seed.concept)
+        if not seed.instances:
+            raise ValueError(f"concept seed {seed.concept} has no instances")
+    return _CONCEPTS
+
+
+@cache
+def pattern_seeds() -> tuple[PatternSeed, ...]:
+    """All ground-truth concept patterns, validated against the concepts."""
+    names = {seed.concept for seed in concept_seeds()}
+    for pattern in _PATTERNS:
+        for concept in (pattern.modifier_concept, pattern.head_concept):
+            if concept not in names:
+                raise ValueError(f"pattern references unknown concept: {concept}")
+        if pattern.weight <= 0:
+            raise ValueError("pattern weight must be positive")
+    return _PATTERNS
+
+
+def all_domains() -> tuple[str, ...]:
+    """Sorted distinct domains appearing in the pattern seeds."""
+    return tuple(sorted({p.domain for p in pattern_seeds()}))
+
+
+def seeds_for_domain(domain: str) -> tuple[PatternSeed, ...]:
+    """Pattern seeds restricted to one domain."""
+    return tuple(p for p in pattern_seeds() if p.domain == domain)

@@ -1,0 +1,102 @@
+"""TSV persistence for taxonomies.
+
+Format (one record per line, tab-separated), chosen to match how isA data
+is customarily shipped (Probase's public release is a similar TSV):
+
+.. code-block:: text
+
+    # repro-taxonomy v1
+    domain<TAB>concept<TAB>domain-name
+    edge<TAB>instance<TAB>concept<TAB>count
+
+Writes are atomic (temp file + rename) so a crashed run never leaves a
+truncated taxonomy behind.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import tempfile
+from pathlib import Path
+from typing import IO
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.store import ConceptTaxonomy
+
+_HEADER = "# repro-taxonomy v1"
+
+
+def save_taxonomy_tsv(taxonomy: ConceptTaxonomy, path: str | Path) -> None:
+    """Write ``taxonomy`` to ``path`` (gzip when the suffix is ``.gz``)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        with _open_write(tmp, gz=path.suffix == ".gz") as out:
+            out.write(_HEADER + "\n")
+            for concept in sorted(taxonomy.iter_concepts()):
+                domain = taxonomy.domain_of(concept)
+                if domain:
+                    out.write(f"domain\t{concept}\t{domain}\n")
+            for instance, concept, count in sorted(taxonomy.iter_edges()):
+                # repr() gives the shortest float string that round-trips.
+                out.write(f"edge\t{instance}\t{concept}\t{count!r}\n")
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def load_taxonomy_tsv(path: str | Path) -> ConceptTaxonomy:
+    """Read a taxonomy written by :func:`save_taxonomy_tsv`.
+
+    Raises :class:`TaxonomyError` for any malformed or truncated file,
+    including a corrupt gzip stream.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        return _load_taxonomy_tsv(path)
+    except (EOFError, OSError, UnicodeDecodeError) as exc:
+        raise TaxonomyError(f"{path}: unreadable taxonomy file ({exc})") from exc
+
+
+def _load_taxonomy_tsv(path: Path) -> ConceptTaxonomy:
+    taxonomy = ConceptTaxonomy()
+    domains: dict[str, str] = {}
+    with _open_read(path, gz=path.suffix == ".gz") as handle:
+        first = handle.readline().rstrip("\n")
+        if first != _HEADER:
+            raise TaxonomyError(f"{path}: not a repro taxonomy file (header {first!r})")
+        for line_no, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if fields[0] == "domain" and len(fields) == 3:
+                domains[fields[1]] = fields[2]
+            elif fields[0] == "edge" and len(fields) == 4:
+                try:
+                    count = float(fields[3])
+                except ValueError as exc:
+                    raise TaxonomyError(f"{path}:{line_no}: bad count {fields[3]!r}") from exc
+                taxonomy.add_edge(
+                    fields[1], fields[2], count, domain=domains.get(fields[2])
+                )
+            else:
+                raise TaxonomyError(f"{path}:{line_no}: malformed record {line!r}")
+    return taxonomy
+
+
+def _open_write(path: Path, gz: bool) -> IO[str]:
+    if gz:
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_read(path: Path, gz: bool) -> IO[str]:
+    if gz:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")

@@ -1,0 +1,95 @@
+"""Typicality scoring over the isA taxonomy.
+
+Conceptualization (paper step 2) needs two conditional distributions:
+
+- ``P(concept | instance)`` — how typical is the concept as a reading of the
+  instance ("apple" → company 0.7, fruit 0.3);
+- ``P(instance | concept)`` — how representative is the instance of the
+  concept ("iphone 5s" is a highly representative smartphone).
+
+Both are maximum-likelihood estimates over edge counts with optional Laplace
+smoothing across the observed candidates; the *representativeness* score
+``P(c|i) * P(i|c)`` (used by Probase-family work to rank senses) is also
+provided, as is instance ambiguity (sense entropy).
+"""
+
+from __future__ import annotations
+
+from repro.text.normalizer import normalize_term
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.utils.mathx import entropy
+
+
+class TypicalityScorer:
+    """Conditional-probability views over a :class:`ConceptTaxonomy`."""
+
+    def __init__(self, taxonomy: ConceptTaxonomy, smoothing: float = 0.0) -> None:
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self._taxonomy = taxonomy
+        self._smoothing = smoothing
+
+    @property
+    def taxonomy(self) -> ConceptTaxonomy:
+        """The underlying taxonomy."""
+        return self._taxonomy
+
+    # ------------------------------------------------------------------
+    # P(concept | instance)
+    # ------------------------------------------------------------------
+    def concept_distribution(self, instance: str) -> dict[str, float]:
+        """Full ``P(concept | instance)`` distribution (empty when unknown)."""
+        counts = self._taxonomy.concepts_of(instance)
+        return self._smooth(counts)
+
+    def p_concept_given_instance(self, instance: str, concept: str) -> float:
+        """Typicality P(concept | instance); 0 when unknown."""
+        return self.concept_distribution(instance).get(normalize_term(concept), 0.0)
+
+    def top_concepts(self, instance: str, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` most typical concepts of an instance, best first.
+
+        Ties are broken alphabetically so results are deterministic.
+        """
+        dist = self.concept_distribution(instance)
+        return sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+    # ------------------------------------------------------------------
+    # P(instance | concept)
+    # ------------------------------------------------------------------
+    def instance_distribution(self, concept: str) -> dict[str, float]:
+        """Full ``P(instance | concept)`` distribution (empty when unknown)."""
+        counts = self._taxonomy.instances_of(concept)
+        return self._smooth(counts)
+
+    def p_instance_given_concept(self, instance: str, concept: str) -> float:
+        """Representativeness P(instance | concept); 0 when unknown."""
+        return self.instance_distribution(concept).get(normalize_term(instance), 0.0)
+
+    # ------------------------------------------------------------------
+    # derived scores
+    # ------------------------------------------------------------------
+    def representativeness(self, instance: str, concept: str) -> float:
+        """``P(c|i) * P(i|c)``: high only when the sense is typical both ways."""
+        return self.p_concept_given_instance(instance, concept) * self.p_instance_given_concept(
+            instance, concept
+        )
+
+    def instance_ambiguity(self, instance: str) -> float:
+        """Entropy (nats) of the sense distribution; 0 for unambiguous terms."""
+        return entropy(self._taxonomy.concepts_of(instance).values())
+
+    def concept_breadth(self, concept: str) -> float:
+        """Entropy (nats) of a concept's instance distribution.
+
+        Vague concepts ("thing") spread mass over many instances; specific
+        ones concentrate it. Used as a constraint-classifier feature.
+        """
+        return entropy(self._taxonomy.instances_of(concept).values())
+
+    def _smooth(self, counts) -> dict[str, float]:
+        if not counts:
+            return {}
+        alpha = self._smoothing
+        total = sum(counts.values()) + alpha * len(counts)
+        return {key: (count + alpha) / total for key, count in counts.items()}

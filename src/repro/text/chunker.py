@@ -1,0 +1,58 @@
+"""Noun-phrase chunking and the classic right-headed NP head rule.
+
+Used only by :mod:`repro.baselines.syntactic`; the semantic method never
+relies on grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.pos import TaggedToken
+
+#: Tags allowed inside a noun phrase.
+_NP_TAGS = frozenset({"DT", "JJ", "NN", "CD"})
+
+
+@dataclass(frozen=True, slots=True)
+class NounPhrase:
+    """A maximal NP chunk: contiguous tokens with NP-compatible tags."""
+
+    tokens: tuple[TaggedToken, ...]
+
+    @property
+    def text(self) -> str:
+        """The chunk's surface text."""
+        return " ".join(t.text for t in self.tokens)
+
+    @property
+    def nouns(self) -> tuple[str, ...]:
+        """Texts of the noun tokens inside the chunk."""
+        return tuple(t.text for t in self.tokens if t.tag == "NN")
+
+
+def chunk_noun_phrases(tagged: list[TaggedToken]) -> list[NounPhrase]:
+    """Group maximal runs of NP-compatible tokens into chunks.
+
+    >>> from repro.text.pos import PosTagger
+    >>> chunks = chunk_noun_phrases(PosTagger().tag("cheap hotels in rome"))
+    >>> [c.text for c in chunks]
+    ['cheap hotels', 'rome']
+    """
+    chunks: list[NounPhrase] = []
+    current: list[TaggedToken] = []
+    for token in tagged:
+        if token.tag in _NP_TAGS:
+            current.append(token)
+        elif current:
+            chunks.append(NounPhrase(tuple(current)))
+            current = []
+    if current:
+        chunks.append(NounPhrase(tuple(current)))
+    return chunks
+
+
+def np_head(phrase: NounPhrase) -> str | None:
+    """Head of an English NP: the rightmost noun (standard head-final rule)."""
+    nouns = phrase.nouns
+    return nouns[-1] if nouns else None

@@ -1,0 +1,72 @@
+"""Tiny English inflection helpers.
+
+Hearst patterns mention concepts in the plural ("cities such as ...");
+taxonomy entries are singular. These two functions are intentionally naive —
+they only need to round-trip the vocabulary this library generates, and the
+corpus generator uses :func:`pluralize` so :func:`singularize` sees exactly
+its own output plus common web forms.
+"""
+
+from __future__ import annotations
+
+_IRREGULAR_PLURALS = {
+    "people": "person",
+    "children": "child",
+    "men": "man",
+    "women": "woman",
+    "feet": "foot",
+    "teeth": "tooth",
+    "mice": "mouse",
+    "media": "medium",
+}
+
+_IRREGULAR_SINGULARS = {v: k for k, v in _IRREGULAR_PLURALS.items()}
+
+_ES_ENDINGS = ("ch", "sh", "ss", "x", "z")
+#: Words ending in "s" that are already singular.
+_S_SINGULARS = frozenset({"series", "species", "news", "glasses", "jeans"})
+
+
+def pluralize(word: str) -> str:
+    """Pluralize the last word of a (possibly multi-word) term.
+
+    >>> pluralize("city")
+    'cities'
+    >>> pluralize("smart watch")
+    'smart watches'
+    """
+    head, _, last = word.rpartition(" ")
+    prefix = head + " " if head else ""
+    if last in _IRREGULAR_SINGULARS:
+        return prefix + _IRREGULAR_SINGULARS[last]
+    if last in _S_SINGULARS:
+        return prefix + last
+    if last.endswith("y") and len(last) > 1 and last[-2] not in "aeiou":
+        return prefix + last[:-1] + "ies"
+    if last.endswith(_ES_ENDINGS):
+        return prefix + last + "es"
+    return prefix + last + "s"
+
+
+def singularize(word: str) -> str:
+    """Invert :func:`pluralize` for the vocabulary used in this library.
+
+    >>> singularize("cities")
+    'city'
+    >>> singularize("smart watches")
+    'smart watch'
+    """
+    head, _, last = word.rpartition(" ")
+    prefix = head + " " if head else ""
+    if last in _IRREGULAR_PLURALS:
+        return prefix + _IRREGULAR_PLURALS[last]
+    if last in _S_SINGULARS:
+        return prefix + last
+    if last.endswith("ies") and len(last) > 4:
+        return prefix + last[:-3] + "y"
+    for ending in _ES_ENDINGS:
+        if last.endswith(ending + "es"):
+            return prefix + last[: -2]
+    if last.endswith("s") and not last.endswith("ss") and len(last) > 3:
+        return prefix + last[:-1]
+    return prefix + last

@@ -1,0 +1,126 @@
+"""Built-in lexical resources.
+
+The paper's constraint detector distinguishes *subjective* modifiers
+("best", "cheap") from *specific* ones ("iphone 5s", "seattle"); the
+subjectivity list here is the lexicon feature of that classifier. The POS
+lexicon drives the rule tagger used by the syntactic baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an the of for in on at to with and or by from about as into near
+    is are was were be been being do does did not no
+    my your our their his her its this that these those
+    """.split()
+)
+
+#: Words typical of "connector" query syntax ("cases for iphone 5").
+CONNECTORS: frozenset[str] = frozenset("for with in of on at near under to".split())
+
+#: Subjective / evaluative modifiers: negligible for intent matching.
+SUBJECTIVE_MODIFIERS: frozenset[str] = frozenset(
+    """
+    best top good great cheap cheapest affordable budget popular famous
+    latest new newest recent cool nice awesome amazing excellent premium
+    quality reliable fast easy simple free discount discounted
+    recommended rated reviewed trusted luxury stylish elegant
+    hot trendy classic modern beautiful pretty fancy ultimate perfect
+    """.split()
+)
+
+#: Intent markers that are neither head nor modifier ("buy", "reviews").
+INTENT_VERBS: frozenset[str] = frozenset(
+    "buy find get compare rent book order download watch".split()
+)
+
+_ADJECTIVES = SUBJECTIVE_MODIFIERS | frozenset(
+    """
+    red blue black white green small large big tiny huge used refurbished
+    wireless portable digital electric organic vegan gluten spicy italian
+    french japanese chinese mexican indian leather wooden metal plastic
+    waterproof outdoor indoor automatic manual annual monthly local
+    """.split()
+)
+
+_DETERMINERS = frozenset("a an the this that these those my your our their".split())
+_PREPOSITIONS = frozenset(
+    "for with in of on at near under over to from by about into".split()
+)
+_CONJUNCTIONS = frozenset("and or but".split())
+_VERBS = INTENT_VERBS | frozenset(
+    """
+    is are was were be been being have has had do does did make makes
+    need needs want wants work works install installs
+    can could will would may might shall should must
+    prefer prefers sell sells dominate dominates recommend recommends
+    suit suits remain remains
+    """.split()
+)
+
+_ADJ_SUFFIXES = ("able", "ible", "ful", "less", "ous", "ive", "ish", "est")
+_ADV_SUFFIX = "ly"
+_NOUN_SUFFIXES = ("tion", "sion", "ment", "ness", "ship", "ware", "ers")
+
+
+@dataclass(frozen=True)
+class Lexicon:
+    """Bundled word lists with POS lookup.
+
+    ``pos_of`` applies, in order: closed-class lists, the adjective list,
+    digit shape, adjective/adverb suffix heuristics, and finally defaults to
+    noun — the right prior for query vocabulary.
+    """
+
+    stopwords: frozenset[str] = STOPWORDS
+    connectors: frozenset[str] = CONNECTORS
+    subjective: frozenset[str] = SUBJECTIVE_MODIFIERS
+    intent_verbs: frozenset[str] = INTENT_VERBS
+    adjectives: frozenset[str] = field(default=_ADJECTIVES)
+    determiners: frozenset[str] = field(default=_DETERMINERS)
+    prepositions: frozenset[str] = field(default=_PREPOSITIONS)
+    conjunctions: frozenset[str] = field(default=_CONJUNCTIONS)
+    verbs: frozenset[str] = field(default=_VERBS)
+
+    def is_subjective(self, word: str) -> bool:
+        """True when ``word`` is an evaluative, intent-negligible modifier."""
+        return word in self.subjective
+
+    def is_stopword(self, word: str) -> bool:
+        """Whether the word is a function/stop word."""
+        return word in self.stopwords
+
+    def pos_of(self, word: str) -> str:
+        """Best-guess POS tag: DT, IN, CC, VB, JJ, RB, CD, or NN."""
+        if word in self.determiners:
+            return "DT"
+        if word in self.prepositions:
+            return "IN"
+        if word in self.conjunctions:
+            return "CC"
+        if word in self.verbs:
+            return "VB"
+        if word in self.adjectives:
+            return "JJ"
+        if _looks_numeric(word):
+            return "CD"
+        if word.endswith(_ADV_SUFFIX) and len(word) > 4:
+            return "RB"
+        if word.endswith(_ADJ_SUFFIXES) and len(word) > 5:
+            return "JJ"
+        return "NN"
+
+
+def _looks_numeric(word: str) -> bool:
+    return any(ch.isdigit() for ch in word) and not word.isalpha()
+
+
+_DEFAULT = Lexicon()
+
+
+def default_lexicon() -> Lexicon:
+    """Return the shared immutable default :class:`Lexicon`."""
+    return _DEFAULT

@@ -1,0 +1,27 @@
+"""N-gram helpers used by log statistics and segmentation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+
+def token_ngrams(tokens: Sequence[str], max_n: int, min_n: int = 1) -> Iterator[tuple[str, ...]]:
+    """Yield all n-grams of ``tokens`` with ``min_n <= n <= max_n``.
+
+    >>> sorted(" ".join(g) for g in token_ngrams(["a", "b", "c"], max_n=2))
+    ['a', 'a b', 'b', 'b c', 'c']
+    """
+    if min_n <= 0 or max_n < min_n:
+        raise ValueError("need 0 < min_n <= max_n")
+    for n in range(min_n, max_n + 1):
+        for start in range(len(tokens) - n + 1):
+            yield tuple(tokens[start : start + n])
+
+
+def character_ngrams(text: str, n: int) -> list[str]:
+    """Character n-grams of a string (used for typo features in tests)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(text) < n:
+        return []
+    return [text[i : i + n] for i in range(len(text) - n + 1)]

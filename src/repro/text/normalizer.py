@@ -1,0 +1,43 @@
+"""Text normalization shared by the taxonomy, the query log, and detection.
+
+Everything that compares strings (taxonomy lookups, pattern matching, pair
+mining) must see the *same* normal form, so normalization lives in exactly
+one place.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+_WS_RE = re.compile(r"\s+")
+_DASH_RE = re.compile(r"[-–—_/]+")
+_STRIP_RE = re.compile(r"[^\w\s$%.']", re.UNICODE)
+
+
+def normalize(text: str) -> str:
+    """Return the canonical form of ``text``.
+
+    Steps: Unicode NFKC fold, lowercase, dashes/underscores/slashes to
+    spaces, strip residual punctuation (keeping ``$ % . '`` which carry
+    meaning in queries), collapse whitespace.
+
+    >>> normalize("  iPhone-5S  Smart_Cover ")
+    'iphone 5s smart cover'
+    """
+    text = unicodedata.normalize("NFKC", text)
+    text = text.lower()
+    text = _DASH_RE.sub(" ", text)
+    text = _STRIP_RE.sub(" ", text)
+    text = _WS_RE.sub(" ", text)
+    return text.strip()
+
+
+def normalize_term(term: str) -> str:
+    """Normalize a term that acts as a dictionary key (taxonomy entries).
+
+    Like :func:`normalize` but also strips a trailing period, which shows up
+    in extraction output ("inc.", "corp.").
+    """
+    norm = normalize(term)
+    return norm.rstrip(". ")

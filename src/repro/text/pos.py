@@ -1,0 +1,54 @@
+"""Rule/lexicon-based POS tagger.
+
+This is the substrate for the *syntactic baseline* (the coarse-grained,
+grammar-driven head detection the paper argues against). It is deliberately
+a classic shallow tagger: closed-class lexicon, suffix heuristics, plus two
+contextual repair rules. On grammatical noun phrases it is accurate; on
+query-style text its errors are exactly the failure mode the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.lexicon import Lexicon, default_lexicon
+from repro.text.tokenizer import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedToken:
+    text: str
+    tag: str
+
+
+class PosTagger:
+    """Tag tokens with a small Penn-style tagset (NN, JJ, DT, IN, CC, VB, CD, RB)."""
+
+    def __init__(self, lexicon: Lexicon | None = None) -> None:
+        self._lexicon = lexicon or default_lexicon()
+
+    def tag(self, text: str) -> list[TaggedToken]:
+        """Tokenize and tag ``text``.
+
+        >>> PosTagger().tag("cheap rome hotels")[-1].tag
+        'NN'
+        """
+        words = [t.text for t in tokenize(text)]
+        return self.tag_words(words)
+
+    def tag_words(self, words: list[str]) -> list[TaggedToken]:
+        """Tag an already-tokenized word list."""
+        tags = [self._lexicon.pos_of(w.lower()) for w in words]
+        self._apply_context_rules(words, tags)
+        return [TaggedToken(w, t) for w, t in zip(words, tags)]
+
+    def _apply_context_rules(self, words: list[str], tags: list[str]) -> None:
+        for i in range(len(tags)):
+            # A verb directly after a determiner is really a noun
+            # ("the reviews", "a buy").
+            if tags[i] == "VB" and i > 0 and tags[i - 1] == "DT":
+                tags[i] = "NN"
+            # A bare number following a noun is part of a model name
+            # ("iphone 5"), not a cardinal quantifier.
+            if tags[i] == "CD" and i > 0 and tags[i - 1] == "NN":
+                tags[i] = "NN"

@@ -1,0 +1,52 @@
+"""Query-style tokenizer.
+
+Search queries rarely contain sentence punctuation, but they do contain
+model numbers ("5s", "gtx-780"), prices ("$200"), and years ("2013"). The
+tokenizer keeps alphanumeric runs together (including internal digits),
+splits on whitespace and most punctuation, and records character offsets so
+callers can map back into the original string.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(
+    r"""
+    \$\d+(?:[.,]\d+)*                      # prices ($25, $1,299.99)
+    | \d+(?:[.,]\d+)+%?                    # decimals / thousands (1,299.99)
+    | [a-zA-Z0-9]+(?:[''][a-zA-Z0-9]+)*%?  # words, model codes (5s), 20%
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A token with its span in the source string."""
+
+    text: str
+    start: int
+    end: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into :class:`Token` objects.
+
+    Hyphenated compounds are split ("e-mail" -> "e", "mail") because query
+    logs are inconsistent about hyphens; the normalizer upstream usually
+    removes them first.
+
+    >>> [t.text for t in tokenize("iphone 5s smart-cover $25")]
+    ['iphone', '5s', 'smart', 'cover', '$25']
+    """
+    return [Token(m.group(0), m.start(), m.end()) for m in _TOKEN_RE.finditer(text)]
+
+
+def token_texts(text: str) -> list[str]:
+    """Convenience wrapper returning only the token strings."""
+    return [t.text for t in tokenize(text)]

@@ -1,0 +1,29 @@
+"""Shared low-level helpers: math, IO, iteration, timing, RNG."""
+
+from repro.utils.iteration import batched, sliding_windows, take
+from repro.utils.mathx import (
+    entropy,
+    harmonic_mean,
+    log_add,
+    normalize_distribution,
+    safe_div,
+    zipf_weights,
+)
+from repro.utils.randx import rng_from_seed, stable_hash, weighted_choice
+from repro.utils.timer import Timer
+
+__all__ = [
+    "batched",
+    "sliding_windows",
+    "take",
+    "entropy",
+    "harmonic_mean",
+    "log_add",
+    "normalize_distribution",
+    "safe_div",
+    "zipf_weights",
+    "rng_from_seed",
+    "stable_hash",
+    "weighted_choice",
+    "Timer",
+]

@@ -1,0 +1,46 @@
+"""Iteration helpers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import islice
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def batched(items: Iterable[T], batch_size: int) -> Iterator[list[T]]:
+    """Yield lists of up to ``batch_size`` consecutive items.
+
+    >>> list(batched([1, 2, 3, 4, 5], batch_size=2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    current: list[T] = []
+    for item in items:
+        current.append(item)
+        if len(current) == batch_size:
+            yield current
+            current = []
+    if current:
+        yield current
+
+
+def sliding_windows(items: Sequence[T], size: int) -> Iterator[tuple[T, ...]]:
+    """Yield consecutive windows of exactly ``size`` items.
+
+    >>> list(sliding_windows("abcd", 2))
+    [('a', 'b'), ('b', 'c'), ('c', 'd')]
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    for start in range(len(items) - size + 1):
+        yield tuple(items[start : start + size])
+
+
+def take(items: Iterable[T], n: int) -> list[T]:
+    """Return the first ``n`` items of an iterable as a list."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return list(islice(items, n))

@@ -1,0 +1,76 @@
+"""Numeric helpers used across the library.
+
+Small, dependency-light functions; anything heavier (matrix work) lives next
+to its caller and uses numpy directly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+
+def safe_div(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Divide, returning ``default`` when the denominator is zero."""
+    if denominator == 0:
+        return default
+    return numerator / denominator
+
+
+def log_add(log_a: float, log_b: float) -> float:
+    """Return ``log(exp(log_a) + exp(log_b))`` without overflow."""
+    if log_a == float("-inf"):
+        return log_b
+    if log_b == float("-inf"):
+        return log_a
+    hi, lo = (log_a, log_b) if log_a >= log_b else (log_b, log_a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def entropy(weights: Iterable[float]) -> float:
+    """Shannon entropy (nats) of an unnormalized non-negative weight vector.
+
+    Zero weights are ignored. An empty or all-zero vector has entropy 0.
+    """
+    ws = [w for w in weights if w > 0]
+    total = sum(ws)
+    if total <= 0:
+        return 0.0
+    acc = 0.0
+    for w in ws:
+        p = w / total
+        acc -= p * math.log(p)
+    return acc
+
+
+def normalize_distribution(weights: Mapping[str, float]) -> dict[str, float]:
+    """Return a probability distribution proportional to ``weights``.
+
+    Non-positive entries are dropped. Raises ``ValueError`` when nothing
+    remains, because a silent empty distribution hides upstream bugs.
+    """
+    kept = {k: w for k, w in weights.items() if w > 0}
+    total = sum(kept.values())
+    if total <= 0:
+        raise ValueError("cannot normalize: no positive weights")
+    return {k: w / total for k, w in kept.items()}
+
+
+def harmonic_mean(a: float, b: float) -> float:
+    """Harmonic mean of two non-negative numbers (0 when either is 0)."""
+    if a <= 0 or b <= 0:
+        return 0.0
+    return 2 * a * b / (a + b)
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> list[float]:
+    """Weights of a Zipf distribution over ranks ``1..n`` (normalized).
+
+    Used by the synthetic substrates so frequency distributions look like
+    real web/log data rather than being uniform.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    raw = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]

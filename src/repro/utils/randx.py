@@ -1,0 +1,43 @@
+"""Deterministic randomness helpers.
+
+Everything synthetic in this library (taxonomy corpus, query log) must be
+reproducible from a single integer seed; these helpers keep that discipline
+in one place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def stable_hash(*parts: str) -> int:
+    """A process-independent 64-bit hash of the given string parts.
+
+    ``hash()`` is salted per-process, so it cannot be used to derive seeds or
+    synthetic URLs that must be stable across runs.
+    """
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rng_from_seed(seed: int, *scope: str) -> random.Random:
+    """Create an independent ``random.Random`` for a named scope.
+
+    Deriving sub-generators by name means adding a new consumer of
+    randomness does not perturb the streams of existing consumers.
+    """
+    return random.Random(stable_hash(str(seed), *scope))
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one item with probability proportional to its weight."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    return rng.choices(items, weights=weights, k=1)[0]

@@ -1,0 +1,69 @@
+"""Tests for repro.apps.ads."""
+
+from repro.apps.ads import Ad, AdMatcher, TokenOverlapAdMatcher
+
+
+def make_inventory():
+    return [
+        Ad("exact", "iphone 5s case"),
+        Ad("generic", "case"),
+        Ad("conflict", "iphone 5 case"),
+        Ad("offhead", "iphone 5s charger"),
+        Ad("unrelated", "rome hotels"),
+    ]
+
+
+class TestAdMatcher:
+    def test_exact_keyword_wins(self, detector):
+        matcher = AdMatcher(detector, make_inventory())
+        results = matcher.match("iphone 5s case", top_k=3)
+        assert results[0].ad.ad_id == "exact"
+
+    def test_generic_beats_conflicting(self, detector):
+        inventory = [Ad("generic", "case"), Ad("conflict", "iphone 5 case")]
+        matcher = AdMatcher(detector, inventory)
+        results = matcher.match("iphone 5s case", top_k=2)
+        assert results[0].ad.ad_id == "generic"
+
+    def test_unrelated_head_rejected(self, detector):
+        matcher = AdMatcher(detector, [Ad("unrelated", "rome hotels")])
+        assert matcher.match("iphone 5s case") == []
+
+    def test_overspecified_ad_penalized(self, detector):
+        inventory = [Ad("generic", "jobs"), Ad("overspec", "nurse jobs")]
+        matcher = AdMatcher(detector, inventory)
+        results = matcher.match("seattle jobs", top_k=2)
+        assert results[0].ad.ad_id == "generic"
+
+    def test_scores_descending(self, detector):
+        matcher = AdMatcher(detector, make_inventory())
+        results = matcher.match("iphone 5s case", top_k=5)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_respected(self, detector):
+        matcher = AdMatcher(detector, make_inventory())
+        assert len(matcher.match("iphone 5s case", top_k=1)) == 1
+
+    def test_inventory_size(self, detector):
+        assert AdMatcher(detector, make_inventory()).inventory_size == 5
+
+
+class TestTokenOverlapAdMatcher:
+    def test_prefers_surface_overlap(self):
+        matcher = TokenOverlapAdMatcher(
+            [Ad("generic", "case"), Ad("conflict", "iphone 5 case")]
+        )
+        results = matcher.match("iphone 5s case", top_k=2)
+        # The documented failure mode: picks the conflicting model.
+        assert results[0].ad.ad_id == "conflict"
+
+    def test_no_overlap_no_match(self):
+        matcher = TokenOverlapAdMatcher([Ad("a", "zebra crossing")])
+        assert matcher.match("iphone case") == []
+
+    def test_exact_still_wins(self):
+        matcher = TokenOverlapAdMatcher(
+            [Ad("exact", "iphone 5s case"), Ad("conflict", "iphone 5 case")]
+        )
+        assert matcher.match("iphone 5s case")[0].ad.ad_id == "exact"

@@ -1,0 +1,106 @@
+"""Tests for repro.apps.corpus (judged collections)."""
+
+import pytest
+
+from repro.apps.corpus import (
+    REL_IRRELEVANT,
+    REL_PARTIAL,
+    REL_PERFECT,
+    synthesize_ads,
+    synthesize_documents,
+)
+
+
+@pytest.fixture(scope="module")
+def examples(eval_examples):
+    return eval_examples[:80]
+
+
+class TestSynthesizeDocuments:
+    def test_every_query_has_judgments(self, examples, taxonomy):
+        collection = synthesize_documents(examples, taxonomy)
+        for example in examples:
+            assert collection.judgments.get(example.query)
+
+    def test_relevant_doc_contains_head_and_constraints(self, examples, taxonomy):
+        collection = synthesize_documents(examples, taxonomy)
+        by_id = {d.doc_id: d for d in collection.documents}
+        for example in examples[:30]:
+            judged = collection.judgments[example.query]
+            rel_ids = [i for i, r in judged.items() if r == REL_PERFECT and i.endswith("-rel")]
+            assert rel_ids
+            doc = by_id[rel_ids[0]]
+            assert example.gold.head in doc.title
+
+    def test_conflicting_doc_judged_irrelevant(self, examples, taxonomy):
+        collection = synthesize_documents(examples, taxonomy)
+        conflicts = [
+            (query, doc_id)
+            for query, judged in collection.judgments.items()
+            for doc_id, rel in judged.items()
+            if doc_id.endswith("-conf")
+        ]
+        assert conflicts
+        for query, doc_id in conflicts:
+            assert collection.relevance(query, doc_id) == REL_IRRELEVANT
+
+    def test_generic_doc_partial_when_constrained(self, examples, taxonomy):
+        collection = synthesize_documents(examples, taxonomy)
+        for example in examples:
+            if not example.gold.constraint_surfaces:
+                continue
+            judged = collection.judgments[example.query]
+            generic = [i for i in judged if i.endswith("-gen")]
+            assert judged[generic[0]] == REL_PARTIAL
+            break
+
+    def test_deterministic(self, examples, taxonomy):
+        a = synthesize_documents(examples, taxonomy, seed=5)
+        b = synthesize_documents(examples, taxonomy, seed=5)
+        assert [d.doc_id for d in a.documents] == [d.doc_id for d in b.documents]
+        assert [d.title for d in a.documents] == [d.title for d in b.documents]
+
+
+class TestSynthesizeAds:
+    def test_inventory_deduplicated(self, examples, taxonomy):
+        inventory = synthesize_ads(examples, taxonomy)
+        keywords = [ad.keyword for ad in inventory.ads]
+        assert len(keywords) == len(set(keywords))
+
+    def test_generic_head_ad_always_acceptable(self, examples, taxonomy):
+        inventory = synthesize_ads(examples, taxonomy)
+        by_keyword = {ad.keyword: ad for ad in inventory.ads}
+        for example in examples[:30]:
+            generic = by_keyword.get(example.gold.head)
+            assert generic is not None
+            assert inventory.is_acceptable(example.query, generic.ad_id)
+
+    def test_conflicting_ad_not_acceptable(self, examples, taxonomy):
+        inventory = synthesize_ads(examples, taxonomy)
+        checked = 0
+        for example in examples:
+            constraints = example.gold.constraint_surfaces
+            if not constraints:
+                continue
+            for ad in inventory.ads:
+                head, ad_constraints = inventory.ad_semantics[ad.ad_id]
+                if (
+                    head == example.gold.head
+                    and ad_constraints
+                    and not ad_constraints <= constraints
+                ):
+                    assert not inventory.is_acceptable(example.query, ad.ad_id)
+                    checked += 1
+                    break
+            if checked >= 10:
+                break
+        assert checked > 0
+
+    def test_unknown_query_not_acceptable(self, examples, taxonomy):
+        inventory = synthesize_ads(examples, taxonomy)
+        assert not inventory.is_acceptable("never seen", inventory.ads[0].ad_id)
+
+    def test_exact_rate_shrinks_inventory(self, examples, taxonomy):
+        none = synthesize_ads(examples, taxonomy, exact_keyword_rate=0.0)
+        everything = synthesize_ads(examples, taxonomy, exact_keyword_rate=1.0)
+        assert len(none.ads) < len(everything.ads)

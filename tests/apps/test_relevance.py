@@ -1,0 +1,96 @@
+"""Tests for repro.apps.relevance."""
+
+import pytest
+
+from repro.apps.relevance import BagOfWordsScorer, Document, StructuredRelevanceScorer
+
+
+class TestDocument:
+    def test_contains_phrase_in_title(self):
+        doc = Document("d1", "iphone 5s smart cover deals", "body text")
+        in_title, in_body = doc.contains("smart cover")
+        assert in_title and not in_body
+
+    def test_contains_normalizes(self):
+        doc = Document("d1", "IPhone-5S Case")
+        assert doc.contains("iphone 5s")[0]
+
+    def test_word_boundaries_respected(self):
+        doc = Document("d1", "showcase of things")
+        assert not doc.contains("case")[0]
+
+
+class TestStructuredScorer:
+    def test_perfect_document_scores_high(self, detector):
+        scorer = StructuredRelevanceScorer(detector)
+        doc = Document("d1", "iphone 5s smart cover official site")
+        assert scorer.score("popular iphone 5s smart cover", doc) > 0.8
+
+    def test_constraint_violation_penalized(self, detector):
+        scorer = StructuredRelevanceScorer(detector)
+        satisfied = Document("d1", "iphone 5s smart cover shop")
+        violated = Document("d2", "popular galaxy s4 smart cover shop")
+        query = "popular iphone 5s smart cover"
+        assert scorer.score(query, satisfied) > scorer.score(query, violated)
+
+    def test_head_mismatch_scores_low(self, detector):
+        scorer = StructuredRelevanceScorer(detector)
+        off_head = Document("d1", "iphone 5s news")
+        assert scorer.score("iphone 5s smart cover", off_head) < 0.5
+
+    def test_body_hit_discounted(self, detector):
+        scorer = StructuredRelevanceScorer(detector)
+        title_hit = Document("d1", "rome hotels")
+        body_hit = Document("d2", "lodging", "the best hotels in rome")
+        query = "rome hotels"
+        assert scorer.score(query, title_hit) > scorer.score(query, body_hit)
+
+    def test_rank_orders_by_score(self, detector):
+        scorer = StructuredRelevanceScorer(detector)
+        docs = [
+            Document("bad", "unrelated text"),
+            Document("good", "rome hotels official"),
+        ]
+        ranked = scorer.rank("rome hotels", docs)
+        assert ranked[0][0].doc_id == "good"
+
+    def test_rank_top_k(self, detector):
+        scorer = StructuredRelevanceScorer(detector)
+        docs = [Document(f"d{i}", "x") for i in range(5)]
+        assert len(scorer.rank("rome hotels", docs, top_k=2)) == 2
+
+    def test_weights_must_sum_to_one(self, detector):
+        with pytest.raises(ValueError):
+            StructuredRelevanceScorer(detector, head_weight=0.9, constraint_weight=0.9)
+
+    def test_violation_penalty_validated(self, detector):
+        with pytest.raises(ValueError):
+            StructuredRelevanceScorer(detector, violation_penalty=2.0)
+
+
+class TestBagOfWordsScorer:
+    def test_full_overlap(self):
+        scorer = BagOfWordsScorer()
+        doc = Document("d1", "rome hotels")
+        assert scorer.score("rome hotels", doc) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert BagOfWordsScorer().score("rome hotels", Document("d1", "zebra")) == 0.0
+
+    def test_empty_query(self):
+        assert BagOfWordsScorer().score("", Document("d1", "x")) == 0.0
+
+    def test_fooled_by_surface_overlap(self, detector):
+        # The motivating failure: BOW prefers the constraint-violating page
+        # that echoes the query; the structured scorer does not.
+        query = "popular iphone 5s smart cover"
+        diluted_relevant = Document(
+            "rel", "iphone 5s smart cover official site guide deals and more"
+        )
+        echoing_conflict = Document("conf", "popular iphone 5 smart cover")
+        bow = BagOfWordsScorer()
+        structured = StructuredRelevanceScorer(detector)
+        assert bow.score(query, echoing_conflict) > bow.score(query, diluted_relevant)
+        assert structured.score(query, diluted_relevant) > structured.score(
+            query, echoing_conflict
+        )

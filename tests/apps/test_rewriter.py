@@ -1,0 +1,53 @@
+"""Tests for repro.apps.rewriter."""
+
+from repro.apps.rewriter import QueryRewriter
+
+
+class TestMustKeep:
+    def test_keeps_head_and_constraints(self, detector):
+        rewriter = QueryRewriter(detector)
+        kept = rewriter.must_keep("popular iphone 5s smart cover")
+        assert kept == ("iphone 5s", "smart cover")
+
+    def test_order_follows_query(self, detector):
+        rewriter = QueryRewriter(detector)
+        kept = rewriter.must_keep("rome hotels")
+        assert kept == ("rome", "hotels")
+
+
+class TestRelax:
+    def test_ladder_starts_with_original(self, detector):
+        rewriter = QueryRewriter(detector)
+        ladder = rewriter.relax("popular iphone 5s smart cover")
+        assert ladder[0] == "popular iphone 5s smart cover"
+
+    def test_ladder_ends_with_core(self, detector):
+        rewriter = QueryRewriter(detector)
+        ladder = rewriter.relax("popular iphone 5s smart cover")
+        assert ladder[-1] == "iphone 5s smart cover"
+
+    def test_constraints_never_dropped(self, detector):
+        rewriter = QueryRewriter(detector)
+        for step in rewriter.relax("popular iphone 5s smart cover"):
+            assert "iphone 5s" in step
+            assert "smart cover" in step
+
+    def test_no_droppable_modifiers_short_ladder(self, detector):
+        rewriter = QueryRewriter(detector)
+        ladder = rewriter.relax("rome hotels")
+        assert ladder == ["rome hotels"]
+
+    def test_no_duplicates(self, detector):
+        rewriter = QueryRewriter(detector)
+        ladder = rewriter.relax("best cheap rome hotels")
+        assert len(ladder) == len(set(ladder))
+
+
+class TestRewriteForRecall:
+    def test_drops_preferences(self, detector):
+        rewriter = QueryRewriter(detector)
+        assert rewriter.rewrite_for_recall("best rome hotels") == "rome hotels"
+
+    def test_identity_when_nothing_to_drop(self, detector):
+        rewriter = QueryRewriter(detector)
+        assert rewriter.rewrite_for_recall("rome hotels") == "rome hotels"

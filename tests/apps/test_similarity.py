@@ -1,0 +1,90 @@
+"""Tests for repro.apps.similarity."""
+
+import pytest
+
+from repro.apps.similarity import QueryIntentMatcher
+
+
+@pytest.fixture(scope="module")
+def matcher(detector):
+    return QueryIntentMatcher(detector)
+
+
+class TestSameIntent:
+    def test_identical_queries(self, matcher):
+        assert matcher.same_intent("iphone 5s case", "iphone 5s case")
+
+    def test_word_order_invariance(self, matcher):
+        # Same intent spelled two ways — token models disagree, we don't.
+        assert matcher.same_intent("iphone 5s case", "case for iphone 5s")
+
+    def test_preference_does_not_change_intent(self, matcher):
+        assert matcher.same_intent("best iphone 5s case", "iphone 5s case")
+
+    def test_constraint_conflict_breaks_intent(self, matcher):
+        # Token overlap 2/4; intent-level: conflicting smartphone constraint.
+        assert not matcher.same_intent("iphone 5s case", "galaxy s4 case")
+
+    def test_different_head_breaks_intent(self, matcher):
+        assert not matcher.same_intent("iphone 5s case", "iphone 5s charger")
+
+    def test_missing_constraint_weakens_not_breaks(self, matcher):
+        similarity = matcher.similarity("iphone 5s case", "case")
+        assert 0.3 < similarity < 0.9
+
+
+class TestSimilarityScores:
+    def test_bounded(self, matcher):
+        pairs = [
+            ("rome hotels", "rome hotels"),
+            ("rome hotels", "paris hotels"),
+            ("rome hotels", "vegan recipe"),
+        ]
+        for a, b in pairs:
+            assert 0.0 <= matcher.similarity(a, b) <= 1.0
+
+    def test_symmetry(self, matcher):
+        a, b = "cheap rome hotels", "rome hotels"
+        assert matcher.similarity(a, b) == pytest.approx(matcher.similarity(b, a))
+
+    def test_ordering(self, matcher):
+        base = "iphone 5s case"
+        closer = matcher.similarity(base, "best iphone 5s case")
+        farther = matcher.similarity(base, "galaxy s4 case")
+        unrelated = matcher.similarity(base, "rome hotels")
+        assert closer > farther > unrelated
+
+    def test_conflict_count(self, matcher):
+        comparison = matcher.compare("iphone 5s case", "galaxy s4 case")
+        assert comparison.conflicts == 1
+        assert comparison.head_score == 1.0
+
+    def test_concept_head_partial_credit(self, matcher):
+        comparison = matcher.compare("iphone 5s case", "iphone 5s charger")
+        assert 0 < comparison.head_score < 1
+
+    def test_invalid_threshold(self, detector):
+        with pytest.raises(ValueError):
+            QueryIntentMatcher(detector, same_intent_threshold=0.0)
+
+
+class TestAgainstGold:
+    def test_same_intent_variants_cluster(self, matcher, heldout_log):
+        """Surface variants of one generator intent must match each other."""
+        from collections import defaultdict
+
+        by_intent = defaultdict(list)
+        for query, gold in heldout_log.gold_labels.items():
+            if not gold.modifiers:
+                continue
+            key = (gold.head, gold.constraint_surfaces)
+            by_intent[key].append(query)
+        checked = 0
+        for variants in by_intent.values():
+            if len(variants) < 2:
+                continue
+            assert matcher.same_intent(variants[0], variants[1]), variants[:2]
+            checked += 1
+            if checked >= 25:
+                break
+        assert checked >= 10

@@ -1,0 +1,56 @@
+"""Tests for repro.baselines.instance_lookup."""
+
+from repro.baselines.instance_lookup import InstanceLookupDetector
+from repro.core.segmentation import Segmenter
+from repro.mining.pairs import MinedPair, PairCollection
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_detector(fallback=False):
+    taxonomy = ConceptTaxonomy()
+    taxonomy.add_edge("iphone 5s", "smartphone", 50)
+    taxonomy.add_edge("galaxy s4", "smartphone", 40)
+    taxonomy.add_edge("case", "phone accessory", 50)
+    pairs = PairCollection()
+    pairs.add(MinedPair("iphone 5s", "case", 30, "deletion"))
+    return InstanceLookupDetector(
+        pairs, Segmenter(taxonomy), fallback_positional=fallback
+    )
+
+
+class TestInstanceLookup:
+    def test_seen_pair_detected(self):
+        detection = make_detector().detect("iphone 5s case")
+        assert detection.head == "case"
+        assert detection.method == "instance"
+
+    def test_order_insensitive(self):
+        assert make_detector().detect("case iphone 5s").head == "case"
+
+    def test_unseen_pair_abstains(self):
+        detection = make_detector().detect("galaxy s4 case")
+        assert detection.head is None
+        assert detection.method == "abstain"
+
+    def test_positional_fallback_optional(self):
+        detection = make_detector(fallback=True).detect("galaxy s4 case")
+        assert detection.head == "case"
+        assert detection.method == "fallback"
+
+    def test_single_segment(self):
+        detection = make_detector().detect("case")
+        assert detection.head == "case"
+        assert detection.method == "single"
+
+    def test_no_content(self):
+        assert make_detector().detect("best of").head is None
+
+    def test_collapse_on_unseen_is_total(self, model, segmenter, eval_examples):
+        """The R5 contrast: zero coverage on queries with no mined pair."""
+        from repro.eval.datasets import unseen_pair_subset
+        from repro.eval.harness import evaluate_head_detection
+
+        detector = InstanceLookupDetector(model.pairs, segmenter)
+        unseen = unseen_pair_subset(eval_examples, model.pairs)[:100]
+        result = evaluate_head_detection(detector, unseen)
+        assert result.coverage < 0.1

@@ -1,0 +1,43 @@
+"""Tests for repro.baselines.statistical."""
+
+from repro.baselines.statistical import StatisticalDetector
+from repro.core.segmentation import Segmenter
+from repro.querylog.models import QueryLog
+from repro.querylog.stats import LogStatistics
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_detector():
+    taxonomy = ConceptTaxonomy()
+    taxonomy.add_edge("iphone 5s", "smartphone", 50)
+    taxonomy.add_edge("case", "phone accessory", 50)
+    log = QueryLog()
+    log.add_record("case", 100, {"u": 1})
+    log.add_record("iphone 5s", 20, {"v": 1})
+    log.add_record("iphone 5s case", 10, {"w": 1})
+    return StatisticalDetector(LogStatistics(log), Segmenter(taxonomy))
+
+
+class TestStatisticalDetector:
+    def test_picks_most_frequent_standalone(self):
+        detection = make_detector().detect("iphone 5s case")
+        assert detection.head == "case"
+        assert detection.method == "statistical"
+
+    def test_falls_back_to_rightmost_when_unseen(self):
+        detection = make_detector().detect("zzz yyy")
+        assert detection.head == "yyy"
+        assert detection.method == "statistical-fallback"
+
+    def test_no_content_segments(self):
+        detection = make_detector().detect("best of")
+        assert detection.head is None
+
+    def test_modifier_roles_assigned(self):
+        detection = make_detector().detect("iphone 5s case")
+        assert detection.modifiers == ("iphone 5s",)
+
+    def test_on_trained_substrate(self, train_stats, segmenter):
+        detector = StatisticalDetector(train_stats, segmenter)
+        detection = detector.detect("rome hotels")
+        assert detection.head in {"hotels", "rome"}  # frequency-driven

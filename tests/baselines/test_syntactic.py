@@ -1,0 +1,39 @@
+"""Tests for repro.baselines.syntactic."""
+
+from repro.baselines.syntactic import SyntacticDetector
+
+
+class TestSyntacticDetector:
+    def setup_method(self):
+        self.detector = SyntacticDetector()
+
+    def test_right_headed_np(self):
+        detection = self.detector.detect("cheap rome hotels")
+        assert detection.head == "hotels"
+
+    def test_pp_special_case(self):
+        detection = self.detector.detect("hotels in rome")
+        assert detection.head == "hotels"
+
+    def test_multiword_head_is_fragmented(self):
+        # The documented coarse-grainedness: only a single token becomes
+        # the head, so multi-word heads are systematically wrong.
+        detection = self.detector.detect("iphone 5s smart cover")
+        assert detection.head == "cover"
+
+    def test_modifiers_are_remaining_content(self):
+        detection = self.detector.detect("cheap rome hotels")
+        assert set(detection.modifiers) == {"cheap", "rome"}
+
+    def test_empty(self):
+        assert self.detector.detect("").head is None
+
+    def test_no_noun_phrase(self):
+        detection = self.detector.detect("is are")
+        assert detection.head is None
+
+    def test_batch(self):
+        assert len(self.detector.detect_batch(["a b", "c d"])) == 2
+
+    def test_method_label(self):
+        assert self.detector.detect("rome hotels").method == "syntactic"

@@ -1,0 +1,150 @@
+"""Tests for repro.core.analysis."""
+
+import pytest
+
+from repro.core.analysis import (
+    compare_tables,
+    direction_conflicts,
+    pair_coverage,
+    summarize_table,
+)
+from repro.core.concept_patterns import ConceptPattern, PatternTable
+from repro.core.conceptualizer import Conceptualizer
+from repro.mining.pairs import MinedPair, PairCollection
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_table():
+    return PatternTable(
+        {
+            ConceptPattern("a", "b"): 50.0,
+            ConceptPattern("c", "d"): 30.0,
+            ConceptPattern("b", "a"): 15.0,
+            ConceptPattern("e", "f"): 4.0,
+            ConceptPattern("f", "e"): 1.0,
+        }
+    )
+
+
+class TestSummarizeTable:
+    def test_counts(self):
+        summary = summarize_table(make_table())
+        assert summary.num_patterns == 5
+        assert summary.total_weight == pytest.approx(100.0)
+        assert summary.max_weight == 50.0
+
+    def test_mass_prefixes(self):
+        summary = summarize_table(make_table())
+        assert summary.patterns_for_half_mass == 1  # 50 covers 50%
+        assert summary.patterns_for_90_mass == 3  # 50+30+15 = 95
+
+    def test_concept_vocabulary(self):
+        summary = summarize_table(make_table())
+        assert summary.num_modifier_concepts == 5
+        assert summary.num_head_concepts == 5
+
+    def test_on_trained_table_is_concentrated(self, model):
+        summary = summarize_table(model.patterns)
+        # The conciseness claim in summary form: half the mass in a
+        # handful of patterns.
+        assert summary.patterns_for_half_mass <= summary.num_patterns / 3
+
+
+class TestDirectionConflicts:
+    def test_finds_balanced_pair(self):
+        conflicts = direction_conflicts(make_table(), min_balance=0.2)
+        pairs = {(c.concept_a, c.concept_b) for c in conflicts}
+        # a<->b has balance 15/50 = 0.3; e<->f has 1/4 = 0.25.
+        assert ("a", "b") in pairs or ("b", "a") in pairs
+
+    def test_threshold_filters(self):
+        assert direction_conflicts(make_table(), min_balance=0.9) == []
+
+    def test_each_pair_reported_once(self):
+        conflicts = direction_conflicts(make_table(), min_balance=0.0)
+        keys = [frozenset((c.concept_a, c.concept_b)) for c in conflicts]
+        assert len(keys) == len(set(keys))
+
+    def test_trained_table_mostly_directional(self, model):
+        conflicts = direction_conflicts(model.patterns, min_balance=0.5)
+        # Ground-truth patterns are directional; strong conflicts should
+        # be rare.
+        assert len(conflicts) <= max(2, len(model.patterns) // 10)
+
+
+class TestPairCoverage:
+    def make_world(self):
+        taxonomy = ConceptTaxonomy()
+        taxonomy.add_edge("iphone 5s", "smartphone", 10)
+        taxonomy.add_edge("case", "phone accessory", 10)
+        taxonomy.add_edge("rome", "city", 10)
+        taxonomy.add_edge("hotels", "lodging", 10)
+        pairs = PairCollection()
+        pairs.add(MinedPair("iphone 5s", "case", 10, "deletion"))
+        pairs.add(MinedPair("rome", "hotels", 30, "deletion"))
+        return taxonomy, pairs
+
+    def test_full_coverage(self):
+        taxonomy, pairs = self.make_world()
+        table = PatternTable(
+            {
+                ConceptPattern("smartphone", "phone accessory"): 1.0,
+                ConceptPattern("city", "lodging"): 1.0,
+            }
+        )
+        assert pair_coverage(pairs, table, Conceptualizer(taxonomy)) == pytest.approx(1.0)
+
+    def test_partial_coverage_weighted_by_support(self):
+        taxonomy, pairs = self.make_world()
+        table = PatternTable({ConceptPattern("city", "lodging"): 1.0})
+        assert pair_coverage(pairs, table, Conceptualizer(taxonomy)) == pytest.approx(
+            30 / 40
+        )
+
+    def test_empty_pairs(self):
+        taxonomy, _ = self.make_world()
+        assert pair_coverage(PairCollection(), PatternTable(), Conceptualizer(taxonomy)) == 0.0
+
+    def test_trained_model_coverage_high(self, model):
+        coverage = pair_coverage(
+            model.pairs, model.patterns, Conceptualizer(model.taxonomy)
+        )
+        assert coverage > 0.8
+
+
+class TestCompareTables:
+    def test_identical_tables(self):
+        diff = compare_tables(make_table(), make_table())
+        assert diff.only_in_a == ()
+        assert diff.only_in_b == ()
+        assert diff.rank_agreement == pytest.approx(1.0)
+
+    def test_disjoint_tables(self):
+        a = PatternTable({ConceptPattern("a", "b"): 1.0})
+        b = PatternTable({ConceptPattern("c", "d"): 1.0})
+        diff = compare_tables(a, b)
+        assert len(diff.only_in_a) == 1
+        assert len(diff.only_in_b) == 1
+        assert diff.common == 0
+
+    def test_reversed_ranks(self):
+        a = PatternTable(
+            {ConceptPattern("a", "b"): 3.0, ConceptPattern("c", "d"): 2.0,
+             ConceptPattern("e", "f"): 1.0}
+        )
+        b = PatternTable(
+            {ConceptPattern("a", "b"): 1.0, ConceptPattern("c", "d"): 2.0,
+             ConceptPattern("e", "f"): 3.0}
+        )
+        assert compare_tables(a, b).rank_agreement == pytest.approx(-1.0)
+
+    def test_small_vs_large_log_tables_agree(self, taxonomy, model):
+        from repro import LogConfig, TrainingConfig, generate_log, train_model
+
+        small_log = generate_log(taxonomy, LogConfig(seed=7, num_intents=300))
+        small = train_model(
+            small_log, taxonomy, TrainingConfig(train_classifier=False)
+        )
+        diff = compare_tables(small.patterns, model.patterns)
+        assert diff.common >= 10
+        assert diff.rank_agreement > 0.5

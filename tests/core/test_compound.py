@@ -1,0 +1,72 @@
+"""Tests for repro.core.compound."""
+
+import pytest
+
+from repro.core.compound import CompoundDetector
+
+
+@pytest.fixture(scope="module")
+def compound(detector):
+    return CompoundDetector(detector)
+
+
+class TestClauseSplitting:
+    def test_single_intent_single_clause(self, compound):
+        result = compound.detect("iphone 5s smart cover")
+        assert not result.is_compound
+        assert result.heads == ("smart cover",)
+
+    def test_two_intents_split_on_and(self, compound):
+        result = compound.detect(
+            "iphone 5s smart cover and galaxy s4 screen protector"
+        )
+        assert result.is_compound
+        assert result.heads == ("smart cover", "screen protector")
+
+    def test_or_coordination(self, compound):
+        result = compound.detect("rome hotels or paris hostels")
+        assert result.heads == ("hotels", "hostels")
+
+    def test_vs_coordination(self, compound):
+        result = compound.detect("iphone 5s vs galaxy s4")
+        assert result.is_compound
+        assert set(result.heads) == {"iphone 5s", "galaxy s4"}
+
+    def test_instance_internal_and_not_split(self, compound):
+        # "bed and breakfast" is one taxonomy instance; its "and" must
+        # not become a clause boundary.
+        result = compound.detect("rome bed and breakfast")
+        assert not result.is_compound
+        assert result.heads == ("bed and breakfast",)
+
+    def test_mixed_internal_and_coordinating(self, compound):
+        result = compound.detect("rome bed and breakfast and paris hotels")
+        assert result.is_compound
+        assert result.heads == ("bed and breakfast", "hotels")
+
+    def test_leading_coordinator_ignored(self, compound):
+        result = compound.detect("and rome hotels")
+        assert result.heads == ("hotels",)
+
+    def test_empty_text(self, compound):
+        result = compound.detect("")
+        assert result.clauses == ()
+
+
+class TestAggregates:
+    def test_constraints_collected_across_clauses(self, compound):
+        result = compound.detect(
+            "iphone 5s smart cover and galaxy s4 screen protector"
+        )
+        assert set(result.constraints) == {"iphone 5s", "galaxy s4"}
+
+    def test_clause_detections_match_plain_detection(self, compound, detector):
+        clause = "cheap hotels in rome"
+        compound_result = compound.detect(clause)
+        plain = detector.detect(clause)
+        assert compound_result.clauses[0].head == plain.head
+        assert compound_result.clauses[0].modifiers == plain.modifiers
+
+    def test_text_is_normalized_form(self, compound):
+        result = compound.detect("  Rome   Hotels ")
+        assert result.text == "rome hotels"

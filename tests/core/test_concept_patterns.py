@@ -1,0 +1,166 @@
+"""Tests for repro.core.concept_patterns."""
+
+import pytest
+
+from repro.core.concept_patterns import (
+    ConceptPattern,
+    PatternTable,
+    derive_pattern_table,
+)
+from repro.core.conceptualizer import Conceptualizer
+from repro.errors import ModelError
+from repro.mining.pairs import MinedPair, PairCollection
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_table():
+    return PatternTable(
+        {
+            ConceptPattern("smartphone", "phone accessory"): 10.0,
+            ConceptPattern("city", "lodging"): 6.0,
+            ConceptPattern("phone accessory", "smartphone"): 1.0,
+            ConceptPattern("year", "media resource"): 3.0,
+        }
+    )
+
+
+class TestPatternTable:
+    def test_weight_lookup(self):
+        table = make_table()
+        assert table.weight("smartphone", "phone accessory") == 10.0
+        assert table.weight("nope", "nothing") == 0.0
+
+    def test_score_normalized_by_max(self):
+        table = make_table()
+        assert table.score("smartphone", "phone accessory") == pytest.approx(1.0)
+        assert table.score("city", "lodging") == pytest.approx(0.6)
+
+    def test_empty_table_scores_zero(self):
+        assert PatternTable().score("a", "b") == 0.0
+
+    def test_add_accumulates(self):
+        table = PatternTable()
+        table.add(ConceptPattern("a", "b"), 1.0)
+        table.add(ConceptPattern("a", "b"), 2.0)
+        assert table.weight("a", "b") == 3.0
+
+    def test_add_rejects_non_positive(self):
+        with pytest.raises(ModelError):
+            PatternTable().add(ConceptPattern("a", "b"), 0)
+
+    def test_directionality(self):
+        table = make_table()
+        assert table.directionality("smartphone", "phone accessory") == pytest.approx(
+            (10 - 1) / 11
+        )
+        assert table.directionality("phone accessory", "smartphone") == pytest.approx(
+            -(10 - 1) / 11
+        )
+        assert table.directionality("x", "y") == 0.0
+
+    def test_top_ordering(self):
+        top = make_table().top()
+        assert top[0][0] == ConceptPattern("smartphone", "phone accessory")
+        assert [w for _, w in top] == sorted((w for _, w in top), reverse=True)
+
+    def test_contains_and_len(self):
+        table = make_table()
+        assert ConceptPattern("city", "lodging") in table
+        assert len(table) == 4
+
+
+class TestPruning:
+    def test_pruned_to_count(self):
+        pruned = make_table().pruned_to_count(2)
+        assert len(pruned) == 2
+        assert pruned.weight("smartphone", "phone accessory") == 10.0
+
+    def test_pruned_to_mass(self):
+        # Total 20; 80% of mass = 16 -> need top two (10 + 6).
+        pruned = make_table().pruned_to_mass(0.8)
+        assert len(pruned) == 2
+
+    def test_pruned_to_mass_full(self):
+        assert len(make_table().pruned_to_mass(1.0)) == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ModelError):
+            make_table().pruned_to_count(0)
+        with pytest.raises(ModelError):
+            make_table().pruned_to_mass(0)
+        with pytest.raises(ModelError):
+            make_table().pruned_to_mass(1.5)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        table = make_table()
+        path = tmp_path / "patterns.tsv.gz"
+        table.save(path)
+        loaded = PatternTable.load(path)
+        assert {p: w for p, w in loaded.top()} == {p: w for p, w in table.top()}
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("nope\n")
+        with pytest.raises(ModelError):
+            PatternTable.load(path)
+
+    def test_bad_weight(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# repro-patterns v1\na\tb\tnan-ish\n")
+        with pytest.raises(ModelError):
+            PatternTable.load(path)
+
+
+class TestDerivation:
+    def make_conceptualizer(self):
+        t = ConceptTaxonomy()
+        t.add_edge("iphone 5s", "smartphone", 100)
+        t.add_edge("galaxy s4", "smartphone", 80)
+        t.add_edge("case", "phone accessory", 90)
+        t.add_edge("charger", "phone accessory", 70)
+        t.add_edge("apple", "fruit", 40)
+        t.add_edge("apple", "electronics brand", 60)
+        return Conceptualizer(t)
+
+    def test_aggregates_across_pairs(self):
+        pairs = PairCollection()
+        pairs.add(MinedPair("iphone 5s", "case", 10, "deletion"))
+        pairs.add(MinedPair("galaxy s4", "charger", 5, "deletion"))
+        table = derive_pattern_table(pairs, self.make_conceptualizer())
+        assert table.weight("smartphone", "phone accessory") == pytest.approx(15.0)
+
+    def test_ambiguity_splits_mass(self):
+        pairs = PairCollection()
+        pairs.add(MinedPair("apple", "case", 10, "deletion"))
+        table = derive_pattern_table(pairs, self.make_conceptualizer())
+        assert table.weight("electronics brand", "phone accessory") == pytest.approx(6.0)
+        assert table.weight("fruit", "phone accessory") == pytest.approx(4.0)
+
+    def test_unconceptualizable_pairs_skipped(self):
+        pairs = PairCollection()
+        pairs.add(MinedPair("zzz unknown", "case", 100, "deletion"))
+        table = derive_pattern_table(pairs, self.make_conceptualizer())
+        assert len(table) == 0
+
+    def test_same_concept_pairs_skipped(self):
+        pairs = PairCollection()
+        pairs.add(MinedPair("iphone 5s", "galaxy s4", 10, "deletion"))
+        table = derive_pattern_table(pairs, self.make_conceptualizer())
+        assert table.weight("smartphone", "smartphone") == 0.0
+
+    def test_derived_table_recovers_seed_patterns(self, model):
+        # End-to-end: the heaviest derived patterns must be real seed patterns.
+        from repro.taxonomy.seed_data import pattern_seeds
+
+        seed_pairs = {
+            (p.modifier_concept, p.head_concept) for p in pattern_seeds()
+        }
+        top = model.patterns.top(10)
+        hits = sum(
+            1
+            for pattern, _ in top
+            if (pattern.modifier_concept, pattern.head_concept) in seed_pairs
+        )
+        assert hits >= 8

@@ -1,0 +1,202 @@
+"""Tests for repro.core.conceptualizer."""
+
+import pytest
+
+from repro.core.conceptualizer import Conceptualizer
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_taxonomy():
+    t = ConceptTaxonomy()
+    t.add_edge("apple", "fruit", 40)
+    t.add_edge("apple", "electronics brand", 60)
+    t.add_edge("iphone 5s", "smartphone", 100)
+    t.add_edge("case", "phone accessory", 80)
+    t.add_edge("charger", "phone accessory", 70)
+    return t
+
+
+class TestConceptualize:
+    def test_known_instance(self):
+        c = Conceptualizer(make_taxonomy())
+        concepts = dict(c.conceptualize("iphone 5s"))
+        assert concepts == {"smartphone": 1.0}
+
+    def test_ambiguous_instance_ordered(self):
+        c = Conceptualizer(make_taxonomy())
+        ranked = c.conceptualize("apple")
+        assert ranked[0][0] == "electronics brand"
+        assert sum(p for _, p in ranked) == pytest.approx(1.0)
+
+    def test_unknown_single_word_empty(self):
+        c = Conceptualizer(make_taxonomy())
+        assert c.conceptualize("zzz") == []
+
+    def test_top_k_limits(self):
+        c = Conceptualizer(make_taxonomy())
+        assert len(c.conceptualize("apple", top_k=1)) == 1
+
+    def test_is_known(self):
+        c = Conceptualizer(make_taxonomy())
+        assert c.is_known("apple")
+        assert not c.is_known("zzz")
+
+
+class TestBackoff:
+    def test_suffix_backoff_for_unknown_compound(self):
+        c = Conceptualizer(make_taxonomy())
+        concepts = c.conceptualize("purple iphone 5s")
+        assert concepts
+        assert concepts[0][0] == "smartphone"
+
+    def test_backoff_attenuates(self):
+        c = Conceptualizer(make_taxonomy())
+        direct = dict(c.conceptualize("iphone 5s"))["smartphone"]
+        backed = dict(c.conceptualize("purple iphone 5s"))["smartphone"]
+        assert backed < direct
+
+    def test_backoff_depth_limit(self):
+        c = Conceptualizer(make_taxonomy(), max_backoff_tokens=1)
+        assert c.conceptualize("very purple iphone 5s") == []
+
+    def test_deeper_backoff_when_allowed(self):
+        c = Conceptualizer(make_taxonomy(), max_backoff_tokens=2)
+        assert c.conceptualize("very purple iphone 5s") != []
+
+
+class TestContextDisambiguation:
+    def test_context_shifts_ambiguous_sense(self):
+        c = Conceptualizer(make_taxonomy())
+        # Pattern-table-like compatibility: brands co-occur with accessories.
+        def compat(concept, context_concept):
+            if concept == "electronics brand" and context_concept == "phone accessory":
+                return 1.0
+            return 0.0
+
+        ranked = c.conceptualize_with_context(
+            "apple", {"phone accessory": 1.0}, compat
+        )
+        assert ranked[0][0] == "electronics brand"
+        assert ranked[0][1] > 0.6  # boosted beyond its 0.6 prior
+
+    def test_no_signal_keeps_prior(self):
+        c = Conceptualizer(make_taxonomy())
+        ranked = c.conceptualize_with_context(
+            "apple", {"phone accessory": 1.0}, lambda a, b: 0.0
+        )
+        assert dict(ranked) == dict(c.conceptualize("apple"))
+
+    def test_empty_context_keeps_prior(self):
+        c = Conceptualizer(make_taxonomy())
+        ranked = c.conceptualize_with_context("apple", {}, lambda a, b: 1.0)
+        assert ranked[0][0] == "electronics brand"
+
+    def test_unknown_phrase_stays_empty(self):
+        c = Conceptualizer(make_taxonomy())
+        assert c.conceptualize_with_context("zzz", {"x": 1.0}, lambda a, b: 1.0) == []
+
+
+class TestSelfConceptReading:
+    def test_concept_name_reads_as_itself(self):
+        c = Conceptualizer(make_taxonomy())
+        readings = dict(c.conceptualize("smartphone"))
+        assert readings == {"smartphone": 1.0}
+
+    def test_blended_when_also_an_instance(self):
+        t = make_taxonomy()
+        # "fruit" is a concept; make it also an instance of "food group".
+        t.add_edge("fruit", "food group", 10)
+        c = Conceptualizer(t, self_concept_weight=0.6)
+        readings = dict(c.conceptualize("fruit"))
+        assert readings["fruit"] == pytest.approx(0.6)
+        assert readings["food group"] == pytest.approx(0.4)
+
+    def test_disabled_with_zero_weight(self):
+        c = Conceptualizer(make_taxonomy(), self_concept_weight=0.0)
+        assert c.conceptualize("smartphone") == []
+
+    def test_backoff_reaches_concept_names(self):
+        c = Conceptualizer(make_taxonomy())
+        readings = c.conceptualize("rugged smartphone")
+        assert readings and readings[0][0] == "smartphone"
+        assert readings[0][1] < 1.0  # attenuated
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Conceptualizer(make_taxonomy(), self_concept_weight=1.5)
+
+    def test_detector_handles_concept_word_queries(self, detector):
+        detection = detector.detect("smartphone case")
+        assert detection.head == "case"
+        assert detection.method == "pattern"
+
+
+class TestAncestorExpansion:
+    def make_hierarchical(self):
+        t = make_taxonomy()
+        t.add_edge("smartphone", "device", 50)
+        t.add_edge("phone accessory", "accessory", 50)
+        return Conceptualizer(t)
+
+    def test_parents_added_with_attenuation(self):
+        c = self.make_hierarchical()
+        readings = c.conceptualize("iphone 5s")
+        expanded = dict(c.expand_with_ancestors(readings, discount=0.3))
+        # "smartphone" reads partly as itself (self-reading) and partly as
+        # a device instance; the ancestor expansion adds "device".
+        assert "device" in expanded
+        assert expanded["device"] < expanded["smartphone"]
+
+    def test_zero_discount_is_identity(self):
+        c = self.make_hierarchical()
+        readings = c.conceptualize("iphone 5s")
+        assert c.expand_with_ancestors(readings, discount=0.0) == sorted(
+            readings, key=lambda kv: (-kv[1], kv[0])
+        )
+
+    def test_concepts_without_parents_unchanged(self):
+        c = self.make_hierarchical()
+        readings = [("fruit", 1.0)]
+        assert dict(c.expand_with_ancestors(readings, 0.5)) == {"fruit": 1.0}
+
+    def test_invalid_discount(self):
+        c = self.make_hierarchical()
+        with pytest.raises(ValueError):
+            c.expand_with_ancestors([("x", 1.0)], discount=2.0)
+
+
+class TestSeedHierarchy:
+    def test_seed_taxonomy_has_hierarchy(self, taxonomy):
+        assert taxonomy.has_concept("device")
+        assert taxonomy.edge_count("smartphone", "device") > 0
+        assert taxonomy.edge_count("phone accessory", "accessory") > 0
+
+    def test_hierarchy_optional(self):
+        from repro.taxonomy.builder import build_from_seed
+
+        without = build_from_seed(include_hierarchy=False)
+        assert not without.has_concept("device")
+
+    def test_super_concept_seeds_validated(self):
+        from repro.taxonomy.seed_data import super_concept_seeds
+
+        edges = super_concept_seeds()
+        assert ("smartphone", "device") in edges
+        parents = {parent for _, parent in edges}
+        # Parents are hierarchy-only names, never base concepts.
+        from repro.taxonomy.seed_data import concept_seeds
+
+        assert parents.isdisjoint({s.concept for s in concept_seeds()})
+
+
+class TestOnSeedTaxonomy:
+    def test_distributions_normalized(self, taxonomy):
+        c = Conceptualizer(taxonomy)
+        for phrase in ["apple", "iphone 5s", "rome", "battery"]:
+            ranked = c.conceptualize(phrase, top_k=50)
+            assert sum(p for _, p in ranked) == pytest.approx(1.0)
+
+    def test_battery_is_cross_domain(self, taxonomy):
+        c = Conceptualizer(taxonomy)
+        concepts = {concept for concept, _ in c.conceptualize("battery", top_k=5)}
+        assert {"phone accessory", "auto part"} <= concepts

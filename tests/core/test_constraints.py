@@ -1,0 +1,188 @@
+"""Tests for repro.core.constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    ConstraintClassifier,
+    LogisticRegression,
+    RuleConstraintClassifier,
+)
+from repro.core.detector import DetectedTerm, Detection, TermRole
+from repro.core.features import ConstraintFeatureExtractor
+from repro.errors import ModelError, NotFittedError
+
+
+class TestLogisticRegression:
+    def test_learns_linearly_separable(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        model = LogisticRegression(epochs=300).fit(X, y)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.95
+
+    def test_predict_proba_bounds(self):
+        X = np.array([[0.0], [1.0], [100.0], [-100.0]])
+        model = LogisticRegression(epochs=50).fit(
+            np.array([[0.0], [1.0]]), np.array([0.0, 1.0])
+        )
+        probabilities = model.predict_proba(X)
+        assert np.all(probabilities >= 0) and np.all(probabilities <= 1)
+
+    def test_sample_weights_shift_boundary(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        heavy_negative = LogisticRegression(epochs=300).fit(
+            X, y, sample_weight=np.array([100.0, 100.0, 1.0, 1.0])
+        )
+        heavy_positive = LogisticRegression(epochs=300).fit(
+            X, y, sample_weight=np.array([1.0, 1.0, 100.0, 100.0])
+        )
+        x_test = np.array([[1.5]])
+        assert heavy_positive.predict_proba(x_test)[0] > heavy_negative.predict_proba(
+            x_test
+        )[0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ModelError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ModelError):
+            LogisticRegression(epochs=0)
+
+    def test_shape_validation(self):
+        model = LogisticRegression()
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((2, 2)), np.array([0.0, 2.0]))
+
+    def test_serialization_round_trip(self):
+        X = np.array([[0.0], [1.0]])
+        model = LogisticRegression(epochs=50).fit(X, np.array([0.0, 1.0]))
+        restored = LogisticRegression.from_dict(model.to_dict())
+        assert np.allclose(
+            restored.predict_proba(X), model.predict_proba(X)
+        )
+
+    def test_serialize_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().to_dict()
+
+
+class TestRuleConstraintClassifier:
+    def setup_method(self):
+        self.rule = RuleConstraintClassifier()
+
+    def test_subjective_not_constraint(self):
+        assert not self.rule.is_constraint("best case", "best")
+
+    def test_verb_not_constraint(self):
+        assert not self.rule.is_constraint("buy case", "buy")
+
+    def test_everything_else_constraint(self):
+        assert self.rule.is_constraint("iphone 5s case", "iphone 5s")
+
+    def test_probability_is_binary(self):
+        assert self.rule.constraint_probability("q", "best") == 0.0
+        assert self.rule.constraint_probability("q", "rome") == 1.0
+
+    def test_annotate_sets_flags_on_modifiers_only(self):
+        detection = Detection(
+            query="best iphone 5s case",
+            terms=(
+                DetectedTerm("best", TermRole.MODIFIER, "subjective"),
+                DetectedTerm("iphone 5s", TermRole.MODIFIER, "instance"),
+                DetectedTerm("case", TermRole.HEAD, "instance"),
+            ),
+            score=1.0,
+            method="pattern",
+        )
+        annotated = self.rule.annotate(detection)
+        flags = {t.text: t.is_constraint for t in annotated.terms}
+        assert flags["best"] is False
+        assert flags["iphone 5s"] is True
+        assert flags["case"] is None  # head untouched
+
+
+class TestTrainedConstraintClassifier:
+    def test_model_has_classifier(self, model):
+        assert isinstance(model.classifier, ConstraintClassifier)
+
+    def test_canonical_decisions(self, model):
+        classifier = model.classifier
+        assert not classifier.is_constraint("popular iphone 5s smart cover", "popular")
+        assert classifier.is_constraint("popular iphone 5s smart cover", "iphone 5s")
+        assert classifier.is_constraint("rome hotels", "rome")
+
+    def test_probability_monotone_with_threshold(self, model):
+        classifier = model.classifier
+        p = classifier.constraint_probability("rome hotels", "rome")
+        assert 0 <= p <= 1
+        assert classifier.is_constraint("rome hotels", "rome") == (
+            p >= classifier.threshold
+        )
+
+    def test_invalid_threshold_rejected(self, model):
+        with pytest.raises(ModelError):
+            ConstraintClassifier(
+                model.classifier.extractor, model.classifier.model, threshold=0.0
+            )
+
+    def test_annotate_preserves_structure(self, model, detector):
+        detection = detector.detect("popular iphone 5s smart cover")
+        assert detection.head == "smart cover"
+        flagged = [t for t in detection.modifier_terms if t.is_constraint is not None]
+        assert len(flagged) == len(detection.modifier_terms)
+
+    def test_with_stats_returns_new_classifier(self, model, train_stats):
+        bound = model.classifier.with_stats(train_stats)
+        assert bound is not model.classifier
+        assert bound.threshold == model.classifier.threshold
+
+
+class TestCalibration:
+    def make_validation(self, eval_examples):
+        rows, labels = [], []
+        for example in eval_examples[:200]:
+            for modifier in example.gold.modifiers:
+                rows.append((example.query, modifier.surface))
+                labels.append(modifier.is_constraint)
+        return rows, labels
+
+    def test_calibrated_at_least_as_good(self, model, eval_examples):
+        rows, labels = self.make_validation(eval_examples)
+        base = model.classifier.with_stats(None)
+        calibrated = base.calibrated(rows, labels)
+
+        def f1_of(classifier):
+            tp = fp = fn = 0
+            for (query, modifier), label in zip(rows, labels):
+                predicted = classifier.is_constraint(query, modifier)
+                tp += predicted and label
+                fp += predicted and not label
+                fn += (not predicted) and label
+            precision = tp / (tp + fp) if tp + fp else 0
+            recall = tp / (tp + fn) if tp + fn else 0
+            return 2 * precision * recall / (precision + recall) if precision + recall else 0
+
+        assert f1_of(calibrated) >= f1_of(base) - 1e-9
+
+    def test_calibrated_threshold_in_range(self, model, eval_examples):
+        rows, labels = self.make_validation(eval_examples)
+        calibrated = model.classifier.with_stats(None).calibrated(rows, labels)
+        assert 0 < calibrated.threshold < 1
+
+    def test_empty_validation_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.classifier.calibrated([], [])
+
+    def test_misaligned_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.classifier.calibrated([("q", "m")], [True, False])

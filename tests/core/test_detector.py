@@ -1,0 +1,193 @@
+"""Tests for repro.core.detector."""
+
+import pytest
+
+from repro.core.concept_patterns import ConceptPattern, PatternTable
+from repro.core.conceptualizer import Conceptualizer
+from repro.core.detector import (
+    Detection,
+    DetectorConfig,
+    HeadModifierDetector,
+    TermRole,
+)
+from repro.errors import ModelError
+from repro.mining.pairs import MinedPair, PairCollection
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_taxonomy():
+    t = ConceptTaxonomy()
+    t.add_edge("iphone 5s", "smartphone", 100)
+    t.add_edge("galaxy s4", "smartphone", 70)
+    t.add_edge("case", "phone accessory", 90)
+    t.add_edge("smart cover", "phone accessory", 40)
+    t.add_edge("rome", "city", 80)
+    t.add_edge("hotels", "lodging", 85)
+    t.add_edge("apple", "fruit", 40)
+    t.add_edge("apple", "electronics brand", 60)
+    t.add_edge("charger", "phone accessory", 55)
+    return t
+
+
+def make_detector(instance_pairs=None, config=None):
+    taxonomy = make_taxonomy()
+    patterns = PatternTable(
+        {
+            ConceptPattern("smartphone", "phone accessory"): 10.0,
+            ConceptPattern("city", "lodging"): 8.0,
+            ConceptPattern("electronics brand", "phone accessory"): 5.0,
+        }
+    )
+    return HeadModifierDetector(
+        patterns,
+        Conceptualizer(taxonomy),
+        instance_pairs=instance_pairs,
+        config=config,
+    )
+
+
+class TestDetectorConfig:
+    def test_rejects_bad_instance_weight(self):
+        with pytest.raises(ModelError):
+            DetectorConfig(instance_weight=1.5)
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ModelError):
+            DetectorConfig(top_k_concepts=0)
+
+
+class TestBasicDetection:
+    def test_pattern_head(self):
+        detection = make_detector().detect("iphone 5s case")
+        assert detection.head == "case"
+        assert detection.modifiers == ("iphone 5s",)
+        assert detection.method == "pattern"
+
+    def test_order_insensitive(self):
+        detection = make_detector().detect("case iphone 5s")
+        assert detection.head == "case"
+
+    def test_unseen_instance_pair_generalizes(self):
+        # ("galaxy s4" -> "smart cover") never appears in the pattern
+        # derivation above at instance level; concepts carry it.
+        detection = make_detector().detect("galaxy s4 smart cover")
+        assert detection.head == "smart cover"
+
+    def test_subjective_modifier_tagged(self):
+        detection = make_detector().detect("popular iphone 5s case")
+        assert detection.head == "case"
+        assert "popular" in detection.modifiers
+
+    def test_single_content_segment(self):
+        detection = make_detector().detect("hotels")
+        assert detection.head == "hotels"
+        assert detection.method == "single"
+
+    def test_empty_text(self):
+        detection = make_detector().detect("   ")
+        assert detection.head is None
+        assert detection.method == "empty"
+
+    def test_all_structural(self):
+        detection = make_detector().detect("best of the best")
+        assert detection.head is None
+        assert detection.method == "structural"
+
+    def test_ambiguous_modifier_disambiguated_by_head(self):
+        detection = make_detector().detect("apple charger")
+        modifier = detection.modifier_terms[0]
+        assert modifier.text == "apple"
+        assert modifier.top_concept == "electronics brand"
+
+    def test_fallback_on_no_evidence(self):
+        detection = make_detector().detect("frob zzz")
+        assert detection.method == "fallback"
+        assert detection.head == "zzz"  # rightmost content segment
+
+
+class TestConnectorHeuristic:
+    def test_connector_names_head_side(self):
+        detection = make_detector().detect("hotels in rome")
+        assert detection.head == "hotels"
+        assert "connector" in detection.method
+
+    def test_connector_beats_position(self):
+        # Without the heuristic, positional fallback would pick "zzz".
+        detection = make_detector().detect("frob for zzz")
+        assert detection.head == "frob"
+
+    def test_heuristic_can_be_disabled(self):
+        config = DetectorConfig(use_connector_heuristic=False)
+        detection = make_detector(config=config).detect("frob for zzz")
+        assert detection.head == "zzz"
+
+
+class TestInstanceMemory:
+    def test_instance_pairs_boost(self):
+        pairs = PairCollection()
+        pairs.add(MinedPair("zzz", "frob", 100, "deletion"))
+        detector = make_detector(instance_pairs=pairs)
+        detection = detector.detect("zzz frob")
+        assert detection.head == "frob"
+        assert detection.method == "pattern"  # scored, not fallback
+
+    def test_instance_weight_zero_disables_memory(self):
+        pairs = PairCollection()
+        pairs.add(MinedPair("zzz", "frob", 100, "deletion"))
+        config = DetectorConfig(instance_weight=0.0)
+        detector = make_detector(instance_pairs=pairs, config=config)
+        assert detector.detect("zzz frob").method == "fallback"
+
+
+class TestDetectionResult:
+    def test_roles_partition_terms(self):
+        detection = make_detector().detect("popular iphone 5s case")
+        roles = [t.role for t in detection.terms]
+        assert roles.count(TermRole.HEAD) == 1
+        assert TermRole.MODIFIER in roles
+
+    def test_head_term_concepts_attached(self):
+        detection = make_detector().detect("iphone 5s case")
+        assert detection.head_term.top_concept == "phone accessory"
+
+    def test_explain_mentions_roles(self):
+        text = make_detector().detect("iphone 5s case").explain()
+        assert "head" in text
+        assert "modifier" in text
+
+    def test_score_in_unit_range(self):
+        detection = make_detector().detect("iphone 5s case")
+        assert 0 <= detection.score <= 1
+
+    def test_detect_batch(self):
+        detections = make_detector().detect_batch(["iphone 5s case", "hotels"])
+        assert len(detections) == 2
+        assert all(isinstance(d, Detection) for d in detections)
+
+
+class TestTrainedModelDetection:
+    """End-to-end behaviour on the session-trained model."""
+
+    @pytest.mark.parametrize(
+        ("query", "head"),
+        [
+            ("popular iphone 5s smart cover", "smart cover"),
+            ("cheap hotels in rome", "hotels"),
+            ("galaxy s4 screen protector", "screen protector"),
+            ("honda civic brake pads", "brake pads"),
+            ("vegan lasagna recipe", "recipe"),
+            ("2013 movies", "movies"),
+        ],
+    )
+    def test_headline_queries(self, detector, query, head):
+        assert detector.detect(query).head == head
+
+    def test_constraints_annotated(self, detector):
+        detection = detector.detect("popular iphone 5s smart cover")
+        assert "iphone 5s" in detection.constraints
+        assert "popular" not in detection.constraints
+
+    def test_detection_deterministic(self, detector):
+        a = detector.detect("cheap rome hotels")
+        b = detector.detect("cheap rome hotels")
+        assert a == b

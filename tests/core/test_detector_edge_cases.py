@@ -1,0 +1,65 @@
+"""Edge-case regression guards for the detector on quirky inputs."""
+
+import pytest
+
+from repro.core.detector import TermRole
+
+
+class TestQuirkyInputs:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "for",                         # lone connector
+            "best",                        # lone subjective word
+            "2013",                        # lone number
+            "iphone 5s iphone 5s",         # repeated segment
+            "for for for",                 # repeated connectors
+            "a the of",                    # stopwords only
+            "$25 20%",                     # symbols
+            "x" * 300,                     # pathological long token
+            " ".join(["case"] * 30),       # very long query
+        ],
+    )
+    def test_never_crashes(self, detector, text):
+        detection = detector.detect(text)
+        assert detection.score >= 0.0
+
+    def test_repeated_segment_one_head(self, detector):
+        detection = detector.detect("iphone 5s iphone 5s case")
+        heads = [t for t in detection.terms if t.role is TermRole.HEAD]
+        assert len(heads) == 1
+        assert detection.head == "case"
+
+    def test_numeric_only_query(self, detector):
+        detection = detector.detect("2013 2014")
+        assert detection.head in {"2013", "2014"}
+
+    def test_duplicate_connector_not_single_connector_path(self, detector):
+        # Two connectors: the single-connector heuristic must not fire.
+        detection = detector.detect("case for iphone for travel")
+        assert detection.head is not None
+
+    def test_query_with_only_head_instance(self, detector):
+        detection = detector.detect("screen protector")
+        assert detection.head == "screen protector"
+        assert detection.method == "single"
+
+    def test_unicode_query(self, detector):
+        detection = detector.detect("iphone 5s ñoño case")
+        assert detection.head == "case"
+
+    def test_leading_and_trailing_structure(self, detector):
+        detection = detector.detect("the iphone 5s case for")
+        assert detection.head == "case"
+
+    def test_constraint_flags_only_on_modifiers(self, detector):
+        detection = detector.detect("popular iphone 5s smart cover")
+        for term in detection.terms:
+            if term.role is not TermRole.MODIFIER:
+                assert term.is_constraint is None
+
+    def test_intent_verb_prefix_ignored_for_head(self, detector):
+        detection = detector.detect("buy iphone 5s case")
+        assert detection.head == "case"
+        verb_terms = [t for t in detection.terms if t.text == "buy"]
+        assert verb_terms[0].role is TermRole.OTHER

@@ -1,0 +1,64 @@
+"""Tests for repro.core.explain."""
+
+import pytest
+
+from repro.core.explain import explain_detection
+
+
+class TestExplainDetection:
+    def test_best_candidate_matches_detection(self, detector, eval_examples):
+        checked = 0
+        for example in eval_examples[:100]:
+            explanation = explain_detection(detector, example.query)
+            if explanation.detection.method != "pattern":
+                continue
+            assert explanation.candidates[0].text == explanation.detection.head
+            checked += 1
+        assert checked > 40
+
+    def test_winning_patterns_present_for_pattern_decisions(self, detector):
+        explanation = explain_detection(detector, "iphone 5s smart cover")
+        assert explanation.detection.method == "pattern"
+        assert explanation.winning_patterns
+        top = explanation.winning_patterns[0]
+        assert top.modifier == "iphone 5s"
+        assert top.modifier_concept == "smartphone"
+        assert top.head_concept == "phone accessory"
+        assert top.contribution == pytest.approx(
+            top.probability_mass * top.pattern_score
+        )
+
+    def test_contributions_sorted_descending(self, detector):
+        explanation = explain_detection(detector, "cheap rome hotels")
+        contributions = [c.contribution for c in explanation.winning_patterns]
+        assert contributions == sorted(contributions, reverse=True)
+
+    def test_pattern_component_consistent_with_contributions(self, detector):
+        explanation = explain_detection(detector, "iphone 5s smart cover")
+        winner = explanation.candidates[0]
+        # The full contribution list for the winner sums to its pattern
+        # component (top_patterns only truncates the reported list).
+        full = explain_detection(detector, "iphone 5s smart cover", top_patterns=1000)
+        total = sum(c.contribution for c in full.winning_patterns)
+        assert total == pytest.approx(winner.pattern_component)
+
+    def test_fallback_has_no_winning_patterns(self, detector):
+        explanation = explain_detection(detector, "frob zzz")
+        assert explanation.detection.method == "fallback"
+        assert explanation.winning_patterns == ()
+
+    def test_margin_in_unit_range(self, detector, eval_examples):
+        for example in eval_examples[:40]:
+            explanation = explain_detection(detector, example.query)
+            assert 0.0 <= explanation.margin <= 1.0 + 1e-9
+
+    def test_render_mentions_query_and_candidates(self, detector):
+        text = explain_detection(detector, "iphone 5s smart cover").render()
+        assert "query: iphone 5s smart cover" in text
+        assert "head candidates:" in text
+        assert "winning evidence:" in text
+
+    def test_empty_query(self, detector):
+        explanation = explain_detection(detector, "")
+        assert explanation.candidates == ()
+        assert explanation.detection.head is None

@@ -1,0 +1,139 @@
+"""Tests for repro.core.features."""
+
+import numpy as np
+import pytest
+
+from repro.core.conceptualizer import Conceptualizer
+from repro.core.features import (
+    FEATURE_NAMES,
+    ConstraintFeatureExtractor,
+    DroppabilityTables,
+    build_droppability_tables,
+)
+from repro.core.segmentation import Segmenter
+from repro.querylog.stats import LogStatistics
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_conceptualizer():
+    t = ConceptTaxonomy()
+    t.add_edge("iphone 5s", "smartphone", 100)
+    t.add_edge("rome", "city", 60)
+    t.add_edge("black", "color", 40)
+    return Conceptualizer(t)
+
+
+def feature(vector: np.ndarray, name: str) -> float:
+    return float(vector[FEATURE_NAMES.index(name)])
+
+
+class TestExtract:
+    def setup_method(self):
+        self.extractor = ConstraintFeatureExtractor(make_conceptualizer())
+
+    def test_vector_shape_and_range(self):
+        vector = self.extractor.extract("iphone 5s case", "iphone 5s")
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert np.all(vector >= 0) and np.all(vector <= 1)
+
+    def test_subjective_flag(self):
+        vector = self.extractor.extract("best case", "best")
+        assert feature(vector, "subjective") == 1.0
+        assert feature(self.extractor.extract("q", "rome"), "subjective") == 0.0
+
+    def test_intent_verb_flag(self):
+        assert feature(self.extractor.extract("buy case", "buy"), "intent_verb") == 1.0
+
+    def test_known_instance_flag(self):
+        assert feature(self.extractor.extract("q", "rome"), "known_instance") == 1.0
+        assert feature(self.extractor.extract("q", "zzz"), "known_instance") == 0.0
+
+    def test_numeric_flag(self):
+        assert feature(self.extractor.extract("q", "iphone 5s"), "numeric") == 1.0
+        assert feature(self.extractor.extract("q", "rome"), "numeric") == 0.0
+
+    def test_multiword_flag(self):
+        assert feature(self.extractor.extract("q", "iphone 5s"), "multiword") == 1.0
+        assert feature(self.extractor.extract("q", "rome"), "multiword") == 0.0
+
+    def test_missing_stats_neutral(self):
+        vector = self.extractor.extract("iphone 5s case", "iphone 5s")
+        assert feature(vector, "drop_similarity") == 0.5
+        assert feature(vector, "drop_evidence_missing") == 1.0
+        assert feature(vector, "idf") == 0.5
+
+    def test_droppability_defaults_neutral(self):
+        vector = self.extractor.extract("q", "rome")
+        assert feature(vector, "instance_droppability") == 0.5
+        assert feature(vector, "concept_droppability") == 0.5
+
+    def test_droppability_tables_used(self):
+        extractor = ConstraintFeatureExtractor(
+            make_conceptualizer(),
+            droppability=DroppabilityTables(
+                concept={"color": 0.9}, instance={"black": 0.95}
+            ),
+        )
+        vector = extractor.extract("black case", "black")
+        assert feature(vector, "instance_droppability") == pytest.approx(0.95)
+        assert feature(vector, "concept_droppability") == pytest.approx(0.9)
+
+    def test_extract_batch_stacks(self):
+        rows = [("a b", "a"), ("c d", "d")]
+        matrix = self.extractor.extract_batch(rows)
+        assert matrix.shape == (2, len(FEATURE_NAMES))
+
+    def test_extract_batch_empty(self):
+        assert self.extractor.extract_batch([]).shape == (0, len(FEATURE_NAMES))
+
+    def test_with_stats_rebinds(self, train_stats):
+        bound = self.extractor.with_stats(train_stats)
+        assert bound is not self.extractor
+        vector = bound.extract("unknown query here", "unknown")
+        assert feature(vector, "idf") > 0  # idf now computed from the log
+
+
+class TestDropEvidence:
+    def test_drop_similarity_feature_from_stats(self, train_log, train_stats):
+        # Find a log query with a subjective modifier and verify the drop
+        # feature is high for it.
+        extractor = ConstraintFeatureExtractor(
+            make_conceptualizer(), stats=train_stats
+        )
+        for query, gold in train_log.gold_labels.items():
+            lexical = [m.surface for m in gold.modifiers if m.concept is None]
+            if not lexical or lexical[0] not in query.split():
+                continue
+            similarity = train_stats.drop_similarity(query, lexical[0])
+            if similarity is None:
+                continue
+            vector = extractor.extract(query, lexical[0])
+            assert feature(vector, "drop_similarity") == pytest.approx(similarity)
+            assert feature(vector, "drop_evidence_missing") == 0.0
+            return
+        pytest.skip("no suitable query found")
+
+
+class TestBuildDroppabilityTables:
+    def test_tables_separate_weak_instances(self, train_log, train_stats, taxonomy):
+        conceptualizer = Conceptualizer(taxonomy)
+        tables = build_droppability_tables(
+            train_stats, conceptualizer, Segmenter(taxonomy)
+        )
+        assert tables.concept, "concept table should not be empty"
+        assert tables.instance, "instance table should not be empty"
+        # Subjective-like segments never enter (not instances), but weak
+        # concepts (color/year) must show mixed droppability: strictly
+        # between pure constraints and pure non-constraints.
+        constraint_like = [
+            v for c, v in tables.concept.items() if c in {"smartphone", "city"}
+        ]
+        assert constraint_like and max(constraint_like) < 0.5
+
+    def test_values_in_unit_interval(self, train_stats, taxonomy):
+        conceptualizer = Conceptualizer(taxonomy)
+        tables = build_droppability_tables(
+            train_stats, conceptualizer, Segmenter(taxonomy)
+        )
+        for value in list(tables.concept.values()) + list(tables.instance.values()):
+            assert -1e-9 <= value <= 1 + 1e-9

@@ -1,0 +1,82 @@
+"""Tests for repro.core.model (bundle persistence)."""
+
+import json
+
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.core.model import HdmModel, load_model, save_model
+from repro.errors import ModelError
+
+
+class TestSaveLoad:
+    def test_round_trip_detections_identical(self, model, tmp_path):
+        save_model(model, tmp_path / "bundle")
+        loaded = load_model(tmp_path / "bundle")
+        queries = [
+            "popular iphone 5s smart cover",
+            "cheap hotels in rome",
+            "honda civic brake pads",
+            "2013 movies",
+        ]
+        original_detector = model.detector()
+        loaded_detector = loaded.detector()
+        for query in queries:
+            a = original_detector.detect(query)
+            b = loaded_detector.detect(query)
+            assert a.head == b.head, query
+            assert a.modifiers == b.modifiers
+            assert a.constraints == b.constraints
+
+    def test_round_trip_components(self, model, tmp_path):
+        save_model(model, tmp_path / "bundle")
+        loaded = load_model(tmp_path / "bundle")
+        assert loaded.taxonomy.num_edges == model.taxonomy.num_edges
+        assert len(loaded.patterns) == len(model.patterns)
+        assert len(loaded.pairs) == len(model.pairs)
+        assert loaded.classifier is not None
+        assert loaded.detector_config == model.detector_config
+
+    def test_classifier_probabilities_preserved(self, model, tmp_path):
+        save_model(model, tmp_path / "bundle")
+        loaded = load_model(tmp_path / "bundle")
+        query, modifier = "rome hotels", "rome"
+        # The loaded classifier has no log statistics bound, so compare
+        # against the original in the same stats-free configuration.
+        stats_free = model.classifier.with_stats(None)
+        assert loaded.classifier.constraint_probability(
+            query, modifier
+        ) == pytest.approx(stats_free.constraint_probability(query, modifier))
+
+    def test_model_without_classifier(self, model, tmp_path):
+        bare = HdmModel(
+            taxonomy=model.taxonomy,
+            patterns=model.patterns,
+            pairs=model.pairs,
+            classifier=None,
+            detector_config=DetectorConfig(top_k_concepts=3),
+        )
+        save_model(bare, tmp_path / "bare")
+        loaded = load_model(tmp_path / "bare")
+        assert loaded.classifier is None
+        assert loaded.detector_config.top_k_concepts == 3
+
+    def test_detector_uses_stats_when_given(self, model, train_stats):
+        detector = model.detector(stats=train_stats)
+        detection = detector.detect("popular iphone 5s smart cover")
+        assert detection.head == "smart cover"
+
+
+class TestErrorHandling:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ModelError, match="manifest"):
+            load_model(tmp_path)
+
+    def test_wrong_version(self, model, tmp_path):
+        save_model(model, tmp_path / "bundle")
+        manifest_path = tmp_path / "bundle" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ModelError, match="version"):
+            load_model(tmp_path / "bundle")

@@ -1,0 +1,68 @@
+"""Tests for repro.core.pipeline (end-to-end training)."""
+
+import pytest
+
+from repro.core.pipeline import TrainingConfig, train_model
+from repro.errors import ModelError
+from repro.querylog.generator import LogConfig, generate_log
+from repro.querylog.models import QueryLog
+
+
+class TestTrainingConfig:
+    def test_rejects_bad_pattern_mass(self):
+        with pytest.raises(ModelError):
+            TrainingConfig(pattern_mass=0)
+
+    def test_rejects_bad_drop_threshold(self):
+        with pytest.raises(ModelError):
+            TrainingConfig(drop_label_threshold=1.0)
+
+
+class TestTrainModel:
+    def test_produces_all_components(self, model):
+        assert len(model.patterns) > 0
+        assert len(model.pairs) > 0
+        assert model.classifier is not None
+
+    def test_pattern_cap_respected(self, train_log, taxonomy):
+        config = TrainingConfig(max_patterns=5, train_classifier=False)
+        capped = train_model(train_log, taxonomy, config)
+        assert len(capped.patterns) <= 5
+
+    def test_mass_pruning_shrinks_table(self, train_log, taxonomy):
+        full = train_model(
+            train_log, taxonomy, TrainingConfig(pattern_mass=1.0, train_classifier=False)
+        )
+        pruned = train_model(
+            train_log, taxonomy, TrainingConfig(pattern_mass=0.8, train_classifier=False)
+        )
+        assert len(pruned.patterns) <= len(full.patterns)
+
+    def test_classifier_optional(self, train_log, taxonomy):
+        model = train_model(
+            train_log, taxonomy, TrainingConfig(train_classifier=False)
+        )
+        assert model.classifier is None
+
+    def test_training_is_deterministic(self, train_log, taxonomy):
+        a = train_model(train_log, taxonomy, TrainingConfig(train_classifier=False))
+        b = train_model(train_log, taxonomy, TrainingConfig(train_classifier=False))
+        assert {p: w for p, w in a.patterns.top()} == {
+            p: w for p, w in b.patterns.top()
+        }
+
+    def test_insufficient_log_degrades_gracefully(self, taxonomy):
+        # A tiny log cannot support classifier training; the pipeline must
+        # return a model without one rather than crash.
+        tiny = generate_log(
+            taxonomy,
+            LogConfig(seed=50, num_intents=3, noise_volume=0, session_prob=0.0),
+        )
+        model = train_model(tiny, taxonomy, TrainingConfig())
+        assert model.patterns is not None  # may be small but exists
+
+    def test_empty_log_trains_empty_model(self, taxonomy):
+        model = train_model(QueryLog(), taxonomy, TrainingConfig())
+        assert len(model.pairs) == 0
+        assert len(model.patterns) == 0
+        assert model.classifier is None

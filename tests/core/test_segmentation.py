@@ -1,0 +1,113 @@
+"""Tests for repro.core.segmentation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.segmentation import (
+    CONTENT_KINDS,
+    KIND_CONNECTOR,
+    KIND_INSTANCE,
+    KIND_SUBJECTIVE,
+    KIND_VERB,
+    KIND_WORD,
+    Segmenter,
+)
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_segmenter():
+    t = ConceptTaxonomy()
+    t.add_edge("new york", "city", 100)
+    t.add_edge("york", "city", 2)
+    t.add_edge("iphone 5s", "smartphone", 90)
+    t.add_edge("case", "phone accessory", 50)
+    t.add_edge("hotels", "lodging", 70)
+    t.add_edge("bed and breakfast", "lodging", 30)
+    return Segmenter(t)
+
+
+class TestSegmentation:
+    def test_prefers_long_dictionary_matches(self):
+        segments = make_segmenter().segment("new york hotels")
+        assert [s.text for s in segments] == ["new york", "hotels"]
+
+    def test_multiword_instance_with_stopword_inside(self):
+        segments = make_segmenter().segment("bed and breakfast")
+        assert [s.text for s in segments] == ["bed and breakfast"]
+
+    def test_model_numbers_stay_with_instance(self):
+        segments = make_segmenter().segment("iphone 5s case")
+        assert [s.text for s in segments] == ["iphone 5s", "case"]
+
+    def test_kinds_assigned(self):
+        segments = make_segmenter().segment("best case for new york")
+        kinds = {s.text: s.kind for s in segments}
+        assert kinds["best"] == KIND_SUBJECTIVE
+        assert kinds["case"] == KIND_INSTANCE
+        assert kinds["for"] == KIND_CONNECTOR
+        assert kinds["new york"] == KIND_INSTANCE
+
+    def test_unknown_words_are_word_kind(self):
+        segments = make_segmenter().segment("frobnicator case")
+        assert segments[0].kind == KIND_WORD
+
+    def test_intent_verb_kind(self):
+        segments = make_segmenter().segment("buy case")
+        assert segments[0].kind == KIND_VERB
+
+    def test_empty_input(self):
+        assert make_segmenter().segment("") == []
+
+    def test_offsets_cover_input_exactly(self):
+        segmenter = make_segmenter()
+        text = "best new york bed and breakfast"
+        segments = segmenter.segment(text)
+        assert segments[0].start == 0
+        assert segments[-1].end == len(text.split())
+        for a, b in zip(segments, segments[1:]):
+            assert a.end == b.start
+
+    def test_normalizes_input(self):
+        segments = make_segmenter().segment("  IPhone-5S   Case ")
+        assert [s.text for s in segments] == ["iphone 5s", "case"]
+
+    def test_without_taxonomy_everything_single(self):
+        segmenter = Segmenter(taxonomy=None)
+        segments = segmenter.segment("new york hotels")
+        assert [s.text for s in segments] == ["new", "york", "hotels"]
+
+    def test_content_kinds_constant(self):
+        assert KIND_INSTANCE in CONTENT_KINDS
+        assert KIND_WORD in CONTENT_KINDS
+        assert KIND_SUBJECTIVE not in CONTENT_KINDS
+
+
+class TestSegmentationProperties:
+    @given(st.text(alphabet="abcdefgh ", max_size=40))
+    def test_covers_all_tokens(self, text):
+        segmenter = make_segmenter()
+        tokens = " ".join(text.split())
+        segments = segmenter.segment(text)
+        reconstructed = " ".join(s.text for s in segments)
+        assert reconstructed == tokens
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["new", "york", "hotels", "iphone", "5s", "case", "best", "for"]
+            ),
+            max_size=8,
+        )
+    )
+    def test_segments_partition_token_range(self, words):
+        segments = make_segmenter().segment(" ".join(words))
+        covered = []
+        for segment in segments:
+            covered.extend(range(segment.start, segment.end))
+        assert covered == list(range(len(" ".join(words).split())))
+
+    def test_on_seed_taxonomy_long_queries(self, segmenter):
+        segments = segmenter.segment("cheap new york bed and breakfast for 2013")
+        texts = [s.text for s in segments]
+        assert "new york" in texts
+        assert "bed and breakfast" in texts

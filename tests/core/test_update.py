@@ -1,0 +1,108 @@
+"""Tests for incremental model updates (repro.core.pipeline.update_model)."""
+
+import pytest
+
+from repro import LogConfig, TrainingConfig, generate_log, train_model
+from repro.core.analysis import compare_tables
+from repro.core.pipeline import update_model
+from repro.errors import ModelError
+from repro.eval.harness import evaluate_head_detection
+
+
+@pytest.fixture(scope="module")
+def slice_a(taxonomy):
+    return generate_log(taxonomy, LogConfig(seed=7, num_intents=700))
+
+
+@pytest.fixture(scope="module")
+def slice_b(taxonomy):
+    return generate_log(taxonomy, LogConfig(seed=8, num_intents=700))
+
+
+@pytest.fixture(scope="module")
+def incremental_model(slice_a, slice_b, taxonomy):
+    base = train_model(slice_a, taxonomy, TrainingConfig(train_classifier=False))
+    return update_model(base, slice_b, TrainingConfig(train_classifier=False))
+
+
+@pytest.fixture(scope="module")
+def batch_model(slice_a, slice_b, taxonomy):
+    merged = generate_log(taxonomy, LogConfig(seed=7, num_intents=700))
+    for record in slice_b.records():
+        merged.add_record(record.query, record.frequency, record.clicks)
+    return train_model(merged, taxonomy, TrainingConfig(train_classifier=False))
+
+
+class TestIncrementalUpdate:
+    def test_pairs_grow(self, slice_a, taxonomy, incremental_model):
+        base = train_model(slice_a, taxonomy, TrainingConfig(train_classifier=False))
+        assert len(incremental_model.pairs) > len(base.pairs)
+
+    def test_original_model_untouched(self, slice_a, slice_b, taxonomy):
+        base = train_model(slice_a, taxonomy, TrainingConfig(train_classifier=False))
+        pairs_before = len(base.pairs)
+        patterns_before = {p: w for p, w in base.patterns.top()}
+        update_model(base, slice_b, TrainingConfig(train_classifier=False))
+        assert len(base.pairs) == pairs_before
+        assert {p: w for p, w in base.patterns.top()} == patterns_before
+
+    def test_approximates_batch_retrain(
+        self, incremental_model, batch_model, eval_examples
+    ):
+        diff = compare_tables(incremental_model.patterns, batch_model.patterns)
+        assert diff.rank_agreement > 0.7
+        incremental = evaluate_head_detection(
+            incremental_model.detector(), eval_examples[:400]
+        )
+        batch = evaluate_head_detection(batch_model.detector(), eval_examples[:400])
+        assert abs(incremental.head_accuracy - batch.head_accuracy) < 0.02
+
+    def test_detection_agreement_with_batch(
+        self, incremental_model, batch_model, eval_examples
+    ):
+        incremental_detector = incremental_model.detector()
+        batch_detector = batch_model.detector()
+        agree = sum(
+            incremental_detector.detect(e.query).head
+            == batch_detector.detect(e.query).head
+            for e in eval_examples[:300]
+        )
+        assert agree >= 285  # >= 95% agreement
+
+    def test_decay_shrinks_old_evidence(self, slice_a, slice_b, taxonomy):
+        base = train_model(slice_a, taxonomy, TrainingConfig(train_classifier=False))
+        no_decay = update_model(base, slice_b, TrainingConfig(train_classifier=False))
+        decayed = update_model(
+            base, slice_b, TrainingConfig(train_classifier=False), decay=0.1
+        )
+        # A pair seen only in slice A keeps less support under decay.
+        only_a = next(
+            (m, h)
+            for m, h, _ in base.pairs.items()
+            if (m, h) not in set((m2, h2) for m2, h2, _ in _mined(slice_b, taxonomy))
+        )
+        assert decayed.pairs.support(*only_a) < no_decay.pairs.support(*only_a)
+
+    def test_invalid_decay(self, slice_a, slice_b, taxonomy):
+        base = train_model(slice_a, taxonomy, TrainingConfig(train_classifier=False))
+        with pytest.raises(ModelError):
+            update_model(base, slice_b, decay=0.0)
+
+    def test_classifier_kept_when_not_retraining(self, slice_a, slice_b, taxonomy):
+        base = train_model(slice_a, taxonomy, TrainingConfig())
+        updated = update_model(
+            base, slice_b, TrainingConfig(train_classifier=False)
+        )
+        assert updated.classifier is base.classifier
+
+    def test_classifier_retrained_when_requested(self, slice_a, slice_b, taxonomy):
+        base = train_model(slice_a, taxonomy, TrainingConfig())
+        updated = update_model(base, slice_b, TrainingConfig(train_classifier=True))
+        assert updated.classifier is not None
+        assert updated.classifier is not base.classifier
+
+
+def _mined(log, taxonomy):
+    from repro.mining import mine_pairs
+
+    return list(mine_pairs(log).items())

@@ -1,0 +1,71 @@
+"""Tests for repro.eval.datasets."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.datasets import build_eval_set, split_by_domain, unseen_pair_subset
+from repro.mining.pairs import MinedPair, PairCollection
+
+
+class TestBuildEvalSet:
+    def test_examples_have_modifiers(self, heldout_log):
+        examples = build_eval_set(heldout_log, min_modifiers=1)
+        assert examples
+        assert all(len(e.gold.modifiers) >= 1 for e in examples)
+
+    def test_min_modifiers_zero_includes_heads(self, heldout_log):
+        all_examples = build_eval_set(heldout_log, min_modifiers=0)
+        strict = build_eval_set(heldout_log, min_modifiers=1)
+        assert len(all_examples) > len(strict)
+
+    def test_max_examples_cap(self, heldout_log):
+        assert len(build_eval_set(heldout_log, max_examples=10)) == 10
+
+    def test_deterministic_order(self, heldout_log):
+        a = [e.query for e in build_eval_set(heldout_log, max_examples=50)]
+        b = [e.query for e in build_eval_set(heldout_log, max_examples=50)]
+        assert a == b
+
+    def test_domain_filter(self, heldout_log):
+        examples = build_eval_set(heldout_log, domains=("travel",))
+        assert examples
+        assert all(e.domain == "travel" for e in examples)
+
+    def test_gold_head_always_in_query(self, heldout_log):
+        for example in build_eval_set(heldout_log, max_examples=300):
+            assert example.gold.head in example.query
+
+    def test_negative_min_modifiers_rejected(self, heldout_log):
+        with pytest.raises(EvaluationError):
+            build_eval_set(heldout_log, min_modifiers=-1)
+
+
+class TestUnseenPairSubset:
+    def test_excludes_seen_pairs(self, eval_examples):
+        pairs = PairCollection()
+        example = eval_examples[0]
+        modifier = example.gold.modifiers[0].surface
+        pairs.add(MinedPair(modifier, example.gold.head, 10, "deletion"))
+        unseen = unseen_pair_subset(eval_examples, pairs)
+        assert example not in unseen
+
+    def test_empty_pairs_keeps_all(self, eval_examples):
+        assert len(unseen_pair_subset(eval_examples, PairCollection())) == len(
+            eval_examples
+        )
+
+    def test_subset_of_input(self, eval_examples, model):
+        unseen = unseen_pair_subset(eval_examples, model.pairs)
+        assert set(e.query for e in unseen) <= set(e.query for e in eval_examples)
+
+
+class TestSplitByDomain:
+    def test_partition(self, eval_examples):
+        grouped = split_by_domain(eval_examples)
+        assert sum(len(v) for v in grouped.values()) == len(eval_examples)
+        for domain, group in grouped.items():
+            assert all(e.domain == domain for e in group)
+
+    def test_keys_sorted(self, eval_examples):
+        grouped = split_by_domain(eval_examples)
+        assert list(grouped) == sorted(grouped)

@@ -1,0 +1,71 @@
+"""Tests for repro.eval.errors."""
+
+from repro.baselines import SyntacticDetector
+from repro.eval.errors import (
+    collect_constraint_errors,
+    collect_head_errors,
+    format_head_error_report,
+    summarize_head_errors,
+)
+
+
+class TestCollectHeadErrors:
+    def test_good_detector_few_errors(self, detector, eval_examples):
+        errors = collect_head_errors(detector, eval_examples[:300])
+        assert len(errors) <= 10
+
+    def test_weak_detector_many_errors(self, eval_examples):
+        errors = collect_head_errors(SyntacticDetector(), eval_examples[:300])
+        assert len(errors) > 50
+        sample = errors[0]
+        assert sample.predicted != sample.gold
+        assert sample.domain
+
+    def test_limit_respected(self, eval_examples):
+        errors = collect_head_errors(SyntacticDetector(), eval_examples[:300], limit=5)
+        assert len(errors) == 5
+
+    def test_errors_reference_real_examples(self, eval_examples):
+        by_query = {e.query: e for e in eval_examples[:200]}
+        for error in collect_head_errors(SyntacticDetector(), eval_examples[:200]):
+            assert error.query in by_query
+            assert error.gold == by_query[error.query].gold.head
+
+
+class TestCollectConstraintErrors:
+    def test_rule_classifier_misses_weak_modifiers(self, eval_examples):
+        from repro.core.constraints import RuleConstraintClassifier
+
+        errors = collect_constraint_errors(
+            RuleConstraintClassifier(), eval_examples
+        )
+        # The rule baseline's known blind spot: weak-concept modifiers
+        # (colors/years) that gold marks non-constraint.
+        assert errors
+        assert all(e.predicted_constraint != e.gold_constraint for e in errors)
+
+    def test_limit(self, eval_examples):
+        from repro.core.constraints import RuleConstraintClassifier
+
+        errors = collect_constraint_errors(
+            RuleConstraintClassifier(), eval_examples, limit=3
+        )
+        assert len(errors) <= 3
+
+
+class TestReporting:
+    def test_summary_counters(self, eval_examples):
+        errors = collect_head_errors(SyntacticDetector(), eval_examples[:200])
+        summary = summarize_head_errors(errors)
+        assert sum(summary["by_domain"].values()) == len(errors)
+        assert sum(summary["by_method"].values()) == len(errors)
+
+    def test_report_format(self, eval_examples):
+        errors = collect_head_errors(SyntacticDetector(), eval_examples[:200])
+        report = format_head_error_report(errors, max_rows=5)
+        assert "head errors" in report
+        assert "by domain:" in report
+        assert "by method:" in report
+
+    def test_empty_report(self):
+        assert format_head_error_report([]) == "no head errors"

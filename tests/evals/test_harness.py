@@ -1,0 +1,125 @@
+"""Tests for repro.eval.harness."""
+
+import pytest
+
+from repro.core.detector import DetectedTerm, Detection, TermRole
+from repro.eval.datasets import EvalExample
+from repro.eval.harness import (
+    evaluate_constraints,
+    evaluate_head_detection,
+)
+from repro.querylog.models import GoldLabel, GoldModifier
+
+
+class FixedDetector:
+    """Returns canned detections for testing the harness arithmetic."""
+
+    def __init__(self, answers):
+        self._answers = answers
+
+    def detect(self, query):
+        return self._answers[query]
+
+
+def example(query, head, modifiers=()):
+    return EvalExample(
+        query=query,
+        gold=GoldLabel(
+            head=head,
+            modifiers=tuple(GoldModifier(m, True, None) for m in modifiers),
+            domain="d",
+        ),
+    )
+
+
+def detection(query, head, modifiers=(), method="pattern"):
+    terms = []
+    if head is not None:
+        terms.append(DetectedTerm(head, TermRole.HEAD, "instance"))
+    for modifier in modifiers:
+        terms.append(DetectedTerm(modifier, TermRole.MODIFIER, "instance"))
+    return Detection(query=query, terms=tuple(terms), score=1.0, method=method)
+
+
+class TestEvaluateHeadDetection:
+    def test_perfect_score(self):
+        examples = [example("a b", "b", ["a"])]
+        detector = FixedDetector({"a b": detection("a b", "b", ["a"])})
+        result = evaluate_head_detection(detector, examples)
+        assert result.head_accuracy == 1.0
+        assert result.coverage == 1.0
+        assert result.modifier_metrics.f1 == 1.0
+
+    def test_wrong_head_counts_against_accuracy(self):
+        examples = [example("a b", "b")]
+        detector = FixedDetector({"a b": detection("a b", "a")})
+        result = evaluate_head_detection(detector, examples)
+        assert result.head_accuracy == 0.0
+        assert result.coverage == 1.0
+
+    def test_abstention_reduces_coverage_not_precision(self):
+        examples = [example("a b", "b"), example("c d", "d")]
+        detector = FixedDetector(
+            {
+                "a b": detection("a b", "b"),
+                "c d": detection("c d", None, method="abstain"),
+            }
+        )
+        result = evaluate_head_detection(detector, examples)
+        assert result.head_accuracy == 0.5
+        assert result.head_precision == 1.0
+        assert result.coverage == 0.5
+
+    def test_fallback_counted(self):
+        examples = [example("a b", "b")]
+        detector = FixedDetector({"a b": detection("a b", "b", method="fallback")})
+        result = evaluate_head_detection(detector, examples)
+        assert result.evidence_rate == 0.0
+        assert result.head_accuracy == 1.0
+
+    def test_modifier_metrics_aggregate(self):
+        examples = [example("a b c", "c", ["a", "b"])]
+        detector = FixedDetector({"a b c": detection("a b c", "c", ["a"])})
+        result = evaluate_head_detection(detector, examples)
+        assert result.modifier_metrics.precision == 1.0
+        assert result.modifier_metrics.recall == 0.5
+
+
+class FixedClassifier:
+    def __init__(self, constraint_set):
+        self._constraints = constraint_set
+
+    def is_constraint(self, query, modifier):
+        return modifier in self._constraints
+
+
+class TestEvaluateConstraints:
+    def make_examples(self):
+        gold = GoldLabel(
+            head="case",
+            modifiers=(
+                GoldModifier("iphone 5s", True, "smartphone"),
+                GoldModifier("best", False, None),
+            ),
+            domain="electronics",
+        )
+        return [EvalExample("best iphone 5s case", gold)]
+
+    def test_perfect(self):
+        result = evaluate_constraints(FixedClassifier({"iphone 5s"}), self.make_examples())
+        assert result.accuracy == 1.0
+        assert result.f1 == 1.0
+        assert result.n_modifiers == 2
+
+    def test_over_prediction_hits_precision(self):
+        result = evaluate_constraints(
+            FixedClassifier({"iphone 5s", "best"}), self.make_examples()
+        )
+        assert result.precision == 0.5
+        assert result.recall == 1.0
+        assert result.accuracy == 0.5
+
+    def test_under_prediction_hits_recall(self):
+        result = evaluate_constraints(FixedClassifier(set()), self.make_examples())
+        assert result.recall == 0.0
+        assert result.accuracy == 0.5

@@ -1,0 +1,110 @@
+"""Tests for repro.eval.metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    SetMetrics,
+    average_precision_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    precision_recall_f1,
+)
+
+
+class TestSetMetrics:
+    def test_perfect(self):
+        metrics = precision_recall_f1({"a", "b"}, {"a", "b"})
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_partial(self):
+        metrics = precision_recall_f1({"a", "x"}, {"a", "b"})
+        assert metrics.precision == 0.5
+        assert metrics.recall == 0.5
+        assert metrics.f1 == 0.5
+
+    def test_empty_prediction(self):
+        metrics = precision_recall_f1(set(), {"a"})
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_empty_gold(self):
+        metrics = precision_recall_f1({"a"}, set())
+        assert metrics.precision == 0.0
+        assert metrics.false_positives == 1
+
+    def test_addition_aggregates(self):
+        a = SetMetrics(1, 0, 1)
+        b = SetMetrics(1, 2, 0)
+        combined = a + b
+        assert combined.true_positives == 2
+        assert combined.false_positives == 2
+        assert combined.false_negatives == 1
+
+    @given(
+        st.sets(st.sampled_from("abcdef"), max_size=6),
+        st.sets(st.sampled_from("abcdef"), max_size=6),
+    )
+    def test_counts_consistent(self, predicted, gold):
+        metrics = precision_recall_f1(predicted, gold)
+        assert metrics.true_positives + metrics.false_positives == len(predicted)
+        assert metrics.true_positives + metrics.false_negatives == len(gold)
+        assert 0 <= metrics.f1 <= 1
+
+
+class TestNdcg:
+    def test_ideal_ranking(self):
+        assert ndcg_at_k([3, 2, 1, 0], 4) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        assert ndcg_at_k([0, 0, 0, 3], 4) < 1.0
+
+    def test_all_irrelevant(self):
+        assert ndcg_at_k([0, 0, 0], 3) == 0.0
+
+    def test_k_cuts_list(self):
+        # Relevance beyond k is ignored in DCG but counted in the ideal.
+        assert ndcg_at_k([0, 0, 3], 2) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            ndcg_at_k([1], 0)
+
+    @given(st.lists(st.floats(0, 3), min_size=1, max_size=10), st.integers(1, 10))
+    def test_bounded(self, relevances, k):
+        assert 0 <= ndcg_at_k(relevances, k) <= 1 + 1e-9
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        assert precision_at_k([True, False, True], 2) == 0.5
+
+    def test_short_list(self):
+        assert precision_at_k([True], 5) == 1.0
+
+    def test_empty(self):
+        assert precision_at_k([], 3) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k([True], 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_prefix(self):
+        assert average_precision_at_k([True, True, False], 3) == pytest.approx(1.0)
+
+    def test_late_hit_discounted(self):
+        assert average_precision_at_k([False, True], 2) == pytest.approx(0.5)
+
+    def test_no_hits(self):
+        assert average_precision_at_k([False, False], 2) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            average_precision_at_k([True], 0)

@@ -1,0 +1,30 @@
+"""Tests for repro.eval.reporting."""
+
+import pytest
+
+from repro.eval.reporting import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "v"], [["a", 1.0], ["longer", 2.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all("|" in line for line in lines if "-" not in line)
+
+    def test_floats_formatted(self):
+        table = format_table(["x"], [[0.123456]])
+        assert "0.123" in table
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+        assert set(table.splitlines()[1]) == {"="}
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "a" in table

@@ -1,0 +1,92 @@
+"""Tests for repro.eval.significance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.significance import (
+    BootstrapCI,
+    bootstrap_ci,
+    head_correctness,
+    paired_bootstrap_test,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        outcomes = [True] * 80 + [False] * 20
+        ci = bootstrap_ci(outcomes, seed=1)
+        assert ci.lower <= ci.estimate <= ci.upper
+        assert ci.estimate == pytest.approx(0.8)
+
+    def test_degenerate_all_true(self):
+        ci = bootstrap_ci([True] * 50, seed=1)
+        assert ci.lower == ci.upper == ci.estimate == 1.0
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(0)
+        small = rng.random(50) < 0.7
+        large = rng.random(5000) < 0.7
+        ci_small = bootstrap_ci(small, seed=1)
+        ci_large = bootstrap_ci(large, seed=1)
+        assert (ci_large.upper - ci_large.lower) < (ci_small.upper - ci_small.lower)
+
+    def test_deterministic_given_seed(self):
+        outcomes = [True, False] * 25
+        assert bootstrap_ci(outcomes, seed=9) == bootstrap_ci(outcomes, seed=9)
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([True], confidence=1.5)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self):
+        a = [False] * 60 + [True] * 40
+        b = [True] * 90 + [False] * 10
+        result = paired_bootstrap_test(a, b, seed=2)
+        assert result.delta == pytest.approx(0.5)
+        assert result.significant()
+
+    def test_identical_systems_not_significant(self):
+        a = [True, False] * 50
+        result = paired_bootstrap_test(a, a, seed=2)
+        assert result.delta == 0.0
+        assert not result.significant()
+
+    def test_small_noisy_delta_not_significant(self):
+        rng = np.random.default_rng(3)
+        a = rng.random(30) < 0.5
+        b = a.copy()
+        flip = rng.integers(0, 30, size=2)
+        b[flip] = ~b[flip]
+        result = paired_bootstrap_test(a, b, seed=2)
+        assert result.p_value > 0.01
+
+    def test_misaligned_raises(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_test([True], [True, False])
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_test([], [])
+
+
+class TestHeadCorrectness:
+    def test_on_trained_detector(self, detector, eval_examples):
+        outcomes = head_correctness(detector, eval_examples[:100])
+        assert len(outcomes) == 100
+        assert sum(outcomes) >= 90
+
+    def test_concept_vs_syntactic_significant(self, detector, eval_examples):
+        from repro.baselines import SyntacticDetector
+
+        examples = eval_examples[:400]
+        concept = head_correctness(detector, examples)
+        syntactic = head_correctness(SyntacticDetector(), examples)
+        result = paired_bootstrap_test(syntactic, concept, seed=5)
+        assert result.significant(alpha=0.01)

@@ -1,0 +1,108 @@
+"""Integration tests: the paper's qualitative claims must hold end to end.
+
+These assert the *shapes* EXPERIMENTS.md reports — who wins, with rough
+margins — on the session fixtures (smaller than the benchmark runs, so the
+thresholds are conservative).
+"""
+
+import pytest
+
+from repro.baselines import (
+    InstanceLookupDetector,
+    StatisticalDetector,
+    SyntacticDetector,
+)
+from repro.core.constraints import RuleConstraintClassifier
+from repro.eval.datasets import unseen_pair_subset
+from repro.eval.harness import evaluate_constraints, evaluate_head_detection
+from repro.querylog.stats import LogStatistics
+
+
+@pytest.fixture(scope="module")
+def results(model, detector, eval_examples, segmenter, train_stats):
+    systems = {
+        "concept": detector,
+        "syntactic": SyntacticDetector(),
+        "statistical": StatisticalDetector(train_stats, segmenter),
+        "instance": InstanceLookupDetector(model.pairs, segmenter),
+    }
+    return {
+        name: evaluate_head_detection(system, eval_examples)
+        for name, system in systems.items()
+    }
+
+
+class TestHeadDetectionShape:
+    def test_concept_method_is_accurate(self, results):
+        assert results["concept"].head_accuracy > 0.9
+
+    def test_concept_beats_syntactic(self, results):
+        assert results["concept"].head_accuracy > results["syntactic"].head_accuracy + 0.1
+
+    def test_concept_beats_statistical(self, results):
+        assert (
+            results["concept"].head_accuracy
+            > results["statistical"].head_accuracy + 0.1
+        )
+
+    def test_instance_lookup_precise_but_narrow(self, results):
+        assert results["instance"].head_precision > 0.9
+        assert results["instance"].coverage < 0.6
+
+    def test_concept_has_full_coverage(self, results):
+        assert results["concept"].coverage > 0.95
+
+
+class TestGeneralizationShape:
+    def test_unseen_pairs_separate_the_methods(
+        self, model, detector, eval_examples, segmenter
+    ):
+        unseen = unseen_pair_subset(eval_examples, model.pairs)
+        assert len(unseen) > 50
+        concept = evaluate_head_detection(detector, unseen)
+        instance = evaluate_head_detection(
+            InstanceLookupDetector(model.pairs, segmenter), unseen
+        )
+        assert concept.head_accuracy > 0.9
+        assert instance.head_accuracy < 0.1
+
+
+class TestConstraintShape:
+    def test_trained_beats_rule_baseline(self, model, eval_examples, heldout_log):
+        trained = evaluate_constraints(model.classifier, eval_examples)
+        rule = evaluate_constraints(RuleConstraintClassifier(), eval_examples)
+        assert trained.accuracy >= rule.accuracy
+
+    def test_log_evidence_helps_or_matches(self, model, eval_examples, heldout_log):
+        with_log = evaluate_constraints(
+            model.classifier.with_stats(LogStatistics(heldout_log)), eval_examples
+        )
+        without = evaluate_constraints(
+            model.classifier.with_stats(None), eval_examples
+        )
+        assert with_log.accuracy >= without.accuracy - 0.02
+
+    def test_constraint_quality_absolute(self, model, eval_examples):
+        result = evaluate_constraints(model.classifier, eval_examples)
+        assert result.f1 > 0.9
+
+
+class TestPipelinePurity:
+    def test_gold_labels_not_needed_for_training(self, taxonomy):
+        """Strip gold labels before training: same model quality."""
+        import pathlib
+        import tempfile
+
+        from repro import LogConfig, TrainingConfig, generate_log, train_model
+        from repro.querylog.storage import load_query_log, save_query_log
+
+        log = generate_log(taxonomy, LogConfig(seed=123, num_intents=400))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "log.jsonl"
+            save_query_log(log, path)
+            blind = load_query_log(path, include_gold=False)
+        with_gold = train_model(log, taxonomy, TrainingConfig(train_classifier=False))
+        without_gold = train_model(blind, taxonomy, TrainingConfig(train_classifier=False))
+        assert {p: w for p, w in with_gold.patterns.top()} == {
+            p: w for p, w in without_gold.patterns.top()
+        }

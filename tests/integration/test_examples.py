@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation; rotted examples are worse than none. Each is
+executed in a subprocess exactly as a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Substring each example must print (proof it reached its payload).
+EXPECTED_OUTPUT = {
+    "quickstart.py": "smart cover",
+    "taxonomy_from_text.py": "Typicality",
+    "ads_matching.py": "constraint-aware matcher",
+    "search_relevance.py": "bag-of-words",
+    "query_rewriting.py": "must keep",
+    "train_and_save.py": "reloaded detection",
+    "inspect_patterns.py": "Pattern-table shape",
+    "related_queries.py": "same intent",
+    "titles_and_captions.py": "decision trace",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert {p.name for p in EXAMPLES} == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[example.name] in result.stdout

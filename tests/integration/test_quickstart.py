@@ -1,0 +1,19 @@
+"""The README quickstart must work exactly as documented."""
+
+from repro import build_default_model
+
+
+def test_quickstart_flow():
+    model = build_default_model(seed=7, num_intents=800)
+    detector = model.detector()
+    detection = detector.detect("popular iphone 5s smart cover")
+    assert detection.head == "smart cover"
+    assert set(detection.modifiers) == {"popular", "iphone 5s"}
+    assert detection.constraints == ("iphone 5s",)
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

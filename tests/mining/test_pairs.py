@@ -1,0 +1,175 @@
+"""Tests for repro.mining.pairs."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.pairs import (
+    DeletionMiner,
+    LexicalPatternMiner,
+    MinedPair,
+    MiningConfig,
+    PairCollection,
+    mine_pairs,
+)
+from repro.querylog.models import QueryLog
+from repro.querylog.urls import result_urls
+
+
+def clicks_for(head, concept, constraints, volume=10):
+    urls = result_urls(head, concept, constraints)
+    return {urls[0]: volume, urls[1]: volume // 2 or 1}
+
+
+def make_log():
+    """A tiny hand-built log with unambiguous click structure."""
+    log = QueryLog()
+    log.add_record(
+        "iphone 5s case", 20, clicks_for("case", "phone accessory", ("iphone 5s",))
+    )
+    log.add_record("case", 50, clicks_for("case", "phone accessory", ()))
+    log.add_record("iphone 5s", 40, clicks_for("iphone 5s", "smartphone", ()))
+    log.add_record(
+        "best iphone 5s case",
+        6,
+        clicks_for("case", "phone accessory", ("iphone 5s",)),
+    )
+    log.add_record("cases for galaxy s4", 9, clicks_for("case", "phone accessory", ("galaxy s4",)))
+    log.add_record("hotels in rome", 14, clicks_for("hotels", "lodging", ("rome",)))
+    return log
+
+
+class TestMinedPair:
+    def test_rejects_non_positive_support(self):
+        with pytest.raises(MiningError):
+            MinedPair("a", "b", 0, "deletion")
+
+
+class TestPairCollection:
+    def test_accumulates_support(self):
+        collection = PairCollection()
+        collection.add(MinedPair("m", "h", 2, "deletion"))
+        collection.add(MinedPair("m", "h", 3, "lexical"))
+        assert collection.support("m", "h") == 5
+        assert collection.sources("m", "h") == {"deletion", "lexical"}
+
+    def test_filtered(self):
+        collection = PairCollection()
+        collection.add(MinedPair("a", "b", 10, "x"))
+        collection.add(MinedPair("c", "d", 1, "x"))
+        filtered = collection.filtered(5)
+        assert ("a", "b") in filtered
+        assert ("c", "d") not in filtered
+
+    def test_top_deterministic(self):
+        collection = PairCollection()
+        collection.add(MinedPair("b", "x", 5, "s"))
+        collection.add(MinedPair("a", "x", 5, "s"))
+        assert collection.top(2)[0][0] == "a"
+
+    def test_round_trip(self, tmp_path):
+        collection = PairCollection()
+        collection.add(MinedPair("iphone 5s", "case", 12.5, "deletion"))
+        collection.add(MinedPair("rome", "hotels", 7, "lexical"))
+        path = tmp_path / "pairs.tsv.gz"
+        collection.save(path)
+        loaded = PairCollection.load(path)
+        assert loaded.support("iphone 5s", "case") == 12.5
+        assert loaded.sources("rome", "hotels") == {"lexical"}
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("wrong\n")
+        with pytest.raises(MiningError):
+            PairCollection.load(path)
+
+
+class TestDeletionMiner:
+    def test_mines_directional_pair(self):
+        log = make_log()
+        pairs = PairCollection()
+        for pair in DeletionMiner(MiningConfig(min_query_frequency=1)).mine(log):
+            pairs.add(pair)
+        assert pairs.support("iphone 5s", "case") > 0
+        assert pairs.support("case", "iphone 5s") == 0
+
+    def test_strips_subjective_words(self):
+        log = make_log()
+        pairs = PairCollection()
+        for pair in DeletionMiner(MiningConfig(min_query_frequency=1)).mine(log):
+            pairs.add(pair)
+        assert all("best" not in m for m, _, _ in pairs.items())
+
+    def test_respects_min_frequency(self):
+        log = make_log()
+        config = MiningConfig(min_query_frequency=1000)
+        assert list(DeletionMiner(config).mine(log)) == []
+
+    def test_ignores_clickless_queries(self):
+        log = QueryLog()
+        log.add_record("a b", 10, {})
+        log.add_record("b", 10, {})
+        assert list(DeletionMiner(MiningConfig(min_query_frequency=1)).mine(log)) == []
+
+
+class TestLexicalPatternMiner:
+    def test_for_connector(self):
+        log = make_log()
+        pairs = list(LexicalPatternMiner(MiningConfig(min_query_frequency=1)).mine(log))
+        assert any(p.modifier == "galaxy s4" and p.head == "cases" for p in pairs)
+
+    def test_in_connector(self):
+        log = make_log()
+        pairs = list(LexicalPatternMiner(MiningConfig(min_query_frequency=1)).mine(log))
+        assert any(p.modifier == "rome" and p.head == "hotels" for p in pairs)
+
+    def test_connector_at_edge_ignored(self):
+        log = QueryLog()
+        log.add_record("for rent apartments", 10, {"u": 1})
+        pairs = list(LexicalPatternMiner(MiningConfig(min_query_frequency=1)).mine(log))
+        assert pairs == []
+
+    def test_strips_leading_subjective(self):
+        log = QueryLog()
+        log.add_record("best cases for iphone 5s", 10, {"u": 1})
+        pairs = list(LexicalPatternMiner(MiningConfig(min_query_frequency=1)).mine(log))
+        assert pairs and pairs[0].head == "cases"
+
+
+class TestMinePairs:
+    def test_merges_and_filters(self):
+        log = make_log()
+        pairs = mine_pairs(log, MiningConfig(min_query_frequency=1, min_pair_support=5))
+        assert ("iphone 5s", "case") in pairs
+        assert all(s >= 5 for _, _, s in pairs.items())
+
+    def test_on_generated_log_recovers_gold_pairs(self, train_log):
+        pairs = mine_pairs(train_log)
+        gold_pairs = set()
+        for query, gold in train_log.gold_labels.items():
+            for modifier in gold.modifiers:
+                if modifier.concept is not None:
+                    gold_pairs.add((modifier.surface, gold.head))
+        mined = {(m, h) for m, h, _ in pairs.items()}
+        overlap = mined & gold_pairs
+        precision = len(overlap) / len(mined)
+        recall = len(overlap) / len(gold_pairs)
+        assert precision > 0.8, precision
+        assert recall > 0.5, recall
+
+    def test_never_reads_gold_labels(self, taxonomy):
+        # Structural guarantee: identical records, with and without gold,
+        # must mine identically.
+        from repro.querylog.generator import LogConfig, generate_log
+        from repro.querylog.storage import load_query_log, save_query_log
+        import tempfile, pathlib
+
+        log = generate_log(taxonomy, LogConfig(seed=44, num_intents=150))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "log.jsonl"
+            save_query_log(log, path)
+            stripped = load_query_log(path, include_gold=False)
+        a = mine_pairs(log)
+        b = mine_pairs(stripped)
+        assert dict(((m, h), s) for m, h, s in a.items()) == dict(
+            ((m, h), s) for m, h, s in b.items()
+        )

@@ -1,0 +1,152 @@
+"""Tests for repro.mining.sessions."""
+
+import pytest
+
+from repro.mining.sessions import (
+    ReformulationEvidence,
+    ReformulationMiner,
+    SessionConstraintClassifier,
+    _contiguous_difference,
+)
+from repro.querylog.models import QueryLog, SessionRecord
+
+
+def make_log(sessions):
+    log = QueryLog()
+    seen = set()
+    for queries in sessions:
+        for query in queries:
+            if query not in seen:
+                seen.add(query)
+                log.add_record(query, 1, {"u": 1})
+    for index, queries in enumerate(sessions):
+        log.add_session(SessionRecord(f"s{index}", tuple(queries)))
+    return log
+
+
+class TestContiguousDifference:
+    def test_middle_deletion(self):
+        assert _contiguous_difference(["a", "b", "c"], ["a", "c"]) == ["b"]
+
+    def test_prefix_deletion(self):
+        assert _contiguous_difference(["best", "rome", "hotels"], ["rome", "hotels"]) == [
+            "best"
+        ]
+
+    def test_multi_token_deletion(self):
+        assert _contiguous_difference(
+            ["iphone", "5s", "case"], ["case"]
+        ) == ["iphone", "5s"]
+
+    def test_not_a_subset(self):
+        assert _contiguous_difference(["a", "b"], ["a", "c"]) is None
+
+    def test_non_contiguous_deletion(self):
+        assert _contiguous_difference(["a", "b", "c", "d"], ["b", "d"]) is None
+
+    def test_same_length(self):
+        assert _contiguous_difference(["a"], ["b"]) is None
+
+
+class TestReformulationMiner:
+    def test_drop_recorded(self):
+        log = make_log([["best rome hotels", "rome hotels"]])
+        evidence = ReformulationMiner().mine(log)
+        assert evidence.dropped["best"] == 1
+        assert not evidence.added
+
+    def test_addition_recorded(self):
+        log = make_log([["hotels", "rome hotels"]])
+        evidence = ReformulationMiner().mine(log)
+        assert evidence.added["rome"] == 1
+
+    def test_rewrites_ignored(self):
+        log = make_log([["rome hotels", "paris hostels"]])
+        evidence = ReformulationMiner().mine(log)
+        assert evidence.num_phrases == 0
+
+    def test_multi_step_session(self):
+        log = make_log([["best cheap rome hotels", "cheap rome hotels", "rome hotels"]])
+        evidence = ReformulationMiner().mine(log)
+        assert evidence.dropped["best"] == 1
+        assert evidence.dropped["cheap"] == 1
+
+    def test_oversized_diffs_ignored(self):
+        log = make_log([["a b c d e", "e"]])
+        evidence = ReformulationMiner(max_diff_tokens=3).mine(log)
+        assert evidence.num_phrases == 0
+
+
+class TestReformulationEvidence:
+    def test_droppability_balance(self):
+        evidence = ReformulationEvidence()
+        evidence.dropped["best"] = 9
+        evidence.added["rome"] = 9
+        assert evidence.droppability("best") > 0.9
+        assert evidence.droppability("rome") < 0.1
+
+    def test_no_evidence_is_none(self):
+        assert ReformulationEvidence().droppability("x") is None
+
+    def test_smoothing_pulls_to_half(self):
+        evidence = ReformulationEvidence()
+        evidence.dropped["once"] = 1
+        assert 0.5 < evidence.droppability("once") < 1.0
+
+    def test_merge(self):
+        a = ReformulationEvidence()
+        a.dropped["x"] = 1
+        b = ReformulationEvidence()
+        b.dropped["x"] = 2
+        b.added["y"] = 3
+        a.merge(b)
+        assert a.dropped["x"] == 3
+        assert a.added["y"] == 3
+
+
+class TestSessionConstraintClassifier:
+    def make(self):
+        evidence = ReformulationEvidence()
+        evidence.dropped["best"] = 10
+        evidence.added["rome"] = 10
+        evidence.added["black"] = 8
+        return SessionConstraintClassifier(evidence)
+
+    def test_evidence_based_decisions(self):
+        classifier = self.make()
+        assert not classifier.is_constraint("best hotels", "best")
+        assert classifier.is_constraint("rome hotels", "rome")
+        # "black" is lexically adjective-like, but sessions show users
+        # adding it back: evidence overrides the lexicon.
+        assert classifier.is_constraint("black dress", "black")
+
+    def test_lexicon_fallback(self):
+        classifier = self.make()
+        assert not classifier.is_constraint("cheap hotels", "cheap")
+        assert classifier.is_constraint("paris hotels", "paris")
+
+    def test_coverage(self):
+        classifier = self.make()
+        assert classifier.coverage(["best", "rome", "unknown"]) == pytest.approx(2 / 3)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SessionConstraintClassifier(ReformulationEvidence(), threshold=1.0)
+
+
+class TestOnGeneratedLog:
+    def test_session_evidence_matches_gold(self, train_log):
+        evidence = ReformulationMiner().mine(train_log)
+        assert evidence.num_phrases > 20
+        classifier = SessionConstraintClassifier(evidence)
+        correct = total = 0
+        for query, gold in train_log.gold_labels.items():
+            for modifier in gold.modifiers:
+                droppability = evidence.droppability(modifier.surface)
+                if droppability is None:
+                    continue
+                total += 1
+                predicted = classifier.is_constraint(query, modifier.surface)
+                correct += predicted == modifier.is_constraint
+        assert total > 50
+        assert correct / total > 0.85

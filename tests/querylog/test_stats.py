@@ -1,0 +1,121 @@
+"""Tests for repro.querylog.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.querylog.models import QueryLog
+from repro.querylog.stats import (
+    LogStatistics,
+    click_similarity,
+    host_path_similarity,
+)
+
+
+def make_log():
+    log = QueryLog()
+    log.add_record(
+        "iphone 5s case",
+        10,
+        {"https://acc.example.com/case?c=iphone-5s&r=1": 6,
+         "https://acc.example.com/case?c=iphone-5s&r=2": 2},
+    )
+    log.add_record("case", 40, {"https://acc.example.com/case?r=1": 20})
+    log.add_record("iphone 5s", 25, {"https://phone.example.com/iphone-5s?r=1": 12})
+    log.add_record(
+        "best iphone 5s case",
+        4,
+        {"https://acc.example.com/case?c=iphone-5s&r=1": 2},
+    )
+    return log
+
+
+class TestClickSimilarity:
+    def test_identical(self):
+        clicks = {"a": 3, "b": 1}
+        assert click_similarity(clicks, clicks) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert click_similarity({"a": 1}, {"b": 1}) == 0.0
+
+    def test_empty(self):
+        assert click_similarity({}, {"a": 1}) == 0.0
+
+    @given(
+        st.dictionaries(st.sampled_from("abcd"), st.integers(1, 10), max_size=4),
+        st.dictionaries(st.sampled_from("abcd"), st.integers(1, 10), max_size=4),
+    )
+    def test_bounded_and_symmetric(self, a, b):
+        s = click_similarity(a, b)
+        assert 0 <= s <= 1 + 1e-9
+        assert s == pytest.approx(click_similarity(b, a))
+
+
+class TestHostPathSimilarity:
+    def test_ignores_query_string(self):
+        a = {"https://x.com/p?c=1": 3}
+        b = {"https://x.com/p?c=2": 5}
+        assert host_path_similarity(a, b) == pytest.approx(1.0)
+
+    def test_different_paths_disjoint(self):
+        a = {"https://x.com/p1?r=1": 1}
+        b = {"https://x.com/p2?r=1": 1}
+        assert host_path_similarity(a, b) == 0.0
+
+
+class TestLogStatistics:
+    def setup_method(self):
+        self.stats = LogStatistics(make_log())
+
+    def test_total_volume(self):
+        assert self.stats.total_volume == 79
+
+    def test_term_idf_orders_by_rarity(self):
+        assert self.stats.term_idf("best") > self.stats.term_idf("case")
+
+    def test_term_idf_unknown_is_highest(self):
+        assert self.stats.term_idf("zzz") >= self.stats.term_idf("best")
+
+    def test_phrase_idf_averages(self):
+        single = self.stats.term_idf("iphone")
+        phrase = self.stats.phrase_idf("iphone 5s")
+        assert phrase == pytest.approx(
+            (single + self.stats.term_idf("5s")) / 2
+        )
+
+    def test_term_volume(self):
+        assert self.stats.term_volume("case") == 54
+
+    def test_standalone_probability(self):
+        assert self.stats.standalone_probability("case") == pytest.approx(40 / 79)
+        assert self.stats.standalone_probability("unknown query") == 0.0
+
+    def test_click_entropy(self):
+        assert self.stats.click_entropy("case") == 0.0
+        assert self.stats.click_entropy("iphone 5s case") > 0.0
+        assert self.stats.click_entropy("nope") == 0.0
+
+    def test_drop_similarity_nonconstraint_high(self):
+        similarity = self.stats.drop_similarity("best iphone 5s case", "best")
+        assert similarity is not None and similarity > 0.9
+
+    def test_drop_similarity_constraint_low(self):
+        similarity = self.stats.drop_similarity("iphone 5s case", "iphone 5s")
+        assert similarity is not None and similarity < 0.1
+
+    def test_drop_similarity_missing_evidence(self):
+        assert self.stats.drop_similarity("iphone 5s case", "5s case") is None
+        assert self.stats.drop_similarity("unknown", "x") is None
+        assert self.stats.drop_similarity("case", "case") is None
+
+    def test_subquery_support(self):
+        support = self.stats.subquery_support("iphone 5s case", "case")
+        assert support is not None
+        hp_sim, standalone = support
+        assert hp_sim > 0.9
+        assert standalone == pytest.approx(40 / 79)
+
+    def test_subquery_support_missing(self):
+        assert self.stats.subquery_support("iphone 5s case", "5s case") is None

@@ -1,0 +1,89 @@
+"""Tests for repro.querylog.storage."""
+
+import pytest
+
+from repro.errors import QueryLogError
+from repro.querylog.generator import LogConfig, generate_log
+from repro.querylog.models import GoldLabel, GoldModifier, QueryLog, SessionRecord
+from repro.querylog.storage import load_query_log, save_query_log
+
+
+def make_log():
+    log = QueryLog()
+    gold = GoldLabel(
+        head="case",
+        modifiers=(GoldModifier("iphone 5s", True, "smartphone"),),
+        domain="electronics",
+        head_concept="phone accessory",
+    )
+    log.add_record("iphone 5s case", 12, {"https://a/1": 5, "https://a/2": 2}, gold=gold)
+    log.add_record("case", 30, {"https://a/1": 9})
+    log.add_session(SessionRecord("s1", ("iphone 5s case", "case")))
+    return log
+
+
+class TestRoundTrip:
+    def test_plain(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_query_log(make_log(), path)
+        loaded = load_query_log(path)
+        assert loaded.num_queries == 2
+        assert loaded.lookup("iphone 5s case").clicks == {
+            "https://a/1": 5,
+            "https://a/2": 2,
+        }
+        gold = loaded.gold_labels["iphone 5s case"]
+        assert gold.head == "case"
+        assert gold.modifiers[0].concept == "smartphone"
+        assert loaded.num_sessions == 1
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "log.jsonl.gz"
+        save_query_log(make_log(), path)
+        assert load_query_log(path).num_queries == 2
+
+    def test_exclude_gold_on_save(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_query_log(make_log(), path, include_gold=False)
+        assert load_query_log(path).gold_labels == {}
+
+    def test_exclude_gold_on_load(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_query_log(make_log(), path)
+        assert load_query_log(path, include_gold=False).gold_labels == {}
+
+    def test_generated_log_round_trips(self, taxonomy, tmp_path):
+        log = generate_log(taxonomy, LogConfig(seed=21, num_intents=80))
+        path = tmp_path / "gen.jsonl.gz"
+        save_query_log(log, path)
+        loaded = load_query_log(path)
+        assert loaded.num_queries == log.num_queries
+        assert loaded.total_frequency == log.total_frequency
+        assert len(loaded.gold_labels) == len(log.gold_labels)
+        assert loaded.num_sessions == log.num_sessions
+
+
+class TestErrorHandling:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "query"}\n')
+        with pytest.raises(QueryLogError):
+            load_query_log(path)
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "version": 1}\nnot json\n')
+        with pytest.raises(QueryLogError, match="invalid JSON"):
+            load_query_log(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "version": 1}\n{"kind": "mystery"}\n')
+        with pytest.raises(QueryLogError, match="unknown record kind"):
+            load_query_log(path)
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "version": 1}\n[1, 2]\n')
+        with pytest.raises(QueryLogError, match="expected an object"):
+            load_query_log(path)

@@ -1,0 +1,68 @@
+"""Tests for repro.querylog.urls — the click model's semantic invariants."""
+
+from repro.querylog.urls import (
+    RESULTS_PER_INTENT,
+    intent_base_url,
+    result_urls,
+    slugify,
+    url_host_path,
+)
+
+
+class TestSlugify:
+    def test_spaces_to_dashes(self):
+        assert slugify("iphone 5s") == "iphone-5s"
+
+    def test_strips_edges(self):
+        assert slugify(" rome ") == "rome"
+
+    def test_lowercases(self):
+        assert slugify("Rome") == "rome"
+
+
+class TestUrlSemantics:
+    def test_host_derived_from_head_concept(self):
+        url = intent_base_url("case", "phone accessory", ())
+        assert "phone-accessory.example.com" in url
+
+    def test_constraints_in_query_string(self):
+        url = intent_base_url("case", "phone accessory", ("iphone 5s",))
+        assert "?c=iphone-5s" in url
+
+    def test_constraint_order_canonical(self):
+        a = intent_base_url("jobs", "job resource", ("nurse", "seattle"))
+        b = intent_base_url("jobs", "job resource", ("seattle", "nurse"))
+        assert a == b
+
+    def test_nonconstraint_invariance(self):
+        # The central invariant: same head + same constraints -> same URLs,
+        # regardless of anything else about the query surface.
+        a = result_urls("case", "phone accessory", ("iphone 5s",))
+        b = result_urls("case", "phone accessory", ("iphone 5s",))
+        assert a == b
+
+    def test_different_constraints_different_urls(self):
+        a = set(result_urls("case", "phone accessory", ("iphone 5s",)))
+        b = set(result_urls("case", "phone accessory", ("galaxy s4",)))
+        assert a.isdisjoint(b)
+
+    def test_same_head_shares_host_path_across_constraints(self):
+        a = result_urls("case", "phone accessory", ("iphone 5s",))
+        b = result_urls("case", "phone accessory", ())
+        assert {url_host_path(u) for u in a} == {url_host_path(u) for u in b}
+
+    def test_different_heads_different_host_path(self):
+        a = {url_host_path(u) for u in result_urls("case", "phone accessory", ())}
+        b = {url_host_path(u) for u in result_urls("charger", "phone accessory", ())}
+        assert a.isdisjoint(b)
+
+    def test_result_count(self):
+        assert len(result_urls("case", "phone accessory", ())) == RESULTS_PER_INTENT
+
+
+class TestUrlHostPath:
+    def test_strips_scheme_and_query(self):
+        assert url_host_path("https://x.example.com/case?c=a&r=1") == "x.example.com/case"
+
+    def test_plain_url(self):
+        assert url_host_path("http://a.b/c") == "a.b/c"

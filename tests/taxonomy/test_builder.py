@@ -1,0 +1,110 @@
+"""Tests for repro.taxonomy.builder."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.builder import TaxonomyBuilder, build_from_corpus, build_from_seed
+from repro.taxonomy.corpus import CorpusConfig, generate_corpus
+from repro.taxonomy.hearst import HearstExtraction
+from repro.taxonomy.seed_data import ConceptSeed, concept_seeds
+from repro.taxonomy.typicality import TypicalityScorer
+
+
+class TestTaxonomyBuilder:
+    def test_counts_accumulate(self):
+        builder = TaxonomyBuilder()
+        builder.add("rome", "city")
+        builder.add("rome", "city", 2)
+        taxonomy = builder.build()
+        assert taxonomy.edge_count("rome", "city") == 3
+
+    def test_min_count_filters(self):
+        builder = TaxonomyBuilder()
+        builder.add("rome", "city", 5)
+        builder.add("noise", "city", 1)
+        taxonomy = builder.build(min_count=2)
+        assert taxonomy.has_instance("rome")
+        assert not taxonomy.has_instance("noise")
+
+    def test_add_extraction(self):
+        builder = TaxonomyBuilder()
+        builder.add_extraction(HearstExtraction("rome", "city", "such_as"))
+        assert builder.num_observations == 1
+
+    def test_domains_applied(self):
+        builder = TaxonomyBuilder()
+        builder.add("rome", "city")
+        builder.set_domain("city", "travel")
+        assert builder.build().domain_of("city") == "travel"
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(TaxonomyError):
+            TaxonomyBuilder().add("a", "b", 0)
+
+
+class TestBuildFromSeed:
+    def test_covers_all_seed_concepts(self, taxonomy):
+        for seed in concept_seeds():
+            assert taxonomy.has_concept(seed.concept)
+
+    def test_covers_all_seed_instances(self, taxonomy):
+        for seed in concept_seeds():
+            for instance in seed.instances:
+                assert taxonomy.edge_count(instance, seed.concept) > 0
+
+    def test_zipf_counts_decrease_with_rank(self, taxonomy):
+        seed = concept_seeds()[0]
+        counts = [taxonomy.edge_count(i, seed.concept) for i in seed.instances]
+        assert counts[0] >= counts[-1]
+        assert counts[0] > counts[1] or len(counts) < 2
+
+    def test_domains_attached(self, taxonomy):
+        assert taxonomy.domain_of("smartphone") == "electronics"
+        assert taxonomy.domain_of("city") == "travel"
+
+    def test_custom_base_count_scales(self):
+        small = build_from_seed(base_count=100)
+        large = build_from_seed(base_count=10000)
+        assert large.total_count > small.total_count
+
+
+class TestBuildFromCorpus:
+    def test_reconstructs_seed_topology(self):
+        seeds = (
+            ConceptSeed("city", "travel", ("rome", "paris", "london", "tokyo")),
+            ConceptSeed("dish", "food", ("pizza", "sushi", "tacos")),
+        )
+        corpus = generate_corpus(CorpusConfig(seed=11, sentences_per_concept=150), seeds)
+        taxonomy = build_from_corpus(corpus, min_count=2)
+        for seed in seeds:
+            for instance in seed.instances:
+                assert taxonomy.edge_count(instance, seed.concept) > 0, instance
+
+    def test_min_count_removes_extraction_noise(self):
+        seeds = (ConceptSeed("city", "travel", ("rome", "paris")),)
+        corpus = list(
+            generate_corpus(CorpusConfig(seed=12, sentences_per_concept=100), seeds)
+        )
+        loose = build_from_corpus(corpus, min_count=1)
+        strict = build_from_corpus(corpus, min_count=5)
+        assert strict.num_edges <= loose.num_edges
+
+    def test_extraction_typicality_tracks_seed_popularity(self):
+        # Rank-1 instances are mentioned more, so extraction counts should
+        # put them ahead of tail instances — the property conceptualization
+        # relies on.
+        seeds = (ConceptSeed("city", "travel", ("rome", "paris", "london", "tokyo")),)
+        corpus = generate_corpus(
+            CorpusConfig(seed=13, sentences_per_concept=400, zipf_exponent=1.2), seeds
+        )
+        taxonomy = build_from_corpus(corpus, min_count=2)
+        scorer = TypicalityScorer(taxonomy)
+        assert scorer.p_instance_given_concept(
+            "rome", "city"
+        ) > scorer.p_instance_given_concept("tokyo", "city")
+
+    def test_domain_map_applied(self):
+        seeds = (ConceptSeed("city", "travel", ("rome", "paris")),)
+        corpus = generate_corpus(CorpusConfig(seed=14, sentences_per_concept=60), seeds)
+        taxonomy = build_from_corpus(corpus, min_count=1, domains={"city": "travel"})
+        assert taxonomy.domain_of("city") == "travel"

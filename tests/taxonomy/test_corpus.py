@@ -1,0 +1,66 @@
+"""Tests for repro.taxonomy.corpus."""
+
+import pytest
+
+from repro.taxonomy.corpus import CorpusConfig, generate_corpus
+from repro.taxonomy.seed_data import ConceptSeed
+
+
+def tiny_seed():
+    return (
+        ConceptSeed("city", "travel", ("rome", "paris", "london")),
+        ConceptSeed("dish", "food", ("pizza", "sushi")),
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_bad_sentence_count(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(sentences_per_concept=0)
+
+    def test_rejects_bad_filler_ratio(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(filler_ratio=1.5)
+
+    def test_rejects_bad_max_instances(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(max_instances_per_sentence=0)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        config = CorpusConfig(seed=5, sentences_per_concept=20)
+        a = list(generate_corpus(config, tiny_seed()))
+        b = list(generate_corpus(config, tiny_seed()))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(generate_corpus(CorpusConfig(seed=1, sentences_per_concept=30), tiny_seed()))
+        b = list(generate_corpus(CorpusConfig(seed=2, sentences_per_concept=30), tiny_seed()))
+        assert a != b
+
+    def test_mentions_every_concept(self):
+        corpus = " ".join(generate_corpus(CorpusConfig(seed=3), tiny_seed()))
+        assert "cities" in corpus or "city" in corpus
+        assert "dishes" in corpus or "dish" in corpus
+
+    def test_popular_instances_mentioned_more(self):
+        text = " ".join(
+            generate_corpus(
+                CorpusConfig(seed=4, sentences_per_concept=400, zipf_exponent=1.2),
+                tiny_seed(),
+            )
+        )
+        assert text.count("rome") > text.count("london")
+
+    def test_filler_ratio_zero_means_all_patterned(self):
+        config = CorpusConfig(seed=5, sentences_per_concept=50, filler_ratio=0.0)
+        from repro.taxonomy.corpus import _FILLER
+
+        sentences = list(generate_corpus(config, tiny_seed()))
+        assert not any(s in _FILLER for s in sentences)
+
+    def test_volume_scales_with_config(self):
+        small = list(generate_corpus(CorpusConfig(seed=1, sentences_per_concept=10), tiny_seed()))
+        large = list(generate_corpus(CorpusConfig(seed=1, sentences_per_concept=100), tiny_seed()))
+        assert len(large) > len(small)

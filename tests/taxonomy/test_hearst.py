@@ -1,0 +1,140 @@
+"""Tests for repro.taxonomy.hearst."""
+
+from repro.taxonomy.hearst import HearstExtraction, extract_from_sentence, extract_isa_pairs
+
+
+def pairs_of(sentence):
+    return {(e.instance, e.concept) for e in extract_from_sentence(sentence)}
+
+
+class TestSuchAs:
+    def test_basic(self):
+        pairs = pairs_of("smartphones such as iphone 5s and galaxy s4")
+        assert ("iphone 5s", "smartphone") in pairs
+        assert ("galaxy s4", "smartphone") in pairs
+
+    def test_comma_list(self):
+        pairs = pairs_of("cities such as paris, rome and london are popular")
+        assert {("paris", "city"), ("rome", "city"), ("london", "city")} <= pairs
+
+    def test_trailing_clause_trimmed(self):
+        pairs = pairs_of("smartphones such as iphone 5s are widely reviewed")
+        assert ("iphone 5s", "smartphone") in pairs
+        assert all("are" not in i for i, _ in pairs)
+
+    def test_leading_clause_trimmed_from_concept(self):
+        pairs = pairs_of("many people prefer smartphones such as iphone 5s")
+        assert ("iphone 5s", "smartphone") in pairs
+        assert all(c == "smartphone" for _, c in pairs)
+
+    def test_multiword_concept(self):
+        pairs = pairs_of("phone accessories such as cases and chargers")
+        assert ("cases", "phone accessory") in pairs
+
+
+class TestOtherPatterns:
+    def test_such_np_as(self):
+        pairs = pairs_of("such laptops as macbook pro can be found online")
+        assert ("macbook pro", "laptop") in pairs
+
+    def test_and_other(self):
+        pairs = pairs_of("paris, rome and other cities are crowded")
+        assert {("paris", "city"), ("rome", "city")} <= pairs
+
+    def test_or_other(self):
+        pairs = pairs_of("tacos or other dishes may suit you better")
+        assert ("tacos", "dish") in pairs
+
+    def test_including(self):
+        pairs = pairs_of("popular laptops including macbook air sell out quickly")
+        assert ("macbook air", "laptop") in pairs
+
+    def test_especially(self):
+        pairs = pairs_of("cities especially venice")
+        assert ("venice", "city") in pairs
+
+    def test_like(self):
+        pairs = pairs_of("bands like radiohead and u2 dominate the market")
+        assert {("radiohead", "band"), ("u2", "band")} <= pairs
+
+    def test_is_a(self):
+        pairs = pairs_of("python is a programming language")
+        assert ("python", "programming language") in pairs
+
+    def test_is_a_with_relative_clause(self):
+        pairs = pairs_of("skype is an application that many people recommend")
+        assert ("skype", "application") in pairs
+
+
+class TestRobustness:
+    def test_no_pattern_no_extraction(self):
+        assert pairs_of("the weather was pleasant all week") == set()
+
+    def test_instance_equal_to_concept_dropped(self):
+        assert ("city", "city") not in pairs_of("cities such as city")
+
+    def test_overlong_instances_dropped(self):
+        pairs = pairs_of(
+            "things such as a very long noun phrase spanning many many tokens"
+        )
+        assert all(len(i.split()) <= 4 for i, _ in pairs)
+
+    def test_evaluative_adjective_stripped_from_concept(self):
+        pairs = pairs_of("popular smartphones including nexus 5 sell out quickly")
+        assert all(c == "smartphone" for _, c in pairs)
+
+    def test_case_and_punctuation_insensitive(self):
+        pairs = pairs_of("Smartphones such as iPhone-5S!")
+        assert ("iphone 5s", "smartphone") in pairs
+
+    def test_extraction_record_fields(self):
+        extraction = next(iter(extract_from_sentence("cities such as rome")))
+        assert isinstance(extraction, HearstExtraction)
+        assert extraction.pattern == "such_as"
+
+
+class TestRoundTripProperty:
+    """Rendering any seed concept through any corpus template and
+    extracting must recover every mentioned (instance, concept) pair."""
+
+    def test_all_templates_all_concepts(self):
+        from repro.taxonomy.corpus import _TEMPLATES, _join_list
+        from repro.taxonomy.seed_data import concept_seeds
+        from repro.text.inflect import pluralize
+
+        misses = []
+        for seed in concept_seeds():
+            instances = list(seed.instances[:3])
+            for template in _TEMPLATES:
+                if "{instance}" in template:
+                    sentence = template.format(
+                        instance=instances[0], concept=seed.concept
+                    )
+                    expected = {(instances[0], seed.concept)}
+                else:
+                    sentence = template.format(
+                        plural=pluralize(seed.concept),
+                        ilist=_join_list(instances),
+                    )
+                    expected = {(i, seed.concept) for i in instances}
+                got = pairs_of(sentence)
+                if not expected <= got:
+                    misses.append((sentence, expected - got))
+        # Allow a tiny number of pathological misses; systematic failure
+        # would starve the extraction-built taxonomy.
+        assert len(misses) <= 2, misses[:5]
+
+
+class TestIterators:
+    def test_extract_isa_pairs_streams_all_sentences(self):
+        sentences = [
+            "cities such as rome",
+            "dishes such as pizza",
+        ]
+        pairs = {(e.instance, e.concept) for e in extract_isa_pairs(sentences)}
+        assert {("rome", "city"), ("pizza", "dish")} <= pairs
+
+    def test_duplicates_preserved_for_counting(self):
+        sentences = ["cities such as rome"] * 3
+        extractions = list(extract_isa_pairs(sentences))
+        assert len([e for e in extractions if e.instance == "rome"]) == 3

@@ -1,0 +1,73 @@
+"""Tests for repro.taxonomy.seed_data (knowledge-base integrity)."""
+
+from repro.taxonomy.seed_data import (
+    all_domains,
+    concept_seeds,
+    pattern_seeds,
+    seeds_for_domain,
+)
+
+
+class TestConceptSeeds:
+    def test_no_duplicate_concepts(self):
+        names = [s.concept for s in concept_seeds()]
+        assert len(names) == len(set(names))
+
+    def test_every_concept_has_instances(self):
+        assert all(s.instances for s in concept_seeds())
+
+    def test_no_duplicate_instances_within_concept(self):
+        for seed in concept_seeds():
+            assert len(seed.instances) == len(set(seed.instances)), seed.concept
+
+    def test_deliberate_ambiguity_present(self):
+        # The KB must contain cross-concept instances, or conceptualization
+        # disambiguation has nothing to do.
+        membership = {}
+        for seed in concept_seeds():
+            for instance in seed.instances:
+                membership.setdefault(instance, []).append(seed.concept)
+        ambiguous = {i for i, cs in membership.items() if len(cs) > 1}
+        assert "apple" in ambiguous
+
+    def test_multiword_instances_present(self):
+        assert any(
+            " " in instance
+            for seed in concept_seeds()
+            for instance in seed.instances
+        )
+
+    def test_scale(self):
+        total_instances = sum(len(s.instances) for s in concept_seeds())
+        assert len(concept_seeds()) >= 30
+        assert total_instances >= 400
+
+
+class TestPatternSeeds:
+    def test_all_reference_known_concepts(self):
+        names = {s.concept for s in concept_seeds()}
+        for pattern in pattern_seeds():
+            assert pattern.modifier_concept in names
+            assert pattern.head_concept in names
+
+    def test_positive_weights(self):
+        assert all(p.weight > 0 for p in pattern_seeds())
+
+    def test_no_self_patterns(self):
+        assert all(p.modifier_concept != p.head_concept for p in pattern_seeds())
+
+    def test_domain_coverage(self):
+        domains = all_domains()
+        assert len(domains) >= 8
+        assert "electronics" in domains
+        assert "travel" in domains
+
+    def test_seeds_for_domain_filters(self):
+        for pattern in seeds_for_domain("travel"):
+            assert pattern.domain == "travel"
+        assert seeds_for_domain("travel")
+
+    def test_headline_pattern_present(self):
+        # The paper's running example: device modifies accessory.
+        pairs = {(p.modifier_concept, p.head_concept) for p in pattern_seeds()}
+        assert ("smartphone", "phone accessory") in pairs

@@ -1,0 +1,72 @@
+"""Tests for repro.taxonomy.serialization."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.serialization import load_taxonomy_tsv, save_taxonomy_tsv
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_taxonomy():
+    t = ConceptTaxonomy()
+    t.add_edge("iphone 5s", "smartphone", 100.5, domain="electronics")
+    t.add_edge("rome", "city", 40, domain="travel")
+    t.add_edge("apple", "fruit", 30)
+    return t
+
+
+class TestRoundTrip:
+    def test_plain_tsv(self, tmp_path):
+        path = tmp_path / "tax.tsv"
+        original = make_taxonomy()
+        save_taxonomy_tsv(original, path)
+        loaded = load_taxonomy_tsv(path)
+        assert set(loaded.iter_edges()) == set(original.iter_edges())
+        assert loaded.domain_of("smartphone") == "electronics"
+
+    def test_gzip_tsv(self, tmp_path):
+        path = tmp_path / "tax.tsv.gz"
+        original = make_taxonomy()
+        save_taxonomy_tsv(original, path)
+        loaded = load_taxonomy_tsv(path)
+        assert set(loaded.iter_edges()) == set(original.iter_edges())
+
+    def test_seed_taxonomy_round_trips(self, taxonomy, tmp_path):
+        path = tmp_path / "seed.tsv.gz"
+        save_taxonomy_tsv(taxonomy, path)
+        loaded = load_taxonomy_tsv(path)
+        assert loaded.num_edges == taxonomy.num_edges
+        assert loaded.total_count == pytest.approx(taxonomy.total_count)
+
+
+class TestErrorHandling:
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("not a taxonomy\n")
+        with pytest.raises(TaxonomyError, match="header"):
+            load_taxonomy_tsv(path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# repro-taxonomy v1\ngarbage line\n")
+        with pytest.raises(TaxonomyError, match="malformed"):
+            load_taxonomy_tsv(path)
+
+    def test_bad_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# repro-taxonomy v1\nedge\ta\tb\tnotanumber\n")
+        with pytest.raises(TaxonomyError, match="bad count"):
+            load_taxonomy_tsv(path)
+
+    def test_comments_and_blanks_tolerated(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text(
+            "# repro-taxonomy v1\n\n# comment\nedge\ta\tb\t2\n"
+        )
+        loaded = load_taxonomy_tsv(path)
+        assert loaded.edge_count("a", "b") == 2
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        save_taxonomy_tsv(make_taxonomy(), tmp_path / "t.tsv")
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

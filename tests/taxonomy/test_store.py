@@ -1,0 +1,139 @@
+"""Tests for repro.taxonomy.store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.store import ConceptTaxonomy
+
+
+def make_small():
+    t = ConceptTaxonomy()
+    t.add_edge("iphone 5s", "smartphone", 100, domain="electronics")
+    t.add_edge("galaxy s4", "smartphone", 60, domain="electronics")
+    t.add_edge("apple", "fruit", 50, domain="food")
+    t.add_edge("apple", "company", 80)
+    return t
+
+
+class TestAddEdge:
+    def test_counts_accumulate(self):
+        t = ConceptTaxonomy()
+        t.add_edge("a b", "c", 2)
+        t.add_edge("a b", "c", 3)
+        assert t.edge_count("a b", "c") == 5
+
+    def test_normalization_on_insert_and_lookup(self):
+        t = ConceptTaxonomy()
+        t.add_edge("IPhone-5S", "SmartPhone", 1)
+        assert t.edge_count("iphone 5s", "smartphone") == 1
+        assert t.has_instance("  iphone   5s ")
+
+    def test_rejects_non_positive_count(self):
+        t = ConceptTaxonomy()
+        with pytest.raises(TaxonomyError):
+            t.add_edge("a", "b", 0)
+
+    def test_rejects_empty_strings(self):
+        t = ConceptTaxonomy()
+        with pytest.raises(TaxonomyError):
+            t.add_edge("", "b")
+        with pytest.raises(TaxonomyError):
+            t.add_edge("a", "!!!")
+
+    def test_rejects_self_loop(self):
+        t = ConceptTaxonomy()
+        with pytest.raises(TaxonomyError):
+            t.add_edge("apple", "Apple")
+
+
+class TestLookups:
+    def test_concepts_of(self):
+        t = make_small()
+        assert t.concepts_of("apple") == {"fruit": 50, "company": 80}
+
+    def test_instances_of(self):
+        t = make_small()
+        assert set(t.instances_of("smartphone")) == {"iphone 5s", "galaxy s4"}
+
+    def test_unknown_returns_empty(self):
+        t = make_small()
+        assert t.concepts_of("zzz") == {}
+        assert t.instances_of("zzz") == {}
+
+    def test_totals(self):
+        t = make_small()
+        assert t.instance_total("apple") == 130
+        assert t.concept_total("smartphone") == 160
+        assert t.total_count == 290
+
+    def test_domain_labels(self):
+        t = make_small()
+        assert t.domain_of("smartphone") == "electronics"
+        assert t.domain_of("company") is None
+
+
+class TestEnumeration:
+    def test_sizes(self):
+        t = make_small()
+        assert t.num_instances == 3
+        assert t.num_concepts == 3
+        assert t.num_edges == 4
+        assert len(t) == 4
+
+    def test_iter_edges_complete(self):
+        t = make_small()
+        edges = set(t.iter_edges())
+        assert ("apple", "fruit", 50) in edges
+        assert len(edges) == 4
+
+    def test_vocabulary(self):
+        t = make_small()
+        assert t.vocabulary() == frozenset({"iphone 5s", "galaxy s4", "apple"})
+
+    def test_max_instance_tokens(self):
+        t = make_small()
+        assert t.max_instance_tokens() == 2
+        assert ConceptTaxonomy().max_instance_tokens() == 0
+
+
+class TestTransformations:
+    def test_pruned_drops_light_edges(self):
+        t = make_small()
+        pruned = t.pruned(min_count=60)
+        assert not pruned.has_concept("fruit")
+        assert pruned.edge_count("apple", "company") == 80
+
+    def test_pruned_preserves_domains(self):
+        t = make_small()
+        assert t.pruned(1).domain_of("smartphone") == "electronics"
+
+    def test_merge_accumulates(self):
+        a = make_small()
+        b = ConceptTaxonomy()
+        b.add_edge("apple", "fruit", 10)
+        a.merge(b)
+        assert a.edge_count("apple", "fruit") == 60
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["i1", "i2", "i3"]),
+                st.sampled_from(["c1", "c2"]),
+                st.floats(0.5, 10),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_total_count_is_sum_of_edges(self, edges):
+        t = ConceptTaxonomy()
+        for instance, concept, count in edges:
+            t.add_edge(instance, concept, count)
+        assert t.total_count == pytest.approx(
+            sum(count for _, _, count in edges)
+        )
+        assert t.total_count == pytest.approx(
+            sum(c for _, _, c in t.iter_edges())
+        )

@@ -1,0 +1,116 @@
+"""Tests for repro.taxonomy.typicality."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.taxonomy.typicality import TypicalityScorer
+
+
+def make_taxonomy():
+    t = ConceptTaxonomy()
+    t.add_edge("apple", "fruit", 30)
+    t.add_edge("apple", "company", 70)
+    t.add_edge("banana", "fruit", 50)
+    t.add_edge("iphone", "smartphone", 100)
+    return t
+
+
+class TestConceptDistribution:
+    def test_sums_to_one(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        dist = scorer.concept_distribution("apple")
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_proportional_to_counts(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        assert scorer.p_concept_given_instance("apple", "company") == pytest.approx(0.7)
+
+    def test_unknown_instance_empty(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        assert scorer.concept_distribution("zzz") == {}
+        assert scorer.p_concept_given_instance("zzz", "fruit") == 0.0
+
+    def test_top_concepts_ordered(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        top = scorer.top_concepts("apple", 2)
+        assert [c for c, _ in top] == ["company", "fruit"]
+
+    def test_top_concepts_k_limits(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        assert len(scorer.top_concepts("apple", 1)) == 1
+
+    def test_deterministic_tie_break(self):
+        t = ConceptTaxonomy()
+        t.add_edge("x", "beta", 1)
+        t.add_edge("x", "alpha", 1)
+        top = TypicalityScorer(t).top_concepts("x", 2)
+        assert [c for c, _ in top] == ["alpha", "beta"]
+
+
+class TestInstanceDistribution:
+    def test_proportional(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        assert scorer.p_instance_given_concept("banana", "fruit") == pytest.approx(
+            50 / 80
+        )
+
+    def test_sums_to_one(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        assert sum(scorer.instance_distribution("fruit").values()) == pytest.approx(1.0)
+
+
+class TestSmoothing:
+    def test_smoothing_flattens(self):
+        raw = TypicalityScorer(make_taxonomy(), smoothing=0.0)
+        smooth = TypicalityScorer(make_taxonomy(), smoothing=100.0)
+        assert smooth.p_concept_given_instance("apple", "fruit") > (
+            raw.p_concept_given_instance("apple", "fruit")
+        )
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            TypicalityScorer(make_taxonomy(), smoothing=-1)
+
+    @given(st.floats(0, 10))
+    def test_distribution_sums_to_one_under_smoothing(self, alpha):
+        scorer = TypicalityScorer(make_taxonomy(), smoothing=alpha)
+        dist = scorer.concept_distribution("apple")
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+
+class TestDerivedScores:
+    def test_representativeness_both_ways(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        rep = scorer.representativeness("iphone", "smartphone")
+        assert rep == pytest.approx(1.0)  # only smartphone, only instance
+
+    def test_ambiguity_zero_for_single_sense(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        assert scorer.instance_ambiguity("iphone") == 0.0
+
+    def test_ambiguity_positive_for_polysemes(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        assert 0 < scorer.instance_ambiguity("apple") <= math.log(2)
+
+    def test_concept_breadth(self):
+        scorer = TypicalityScorer(make_taxonomy())
+        assert scorer.concept_breadth("fruit") > scorer.concept_breadth("smartphone")
+
+
+class TestOnSeedTaxonomy:
+    def test_apple_is_ambiguous_in_seed(self, taxonomy):
+        scorer = TypicalityScorer(taxonomy)
+        senses = dict(scorer.top_concepts("apple", 5))
+        assert "fruit" in senses
+        assert "electronics brand" in senses
+
+    def test_every_instance_distribution_normalizes(self, taxonomy):
+        scorer = TypicalityScorer(taxonomy)
+        for instance in list(taxonomy.iter_instances())[:200]:
+            assert sum(scorer.concept_distribution(instance).values()) == pytest.approx(
+                1.0
+            )

@@ -1,0 +1,245 @@
+"""Tests for repro.cli — the full pipeline driven through the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """Run the pipeline once: taxonomy -> log -> model."""
+    root = tmp_path_factory.mktemp("cli")
+    taxonomy = root / "taxonomy.tsv.gz"
+    log = root / "log.jsonl.gz"
+    heldout = root / "heldout.jsonl.gz"
+    model = root / "model"
+    assert main(["taxonomy-build", "--out", str(taxonomy)]) == 0
+    assert (
+        main(
+            [
+                "log-generate",
+                "--taxonomy", str(taxonomy),
+                "--out", str(log),
+                "--intents", "800",
+                "--seed", "7",
+                "--no-gold",
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "log-generate",
+                "--taxonomy", str(taxonomy),
+                "--out", str(heldout),
+                "--intents", "300",
+                "--seed", "99",
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "train",
+                "--log", str(log),
+                "--taxonomy", str(taxonomy),
+                "--out", str(model),
+            ]
+        )
+        == 0
+    )
+    return {"taxonomy": taxonomy, "log": log, "heldout": heldout, "model": model}
+
+
+class TestPipelineCommands:
+    def test_artifacts_exist(self, workspace):
+        assert workspace["taxonomy"].exists()
+        assert workspace["log"].exists()
+        assert (workspace["model"] / "manifest.json").exists()
+
+    def test_detect_human_readable(self, workspace, capsys):
+        code = main(
+            ["detect", "--model", str(workspace["model"]), "popular iphone 5s smart cover"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "head" in out
+        assert "smart cover" in out
+
+    def test_detect_json(self, workspace, capsys):
+        code = main(
+            [
+                "detect",
+                "--model", str(workspace["model"]),
+                "--json",
+                "cheap hotels in rome",
+                "2013 movies",
+            ]
+        )
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        assert len(out_lines) == 2
+        first = json.loads(out_lines[0])
+        assert first["head"] == "hotels"
+        assert "rome" in first["constraints"]
+
+    def test_detect_from_input_file(self, workspace, capsys, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("iphone 5s smart cover\n\nrome hotels\n")
+        code = main(
+            [
+                "detect",
+                "--model", str(workspace["model"]),
+                "--json",
+                "--input", str(queries),
+            ]
+        )
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        assert len(out_lines) == 2
+
+    def test_detect_no_queries_is_error(self, workspace, capsys):
+        code = main(["detect", "--model", str(workspace["model"])])
+        assert code == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_detect_explain(self, workspace, capsys):
+        code = main(
+            [
+                "detect",
+                "--model", str(workspace["model"]),
+                "--explain",
+                "iphone 5s smart cover",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "head candidates:" in out
+        assert "winning evidence:" in out
+
+    def test_detect_with_spelling(self, workspace, capsys):
+        code = main(
+            [
+                "detect",
+                "--model", str(workspace["model"]),
+                "--spell", "--json",
+                "ihpone 5s smart cvoer",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["head"] == "smart cover"
+
+    def test_evaluate(self, workspace, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model", str(workspace["model"]),
+                "--log", str(workspace["heldout"]),
+                "--max-examples", "300",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "head accuracy" in out
+        assert "constraint accuracy" in out
+
+    def test_evaluate_unlabelled_log_errors(self, workspace, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model", str(workspace["model"]),
+                "--log", str(workspace["log"]),  # written with --no-gold
+            ]
+        )
+        assert code == 2
+        assert "no labelled" in capsys.readouterr().err
+
+    def test_evaluate_show_errors(self, workspace, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model", str(workspace["model"]),
+                "--log", str(workspace["heldout"]),
+                "--max-examples", "200",
+                "--show-errors", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "head errors" in out or "no head errors" in out
+
+    def test_rewrite(self, workspace, capsys):
+        code = main(
+            ["rewrite", "--model", str(workspace["model"]), "best rome hotels"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "relax[0]: best rome hotels" in out
+        assert "rome hotels" in out
+
+    def test_similar(self, workspace, capsys):
+        code = main(
+            [
+                "similar",
+                "--model", str(workspace["model"]),
+                "iphone 5s case",
+                "case for iphone 5s",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "same intent" in out
+
+    def test_similar_conflict(self, workspace, capsys):
+        code = main(
+            [
+                "similar",
+                "--model", str(workspace["model"]),
+                "iphone 5s case",
+                "galaxy s4 case",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "different intent" in out
+
+    def test_patterns(self, workspace, capsys):
+        code = main(["patterns", "--model", str(workspace["model"]), "--top", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "modifier concept" in out
+        assert len(out.strip().splitlines()) <= 5 + 4  # rows + header/title
+
+    def test_missing_file_is_error_not_traceback(self, tmp_path, capsys):
+        code = main(
+            [
+                "train",
+                "--log", str(tmp_path / "nope.jsonl"),
+                "--taxonomy", str(tmp_path / "nope.tsv"),
+                "--out", str(tmp_path / "m"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCorpusBuildPath:
+    def test_taxonomy_from_corpus(self, tmp_path, capsys):
+        out = tmp_path / "tax.tsv.gz"
+        code = main(
+            [
+                "taxonomy-build",
+                "--out", str(out),
+                "--from-corpus",
+                "--sentences", "60",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "instances" in capsys.readouterr().out

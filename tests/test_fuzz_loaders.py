@@ -1,0 +1,91 @@
+"""Fuzz tests: every loader must fail *cleanly* on corrupt input.
+
+A truncated or garbage artifact file must raise the library's own error
+types (or succeed for benign corruption like trailing whitespace) — never
+leak ``KeyError`` / ``IndexError`` / ``UnicodeDecodeError`` to the caller.
+"""
+
+import gzip
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concept_patterns import PatternTable
+from repro.errors import ReproError
+from repro.mining.pairs import PairCollection
+from repro.querylog.storage import load_query_log, save_query_log
+from repro.taxonomy.serialization import load_taxonomy_tsv, save_taxonomy_tsv
+
+_GARBAGE_LINES = st.lists(
+    st.text(alphabet="abc\t 0.5{}[]\"':,", max_size=30), max_size=6
+)
+
+
+def _clean_failure(loader, path):
+    """Run a loader; allow success or a ReproError, nothing else."""
+    try:
+        loader(path)
+    except ReproError:
+        pass
+    except (OSError, EOFError, json.JSONDecodeError):
+        pytest.fail("loader leaked a low-level exception")
+
+
+class TestGarbageInput:
+    @settings(max_examples=40, deadline=None)
+    @given(_GARBAGE_LINES)
+    def test_taxonomy_loader(self, tmp_path_factory, lines):
+        path = tmp_path_factory.mktemp("fz") / "t.tsv"
+        path.write_text("\n".join(lines))
+        _clean_failure(load_taxonomy_tsv, path)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_GARBAGE_LINES)
+    def test_pattern_loader(self, tmp_path_factory, lines):
+        path = tmp_path_factory.mktemp("fz") / "p.tsv"
+        path.write_text("\n".join(lines))
+        _clean_failure(PatternTable.load, path)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_GARBAGE_LINES)
+    def test_pairs_loader(self, tmp_path_factory, lines):
+        path = tmp_path_factory.mktemp("fz") / "pr.tsv"
+        path.write_text("\n".join(lines))
+        _clean_failure(PairCollection.load, path)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_GARBAGE_LINES)
+    def test_log_loader(self, tmp_path_factory, lines):
+        path = tmp_path_factory.mktemp("fz") / "l.jsonl"
+        path.write_text("\n".join(lines))
+        _clean_failure(load_query_log, path)
+
+
+class TestTruncation:
+    def test_truncated_gzip_log(self, tmp_path, train_log):
+        path = tmp_path / "log.jsonl.gz"
+        save_query_log(train_log, path)
+        data = path.read_bytes()
+        (tmp_path / "trunc.jsonl.gz").write_bytes(data[: len(data) // 2])
+        _clean_failure(load_query_log, tmp_path / "trunc.jsonl.gz")
+
+    def test_truncated_taxonomy(self, tmp_path, taxonomy):
+        path = tmp_path / "t.tsv"
+        save_taxonomy_tsv(taxonomy, path)
+        text = path.read_text()
+        # Cut mid-line: the dangling record must not crash with IndexError.
+        (tmp_path / "trunc.tsv").write_text(text[: int(len(text) * 0.6)])
+        _clean_failure(load_taxonomy_tsv, tmp_path / "trunc.tsv")
+
+    def test_valid_header_garbage_body(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("# repro-taxonomy v1\nedge\tonly-three-fields\n")
+        with pytest.raises(ReproError):
+            load_taxonomy_tsv(path)
+
+    def test_log_header_then_binary(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        path.write_bytes(b'{"kind": "meta", "version": 1}\n\x00\x01\x02\n')
+        _clean_failure(load_query_log, path)

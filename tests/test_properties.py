@@ -1,0 +1,186 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Module-level invariants live next to their modules; these are the
+system-level properties that span subsystems: the detector's output
+contract on arbitrary input, persistence round-trips on random data, and
+monotonicity laws of the scoring components.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concept_patterns import ConceptPattern, PatternTable
+from repro.core.detector import TermRole
+from repro.taxonomy.store import ConceptTaxonomy
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+_WORD = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+_QUERY_TOKENS = st.sampled_from(
+    [
+        "iphone", "5s", "galaxy", "s4", "case", "smart", "cover", "rome",
+        "hotels", "best", "cheap", "for", "in", "and", "2013", "movies",
+        "zzz", "frobnicate", "buy", "the",
+    ]
+)
+_QUERY = st.lists(_QUERY_TOKENS, max_size=8).map(" ".join)
+
+_CONCEPT_NAMES = st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"])
+
+
+def _pattern_tables():
+    return st.dictionaries(
+        st.tuples(_CONCEPT_NAMES, _CONCEPT_NAMES).filter(lambda t: t[0] != t[1]),
+        st.floats(0.001, 1000),
+        max_size=12,
+    ).map(
+        lambda d: PatternTable({ConceptPattern(m, h): w for (m, h), w in d.items()})
+    )
+
+
+def _taxonomies():
+    edge = st.tuples(_WORD, _CONCEPT_NAMES, st.floats(0.5, 100))
+    return st.lists(edge, min_size=1, max_size=25).map(_build_taxonomy)
+
+
+def _build_taxonomy(edges):
+    taxonomy = ConceptTaxonomy()
+    for instance, concept, count in edges:
+        if instance != concept:
+            taxonomy.add_edge(instance, concept, count)
+    return taxonomy
+
+
+# ----------------------------------------------------------------------
+# detector contract on arbitrary input
+# ----------------------------------------------------------------------
+
+
+class TestDetectorContract:
+    @settings(max_examples=60, deadline=None)
+    @given(_QUERY)
+    def test_never_crashes_and_roles_valid(self, detector, query):
+        detection = detector.detect(query)
+        roles = [t.role for t in detection.terms]
+        assert roles.count(TermRole.HEAD) <= 1
+        assert 0.0 <= detection.score <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(_QUERY)
+    def test_head_is_a_term(self, detector, query):
+        detection = detector.detect(query)
+        if detection.head is not None:
+            assert detection.head in [t.text for t in detection.terms]
+
+    @settings(max_examples=60, deadline=None)
+    @given(_QUERY)
+    def test_terms_reconstruct_normalized_query(self, detector, query):
+        detection = detector.detect(query)
+        assert " ".join(t.text for t in detection.terms) == detection.query
+
+    @settings(max_examples=40, deadline=None)
+    @given(_QUERY)
+    def test_deterministic(self, detector, query):
+        assert detector.detect(query) == detector.detect(query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=30))
+    def test_arbitrary_unicode_never_crashes(self, detector, text):
+        detection = detector.detect(text)
+        assert detection.query == detection.query.strip()
+
+    @settings(max_examples=40, deadline=None)
+    @given(_QUERY)
+    def test_constraints_subset_of_modifiers(self, detector, query):
+        detection = detector.detect(query)
+        assert set(detection.constraints) <= set(detection.modifiers)
+
+
+# ----------------------------------------------------------------------
+# persistence round-trips on random data
+# ----------------------------------------------------------------------
+
+
+class TestRandomRoundTrips:
+    @settings(max_examples=25, deadline=None)
+    @given(_pattern_tables())
+    def test_pattern_table_round_trip(self, tmp_path_factory, table):
+        path = tmp_path_factory.mktemp("pt") / "t.tsv"
+        table.save(path)
+        loaded = PatternTable.load(path)
+        assert {p: pytest.approx(w) for p, w in loaded.top()} == dict(table.top())
+
+    @settings(max_examples=25, deadline=None)
+    @given(_taxonomies())
+    def test_taxonomy_round_trip(self, tmp_path_factory, taxonomy):
+        from repro.taxonomy.serialization import load_taxonomy_tsv, save_taxonomy_tsv
+
+        path = tmp_path_factory.mktemp("tx") / "t.tsv"
+        save_taxonomy_tsv(taxonomy, path)
+        loaded = load_taxonomy_tsv(path)
+        assert loaded.num_edges == taxonomy.num_edges
+        assert loaded.total_count == pytest.approx(taxonomy.total_count)
+
+
+# ----------------------------------------------------------------------
+# monotonicity / algebraic laws
+# ----------------------------------------------------------------------
+
+
+class TestScoringLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(_pattern_tables(), st.floats(0.1, 0.9))
+    def test_mass_pruning_monotone(self, table, mass):
+        if len(table) == 0:
+            return
+        pruned = table.pruned_to_mass(mass)
+        assert len(pruned) <= len(table)
+        assert pruned.total_weight <= table.total_weight + 1e-9
+        # Pruning keeps the heaviest prefix.
+        kept = dict(pruned.top())
+        heaviest = table.top(len(pruned))
+        assert kept == dict(heaviest)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_taxonomies(), st.floats(0.5, 50))
+    def test_taxonomy_pruning_monotone(self, taxonomy, min_count):
+        pruned = taxonomy.pruned(min_count)
+        assert pruned.num_edges <= taxonomy.num_edges
+        for instance, concept, count in pruned.iter_edges():
+            assert count >= min_count
+
+    @settings(max_examples=30, deadline=None)
+    @given(_taxonomies())
+    def test_typicality_distributions_normalized(self, taxonomy):
+        from repro.taxonomy.typicality import TypicalityScorer
+
+        scorer = TypicalityScorer(taxonomy)
+        for instance in taxonomy.iter_instances():
+            total = sum(scorer.concept_distribution(instance).values())
+            assert total == pytest.approx(1.0)
+
+    def test_relevance_score_bounded(self, detector, eval_examples):
+        from repro.apps import Document, StructuredRelevanceScorer
+
+        scorer = StructuredRelevanceScorer(detector)
+        documents = [
+            Document("a", "iphone 5s smart cover"),
+            Document("b", "unrelated words entirely"),
+            Document("c", "", ""),
+        ]
+        for example in eval_examples[:40]:
+            for document in documents:
+                assert 0.0 <= scorer.score(example.query, document) <= 1.0
+
+    def test_spelling_correction_idempotent(self, model):
+        from repro.text.spelling import SpellingNormalizer
+
+        speller = SpellingNormalizer.from_taxonomy(model.taxonomy)
+        for text in ["ihpone 5s smart cvoer", "hotles in rme", "galxy s4 case"]:
+            once = speller.correct(text)
+            assert speller.correct(once) == once

@@ -1,0 +1,41 @@
+"""Tests for repro.text.chunker."""
+
+from repro.text.chunker import chunk_noun_phrases, np_head
+from repro.text.pos import PosTagger
+
+TAGGER = PosTagger()
+
+
+def chunks_of(text):
+    return chunk_noun_phrases(TAGGER.tag(text))
+
+
+class TestChunker:
+    def test_single_np(self):
+        chunks = chunks_of("cheap rome hotels")
+        assert [c.text for c in chunks] == ["cheap rome hotels"]
+
+    def test_preposition_splits_nps(self):
+        chunks = chunks_of("hotels in rome")
+        assert [c.text for c in chunks] == ["hotels", "rome"]
+
+    def test_verb_splits_nps(self):
+        chunks = chunks_of("buy iphone cases")
+        assert [c.text for c in chunks] == ["iphone cases"]
+
+    def test_empty(self):
+        assert chunks_of("") == []
+
+    def test_numbers_inside_np(self):
+        chunks = chunks_of("2013 movies")
+        assert [c.text for c in chunks] == ["2013 movies"]
+
+
+class TestNpHead:
+    def test_rightmost_noun(self):
+        chunk = chunks_of("cheap rome hotels")[0]
+        assert np_head(chunk) == "hotels"
+
+    def test_no_noun_returns_none(self):
+        chunk = chunks_of("the cheap")[0]
+        assert np_head(chunk) is None

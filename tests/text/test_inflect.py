@@ -1,0 +1,59 @@
+"""Tests for repro.text.inflect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.taxonomy.seed_data import concept_seeds
+from repro.text.inflect import pluralize, singularize
+
+
+class TestPluralize:
+    @pytest.mark.parametrize(
+        ("singular", "plural"),
+        [
+            ("city", "cities"),
+            ("hotel", "hotels"),
+            ("watch", "watches"),
+            ("dish", "dishes"),
+            ("dress", "dresses"),
+            ("person", "people"),
+            ("series", "series"),
+            ("smart watch", "smart watches"),
+            ("phone accessory", "phone accessories"),
+        ],
+    )
+    def test_examples(self, singular, plural):
+        assert pluralize(singular) == plural
+
+
+class TestSingularize:
+    @pytest.mark.parametrize(
+        ("plural", "singular"),
+        [
+            ("cities", "city"),
+            ("hotels", "hotel"),
+            ("watches", "watch"),
+            ("people", "person"),
+            ("series", "series"),
+            ("smart watches", "smart watch"),
+        ],
+    )
+    def test_examples(self, plural, singular):
+        assert singularize(plural) == singular
+
+    def test_short_words_untouched(self):
+        # "bus"-length words ending in s are left alone (len <= 3).
+        assert singularize("gas") == "gas"
+
+
+class TestRoundTrip:
+    def test_all_seed_concepts_round_trip(self):
+        # The Hearst extractor depends on this invariant: every concept
+        # name pluralized by the corpus generator must singularize back.
+        for seed in concept_seeds():
+            assert singularize(pluralize(seed.concept)) == seed.concept
+
+    @given(st.sampled_from([s.concept for s in concept_seeds()]))
+    def test_round_trip_property(self, concept):
+        assert singularize(pluralize(concept)) == concept

@@ -1,0 +1,75 @@
+"""Tests for repro.text.lexicon."""
+
+from repro.text.lexicon import (
+    CONNECTORS,
+    STOPWORDS,
+    SUBJECTIVE_MODIFIERS,
+    Lexicon,
+    default_lexicon,
+)
+
+
+class TestWordLists:
+    def test_stopwords_include_function_words(self):
+        assert {"the", "for", "of", "in"} <= STOPWORDS
+
+    def test_connectors_are_stop_like(self):
+        assert "for" in CONNECTORS
+        assert "in" in CONNECTORS
+
+    def test_subjective_includes_canonical_examples(self):
+        # "popular" is the abstract's own example of a subjective modifier.
+        assert "popular" in SUBJECTIVE_MODIFIERS
+        assert "best" in SUBJECTIVE_MODIFIERS
+        assert "cheap" in SUBJECTIVE_MODIFIERS
+
+    def test_subjective_excludes_specific_terms(self):
+        assert "iphone" not in SUBJECTIVE_MODIFIERS
+        assert "seattle" not in SUBJECTIVE_MODIFIERS
+
+
+class TestPosLookup:
+    def setup_method(self):
+        self.lexicon = default_lexicon()
+
+    def test_closed_classes(self):
+        assert self.lexicon.pos_of("the") == "DT"
+        assert self.lexicon.pos_of("for") == "IN"
+        assert self.lexicon.pos_of("and") == "CC"
+        assert self.lexicon.pos_of("is") == "VB"
+
+    def test_adjectives(self):
+        assert self.lexicon.pos_of("cheap") == "JJ"
+        assert self.lexicon.pos_of("red") == "JJ"
+
+    def test_adjective_suffix_heuristic(self):
+        assert self.lexicon.pos_of("washable") == "JJ"
+
+    def test_adverb_suffix(self):
+        assert self.lexicon.pos_of("quickly") == "RB"
+
+    def test_numbers(self):
+        assert self.lexicon.pos_of("2013") == "CD"
+        assert self.lexicon.pos_of("5s") == "CD"
+
+    def test_default_noun(self):
+        assert self.lexicon.pos_of("hotel") == "NN"
+        assert self.lexicon.pos_of("zebra") == "NN"
+
+    def test_is_subjective(self):
+        assert self.lexicon.is_subjective("best")
+        assert not self.lexicon.is_subjective("iphone")
+
+    def test_is_stopword(self):
+        assert self.lexicon.is_stopword("the")
+        assert not self.lexicon.is_stopword("hotel")
+
+
+class TestDefaultLexicon:
+    def test_shared_instance(self):
+        assert default_lexicon() is default_lexicon()
+
+    def test_custom_lexicon_overrides(self):
+        custom = Lexicon(subjective=frozenset({"frobby"}))
+        assert custom.is_subjective("frobby")
+        assert not custom.is_subjective("best")

@@ -1,0 +1,45 @@
+"""Tests for repro.text.ngrams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.ngrams import character_ngrams, token_ngrams
+
+
+class TestTokenNgrams:
+    def test_unigrams_and_bigrams(self):
+        grams = set(token_ngrams(["a", "b", "c"], max_n=2))
+        assert grams == {("a",), ("b",), ("c",), ("a", "b"), ("b", "c")}
+
+    def test_min_n_filters(self):
+        grams = list(token_ngrams(["a", "b", "c"], max_n=2, min_n=2))
+        assert grams == [("a", "b"), ("b", "c")]
+
+    def test_empty_tokens(self):
+        assert list(token_ngrams([], max_n=2)) == []
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            list(token_ngrams(["a"], max_n=0))
+        with pytest.raises(ValueError):
+            list(token_ngrams(["a"], max_n=1, min_n=2))
+
+    @given(st.lists(st.text(min_size=1, max_size=4), max_size=8), st.integers(1, 4))
+    def test_count_formula(self, tokens, max_n):
+        expected = sum(
+            max(0, len(tokens) - n + 1) for n in range(1, max_n + 1)
+        )
+        assert len(list(token_ngrams(tokens, max_n=max_n))) == expected
+
+
+class TestCharacterNgrams:
+    def test_trigrams(self):
+        assert character_ngrams("abcd", 3) == ["abc", "bcd"]
+
+    def test_short_string(self):
+        assert character_ngrams("ab", 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            character_ngrams("abc", 0)

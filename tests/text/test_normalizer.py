@@ -1,0 +1,56 @@
+"""Tests for repro.text.normalizer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.normalizer import normalize, normalize_term
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("IPhone") == "iphone"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a   b  ") == "a b"
+
+    def test_dashes_become_spaces(self):
+        assert normalize("smart-cover") == "smart cover"
+        assert normalize("e_mail") == "e mail"
+        assert normalize("a/b") == "a b"
+
+    def test_keeps_meaningful_symbols(self):
+        assert normalize("$25") == "$25"
+        assert normalize("20%") == "20%"
+
+    def test_strips_other_punctuation(self):
+        assert normalize("hotels, rome!") == "hotels rome"
+
+    def test_unicode_folding(self):
+        assert normalize("ｉｐｈｏｎｅ") == "iphone"  # fullwidth forms
+
+    def test_empty(self):
+        assert normalize("") == ""
+
+    @given(st.text(max_size=80))
+    def test_idempotent(self, text):
+        once = normalize(text)
+        assert normalize(once) == once
+
+    @given(st.text(max_size=80))
+    def test_no_double_spaces_or_edges(self, text):
+        norm = normalize(text)
+        assert "  " not in norm
+        assert norm == norm.strip()
+
+
+class TestNormalizeTerm:
+    def test_strips_trailing_period(self):
+        assert normalize_term("inc.") == "inc"
+
+    def test_plain_terms_unchanged(self):
+        assert normalize_term("new york") == "new york"
+
+    @given(st.text(max_size=40))
+    def test_idempotent(self, text):
+        once = normalize_term(text)
+        assert normalize_term(once) == once

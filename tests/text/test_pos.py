@@ -1,0 +1,37 @@
+"""Tests for repro.text.pos."""
+
+from repro.text.pos import PosTagger
+
+
+class TestPosTagger:
+    def setup_method(self):
+        self.tagger = PosTagger()
+
+    def tags(self, text):
+        return [t.tag for t in self.tagger.tag(text)]
+
+    def test_simple_np(self):
+        assert self.tags("cheap rome hotels") == ["JJ", "NN", "NN"]
+
+    def test_pp_query(self):
+        assert self.tags("hotels in rome") == ["NN", "IN", "NN"]
+
+    def test_determiner_noun_repair(self):
+        # "reviews" alone: default NN; "the buy" repairs VB -> NN.
+        tagged = self.tagger.tag("the buy")
+        assert tagged[1].tag == "NN"
+
+    def test_model_number_attaches_to_noun(self):
+        tagged = self.tagger.tag("iphone 5")
+        assert tagged[1].tag == "NN"
+
+    def test_leading_number_stays_cd(self):
+        tagged = self.tagger.tag("2013 movies")
+        assert tagged[0].tag == "CD"
+
+    def test_empty(self):
+        assert self.tagger.tag("") == []
+
+    def test_tag_words_preserves_surface(self):
+        tagged = self.tagger.tag_words(["Best", "Hotels"])
+        assert [t.text for t in tagged] == ["Best", "Hotels"]

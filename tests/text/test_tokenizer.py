@@ -1,0 +1,54 @@
+"""Tests for repro.text.tokenizer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import Token, token_texts, tokenize
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert token_texts("iphone case") == ["iphone", "case"]
+
+    def test_model_numbers_kept_whole(self):
+        assert token_texts("iphone 5s") == ["iphone", "5s"]
+        assert token_texts("x230 laptop") == ["x230", "laptop"]
+
+    def test_prices(self):
+        assert token_texts("under $25") == ["under", "$25"]
+        assert token_texts("1,299.99 dollars") == ["1,299.99", "dollars"]
+
+    def test_percent(self):
+        assert token_texts("save 20%") == ["save", "20%"]
+
+    def test_apostrophes(self):
+        assert token_texts("o'brien's") == ["o'brien's"]
+
+    def test_hyphens_split(self):
+        assert token_texts("smart-cover") == ["smart", "cover"]
+
+    def test_punctuation_dropped(self):
+        assert token_texts("hotels, rome!") == ["hotels", "rome"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_offsets_point_into_source(self):
+        text = "galaxy s4 case"
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_offsets_are_ordered_and_disjoint(self):
+        tokens = tokenize("red iphone 5s cover")
+        for a, b in zip(tokens, tokens[1:]):
+            assert a.end <= b.start
+
+    @given(st.text(max_size=60))
+    def test_never_raises_and_spans_valid(self, text):
+        for token in tokenize(text):
+            assert 0 <= token.start < token.end <= len(text)
+            assert text[token.start : token.end] == token.text
+
+    def test_token_is_hashable_value_object(self):
+        assert Token("a", 0, 1) == Token("a", 0, 1)
+        assert hash(Token("a", 0, 1)) == hash(Token("a", 0, 1))

@@ -1,0 +1,70 @@
+"""Tests for repro.utils.iteration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.iteration import batched, sliding_windows, take
+
+
+class TestBatched:
+    def test_even_split(self):
+        assert list(batched([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_remainder_batch(self):
+        assert list(batched([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_empty_input(self):
+        assert list(batched([], 3)) == []
+
+    def test_accepts_generators(self):
+        assert list(batched(iter(range(3)), 2)) == [[0, 1], [2]]
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            list(batched([1], 0))
+
+    @given(st.lists(st.integers()), st.integers(1, 10))
+    def test_concatenation_roundtrip(self, items, size):
+        flattened = [x for batch in batched(items, size) for x in batch]
+        assert flattened == items
+
+    @given(st.lists(st.integers(), min_size=1), st.integers(1, 10))
+    def test_all_but_last_are_full(self, items, size):
+        batches = list(batched(items, size))
+        assert all(len(b) == size for b in batches[:-1])
+        assert 1 <= len(batches[-1]) <= size
+
+
+class TestSlidingWindows:
+    def test_basic(self):
+        assert list(sliding_windows("abcd", 2)) == [
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "d"),
+        ]
+
+    def test_window_equal_to_length(self):
+        assert list(sliding_windows([1, 2], 2)) == [(1, 2)]
+
+    def test_window_longer_than_input(self):
+        assert list(sliding_windows([1], 2)) == []
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows([1], 0))
+
+
+class TestTake:
+    def test_takes_prefix(self):
+        assert take(range(100), 3) == [0, 1, 2]
+
+    def test_short_input(self):
+        assert take([1], 5) == [1]
+
+    def test_zero(self):
+        assert take([1, 2], 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            take([1], -1)

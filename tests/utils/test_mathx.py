@@ -1,0 +1,120 @@
+"""Tests for repro.utils.mathx."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.mathx import (
+    entropy,
+    harmonic_mean,
+    log_add,
+    normalize_distribution,
+    safe_div,
+    zipf_weights,
+)
+
+
+class TestSafeDiv:
+    def test_normal_division(self):
+        assert safe_div(6, 3) == 2.0
+
+    def test_zero_denominator_returns_default(self):
+        assert safe_div(1, 0) == 0.0
+
+    def test_custom_default(self):
+        assert safe_div(1, 0, default=-1.0) == -1.0
+
+
+class TestLogAdd:
+    def test_equal_values(self):
+        assert log_add(math.log(2), math.log(2)) == pytest.approx(math.log(4))
+
+    def test_asymmetric(self):
+        assert log_add(math.log(3), math.log(1)) == pytest.approx(math.log(4))
+
+    def test_neg_infinity_identity(self):
+        assert log_add(float("-inf"), 1.5) == 1.5
+        assert log_add(1.5, float("-inf")) == 1.5
+
+    @given(st.floats(-50, 50), st.floats(-50, 50))
+    def test_matches_direct_computation(self, a, b):
+        assert log_add(a, b) == pytest.approx(math.log(math.exp(a) + math.exp(b)))
+
+    @given(st.floats(-50, 50), st.floats(-50, 50))
+    def test_commutative(self, a, b):
+        assert log_add(a, b) == pytest.approx(log_add(b, a))
+
+
+class TestEntropy:
+    def test_uniform_two(self):
+        assert entropy([1, 1]) == pytest.approx(math.log(2))
+
+    def test_deterministic_is_zero(self):
+        assert entropy([5]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert entropy([]) == 0.0
+
+    def test_zero_weights_ignored(self):
+        assert entropy([1, 0, 1, 0]) == pytest.approx(math.log(2))
+
+    def test_scale_invariant(self):
+        assert entropy([1, 2, 3]) == pytest.approx(entropy([10, 20, 30]))
+
+    @given(st.lists(st.floats(0.001, 100), min_size=1, max_size=20))
+    def test_bounded_by_log_n(self, weights):
+        assert -1e-9 <= entropy(weights) <= math.log(len(weights)) + 1e-9
+
+
+class TestNormalizeDistribution:
+    def test_sums_to_one(self):
+        dist = normalize_distribution({"a": 2, "b": 6})
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["b"] == pytest.approx(0.75)
+
+    def test_drops_non_positive(self):
+        dist = normalize_distribution({"a": 1, "b": 0, "c": -2})
+        assert set(dist) == {"a"}
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            normalize_distribution({"a": 0})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalize_distribution({})
+
+
+class TestHarmonicMean:
+    def test_equal_inputs(self):
+        assert harmonic_mean(4, 4) == pytest.approx(4)
+
+    def test_zero_input(self):
+        assert harmonic_mean(0, 5) == 0.0
+
+    def test_classic_f1_case(self):
+        assert harmonic_mean(0.5, 1.0) == pytest.approx(2 / 3)
+
+    @given(st.floats(0.01, 100), st.floats(0.01, 100))
+    def test_bounded_by_min_and_max(self, a, b):
+        hm = harmonic_mean(a, b)
+        assert min(a, b) - 1e-9 <= hm <= max(a, b) + 1e-9
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert sum(zipf_weights(10)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        ws = zipf_weights(20, exponent=1.0)
+        assert all(a >= b for a, b in zip(ws, ws[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        ws = zipf_weights(4, exponent=0.0)
+        assert all(w == pytest.approx(0.25) for w in ws)
+
+    def test_invalid_n_raises(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)

@@ -1,0 +1,21 @@
+"""Tests for repro.utils.timer."""
+
+import time
+
+from repro.utils.timer import Timer
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_timer_resets_per_use():
+    t = Timer()
+    with t:
+        pass
+    first = t.elapsed
+    with t:
+        time.sleep(0.01)
+    assert t.elapsed >= first
