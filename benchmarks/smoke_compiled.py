@@ -1,0 +1,67 @@
+"""Small-N compiled-runtime smoke check for CI.
+
+Builds a deliberately small model (fast enough for a CI job), then
+verifies the two things the full R7 benchmark proves at scale:
+
+1. the compiled detector agrees with the reference detector on every
+   evaluation query (full Detection equality), and
+2. the compiled path is meaningfully faster (a loose >= 1.2x bound —
+   the small model and shared CI runners are too noisy for the real 3x
+   assertion, which ``benchmarks/bench_r7_throughput.py`` enforces at
+   full scale and records in ``benchmarks/results/BENCH_r7.json``).
+
+Run as a script: ``PYTHONPATH=src python benchmarks/smoke_compiled.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import LogConfig, TrainingConfig, build_from_seed, generate_log, train_model
+from repro.eval import build_eval_set
+from repro.utils.timer import Timer
+
+NUM_INTENTS = 600
+MIN_SPEEDUP = 1.2
+
+
+def main() -> int:
+    taxonomy = build_from_seed()
+    log = generate_log(taxonomy, LogConfig(seed=7, num_intents=NUM_INTENTS))
+    model = train_model(log, taxonomy, TrainingConfig())
+    heldout = generate_log(taxonomy, LogConfig(seed=99, num_intents=300))
+    queries = [
+        e.query for e in build_eval_set(heldout, min_modifiers=1, max_examples=300)
+    ]
+    reference = model.detector()
+    compiled = model.compile()
+
+    mismatches = [
+        q for q in queries if reference.detect(q) != compiled.detect(q)
+    ]
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} parity mismatches, e.g. {mismatches[0]!r}")
+        return 1
+
+    def cold_pass(detector) -> float:
+        detector.detect_batch(queries[:50])
+        with Timer() as timer:
+            detector.detect_batch(queries)
+        return timer.elapsed
+
+    reference_s = min(cold_pass(model.detector()) for _ in range(3))
+    compiled_s = min(cold_pass(model.compile()) for _ in range(3))
+    speedup = reference_s / compiled_s
+    print(
+        f"parity ok on {len(queries)} queries; "
+        f"reference {len(queries) / reference_s:.0f} q/s, "
+        f"compiled {len(queries) / compiled_s:.0f} q/s ({speedup:.2f}x)"
+    )
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: compiled speedup {speedup:.2f}x < {MIN_SPEEDUP}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

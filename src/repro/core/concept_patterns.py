@@ -97,6 +97,22 @@ class PatternTable:
     def __contains__(self, pattern: ConceptPattern) -> bool:
         return pattern in self._weights
 
+    def items(self) -> list[tuple[ConceptPattern, float]]:
+        """All ``(pattern, weight)`` entries in insertion order.
+
+        Unlike :meth:`top` this does not sort — it is the cheap export
+        used by the compiled runtime to flatten the table into arrays.
+        """
+        return list(self._weights.items())
+
+    def concepts(self) -> set[str]:
+        """Every concept mentioned on either side of a pattern."""
+        vocabulary: set[str] = set()
+        for pattern in self._weights:
+            vocabulary.add(pattern.modifier_concept)
+            vocabulary.add(pattern.head_concept)
+        return vocabulary
+
     def top(self, n: int | None = None) -> list[tuple[ConceptPattern, float]]:
         """Patterns by descending weight (deterministic tie-break)."""
         ordered = sorted(

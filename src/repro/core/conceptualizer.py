@@ -135,7 +135,7 @@ class Conceptualizer:
         rescored as ``P(c|phrase) * (eps + Σ_ctx P(ctx) * compat(c, ctx))``
         — naive-Bayes style evidence combination.
         """
-        base = dict(self.conceptualize(phrase, top_k=max(top_k * 3, 10)))
+        base = self.context_base(phrase, top_k)
         if not base or not context_concepts:
             return sorted(base.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
         epsilon = 1e-6
@@ -150,6 +150,16 @@ class Conceptualizer:
             rescored = base  # no signal: keep the prior
         dist = normalize_distribution(rescored)
         return sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+
+    def context_base(self, phrase: str, top_k: int = 5) -> dict[str, float]:
+        """The over-generated sense prior that context disambiguation
+        rescores: more senses than ``top_k`` so a contextually-right but
+        a-priori-unlikely sense can climb into the final top ``k``.
+
+        Split out so the compiled runtime can memoize it per phrase and
+        produce results identical to :meth:`conceptualize_with_context`.
+        """
+        return dict(self.conceptualize(phrase, top_k=max(top_k * 3, 10)))
 
     def _backoff(self, norm: str, top_k: int) -> list[tuple[str, float]]:
         tokens = norm.split()

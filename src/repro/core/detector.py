@@ -35,6 +35,7 @@ from repro.errors import ModelError
 from repro.mining.pairs import PairCollection
 from repro.text.lexicon import Lexicon, default_lexicon
 from repro.text.normalizer import normalize
+from repro.utils.lru import LruCache
 
 
 class TermRole(enum.Enum):
@@ -135,6 +136,10 @@ class DetectorConfig:
     #: (0 disables hierarchy backoff). Pair with the same setting in
     #: TrainingConfig so the table contains the coarse patterns.
     hierarchy_discount: float = 0.0
+    #: Bound on memoization caches (concept readings, compiled affinities).
+    #: Long-running services see unbounded vocabulary; the caches evict
+    #: least-recently-used phrases past this size.
+    cache_size: int = 50_000
 
     def __post_init__(self) -> None:
         if not 0 <= self.instance_weight <= 1:
@@ -143,6 +148,8 @@ class DetectorConfig:
             raise ModelError("top_k_concepts must be positive")
         if not 0 <= self.hierarchy_discount <= 1:
             raise ModelError("hierarchy_discount must be in [0, 1]")
+        if self.cache_size <= 0:
+            raise ModelError("cache_size must be positive")
 
 
 class HeadModifierDetector:
@@ -170,7 +177,9 @@ class HeadModifierDetector:
         self._segmenter = segmenter or Segmenter(conceptualizer.taxonomy, self._lexicon)
         self._config = config or DetectorConfig()
         self._speller = speller
-        self._concept_cache: dict[str, tuple[tuple[str, float], ...]] = {}
+        self._concept_cache: LruCache[str, tuple[tuple[str, float], ...]] = LruCache(
+            self._config.cache_size
+        )
 
     @property
     def patterns(self) -> PatternTable:
@@ -218,8 +227,21 @@ class HeadModifierDetector:
         return self._finish(query, segments, head=head, score=score, method=method)
 
     def detect_batch(self, texts) -> list[Detection]:
-        """Detect over an iterable of texts."""
-        return [self.detect(t) for t in texts]
+        """Detect over an iterable of texts, preserving input order.
+
+        Exact-duplicate texts are detected once and share the (immutable)
+        :class:`Detection` — real query traffic is heavily duplicated, and
+        re-normalizing/re-segmenting the same string is pure waste.
+        """
+        memo: dict[str, Detection] = {}
+        results: list[Detection] = []
+        for text in texts:
+            detection = memo.get(text)
+            if detection is None:
+                detection = self.detect(text)
+                memo[text] = detection
+            results.append(detection)
+        return results
 
     # ------------------------------------------------------------------
     # head choice
@@ -310,7 +332,7 @@ class HeadModifierDetector:
                     readings, self._config.hierarchy_discount
                 )
             cached = tuple(readings)
-            self._concept_cache[phrase] = cached
+            self._concept_cache.put(phrase, cached)
         return cached
 
     # ------------------------------------------------------------------

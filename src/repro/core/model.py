@@ -79,6 +79,41 @@ class HdmModel:
             speller=speller,
         )
 
+    def compile(
+        self,
+        stats: LogStatistics | None = None,
+        config: DetectorConfig | None = None,
+        correct_spelling: bool = False,
+    ):
+        """Build the compiled fast-path detector (see :mod:`repro.runtime`).
+
+        Interns all phrases/concepts to integer ids and flattens the
+        pattern table, typicality distributions, and pair supports into
+        contiguous arrays. The result detects identically to
+        :meth:`detector` (enforced by the runtime parity suite) at a
+        multiple of its throughput, and its ``detect_batch`` accepts
+        ``workers`` for process sharding. The compiled detector snapshots
+        the model — recompile after mutating taxonomy/patterns/pairs.
+        """
+        from repro.runtime.compiled import CompiledDetector
+
+        classifier = self.classifier
+        if classifier is not None and stats is not None:
+            classifier = classifier.with_stats(stats)
+        speller = None
+        if correct_spelling:
+            from repro.text.spelling import SpellingNormalizer
+
+            speller = SpellingNormalizer.from_taxonomy(self.taxonomy)
+        return CompiledDetector(
+            patterns=self.patterns,
+            conceptualizer=self.conceptualizer(),
+            instance_pairs=self.pairs,
+            constraint_classifier=classifier,
+            config=config or self.detector_config,
+            speller=speller,
+        )
+
 
 def save_model(model: HdmModel, directory: str | Path) -> None:
     """Persist a model bundle into ``directory`` (created if needed)."""
@@ -98,6 +133,7 @@ def save_model(model: HdmModel, directory: str | Path) -> None:
             "use_connector_heuristic": model.detector_config.use_connector_heuristic,
             "contextualize_modifiers": model.detector_config.contextualize_modifiers,
             "hierarchy_discount": model.detector_config.hierarchy_discount,
+            "cache_size": model.detector_config.cache_size,
         },
     }
     (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))

@@ -93,6 +93,15 @@ class PairCollection:
                 result._sources[(modifier, head)] = set(self._sources[(modifier, head)])
         return result
 
+    def support_map(self) -> dict[tuple[str, str], float]:
+        """The raw ``(modifier, head) → support`` mapping.
+
+        Exposed for the compiled runtime, which binds the dict directly
+        into its hot path instead of paying a method call per lookup.
+        Callers must treat it as read-only.
+        """
+        return self._support
+
     def items(self) -> Iterator[tuple[str, str, float]]:
         """Yield ``(modifier, head, support)`` triples."""
         for (modifier, head), support in self._support.items():

@@ -1,0 +1,31 @@
+"""Compiled detection runtime — the fast path beside the reference one.
+
+``HdmModel.compile()`` interns phrases/concepts to integer ids, flattens
+the pattern table and typicality distributions into contiguous NumPy
+arrays, and returns a :class:`CompiledDetector` producing detections
+identical to the reference :class:`~repro.core.detector.HeadModifierDetector`
+at a multiple of its throughput. See ``docs/TOUR.md`` § "Runtime &
+performance".
+"""
+
+from repro.runtime.batch import detect_batch_sharded, shard
+from repro.runtime.compiled import (
+    DENSE_LIMIT,
+    CompiledDetector,
+    CompiledSegmenter,
+    PatternMatrix,
+    PhraseReading,
+)
+from repro.runtime.intern import UNKNOWN, Interner
+
+__all__ = [
+    "CompiledDetector",
+    "CompiledSegmenter",
+    "PatternMatrix",
+    "PhraseReading",
+    "DENSE_LIMIT",
+    "Interner",
+    "UNKNOWN",
+    "detect_batch_sharded",
+    "shard",
+]

@@ -1,0 +1,74 @@
+"""Parallel batch detection across process shards.
+
+CPython's GIL caps a single detector at one core, so the batch path
+offers opt-in process sharding: the detector is pickled **once per
+worker** (via the pool initializer, not per task), the deduplicated
+texts are split into one contiguous shard per worker, and results are
+reassembled in input order. Duplicated texts are detected once, like the
+single-process batch path.
+
+Use this for offline sweeps over large logs; for single queries or small
+batches the pool startup cost dominates and the in-process path wins.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.detector import Detection
+
+_WORKER_DETECTOR = None
+
+
+def _init_worker(detector) -> None:
+    """Pool initializer: receive the (pickled-once) detector."""
+    global _WORKER_DETECTOR
+    _WORKER_DETECTOR = detector
+
+
+def _detect_shard(texts: list[str]) -> list[Detection]:
+    """Run one shard inside a worker process."""
+    assert _WORKER_DETECTOR is not None, "worker initialized without a detector"
+    return [_WORKER_DETECTOR.detect(text) for text in texts]
+
+
+def shard(items: list, num_shards: int) -> list[list]:
+    """Split ``items`` into up to ``num_shards`` contiguous, balanced shards."""
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    num_shards = min(num_shards, len(items)) or 1
+    base, extra = divmod(len(items), num_shards)
+    shards = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(items[start : start + size])
+        start += size
+    return shards
+
+
+def detect_batch_sharded(detector, texts: list[str], workers: int) -> list[Detection]:
+    """Detect ``texts`` across ``workers`` processes, in input order.
+
+    ``detector`` may be the reference or the compiled detector — anything
+    picklable with a ``detect`` method.
+    """
+    if workers <= 1:
+        raise ValueError("detect_batch_sharded needs workers > 1")
+    unique: list[str] = []
+    seen: set[str] = set()
+    for text in texts:
+        if text not in seen:
+            seen.add(text)
+            unique.append(text)
+    shards = shard(unique, workers)
+    with ProcessPoolExecutor(
+        max_workers=len(shards), initializer=_init_worker, initargs=(detector,)
+    ) as executor:
+        shard_results = list(executor.map(_detect_shard, shards))
+    by_text = {
+        text: detection
+        for texts_shard, detections in zip(shards, shard_results)
+        for text, detection in zip(texts_shard, detections)
+    }
+    return [by_text[text] for text in texts]

@@ -1,0 +1,688 @@
+"""The compiled detection runtime.
+
+:class:`CompiledDetector` is a drop-in, *behaviour-identical* fast path
+beside the readable reference :class:`~repro.core.detector.HeadModifierDetector`.
+It inherits the reference control flow (candidate enumeration, connector
+heuristic, fallbacks, result assembly) so the two paths cannot drift
+structurally, and replaces only the hot inner computations:
+
+- **Interned pattern matrix** — every concept in the
+  :class:`~repro.core.concept_patterns.PatternTable` is interned to a
+  dense integer id and the table is flattened into a CSR-style
+  ``(modifier_id, head_id) → weight`` matrix (dense when small, sorted
+  flat keys + binary search when large). A pattern lookup becomes an
+  array ``take`` instead of dataclass construction + dict hashing + an
+  O(table) ``max_weight`` recomputation.
+- **Flattened typicality readings** — conceptualizations of every
+  taxonomy instance/concept are precomputed at compile time into
+  contiguous id/probability arrays; each phrase owns a slice. Runtime
+  phrases outside the taxonomy fall back to the reference
+  conceptualizer once and are memoized in a bounded LRU.
+- **Interned flat scoring** — ``_pattern_score`` walks the
+  ``top_k × top_k`` concept grid over prezipped ``(id, probability)``
+  tuples and a flat-key weight map, in the reference iteration order,
+  so scores are *bit-identical* to the reference loops. (At top-k ≈ 5
+  the grids are so small that NumPy's per-call dispatch costs more than
+  the arithmetic; the arrays remain the storage format, and
+  :meth:`PatternMatrix.norm` / :meth:`PatternMatrix.raw` expose the
+  vectorized gathers for batch tooling.)
+- **Compiled segmentation** — the Viterbi segmenter's span scoring is
+  precomputed into plain dict lookups keyed by already-normalized
+  tokens, eliminating the per-span regex re-normalization that
+  dominates reference segmentation cost.
+- **Bounded memoization** — phrase readings, context bases, and pair
+  affinities are cached in LRUs sized by ``DetectorConfig.cache_size``.
+
+Parity is enforced by ``tests/test_runtime_parity.py``: identical heads,
+modifiers, constraints, methods, and scores on the full held-out
+evaluation set.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import numpy as np
+
+from repro.core.concept_patterns import PatternTable
+from repro.core.conceptualizer import Conceptualizer
+from repro.core.detector import Detection, DetectorConfig, HeadModifierDetector
+from repro.core.segmentation import (
+    CONTENT_KINDS,
+    KIND_CONNECTOR,
+    KIND_INSTANCE,
+    KIND_STOPWORD,
+    KIND_SUBJECTIVE,
+    KIND_VERB,
+    KIND_WORD,
+    Segment,
+    Segmenter,
+)
+from repro.mining.pairs import PairCollection
+from repro.runtime.intern import UNKNOWN, Interner
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.text.lexicon import Lexicon, default_lexicon
+from repro.text.normalizer import normalize, normalize_term
+from repro.utils.lru import LruCache
+from repro.utils.mathx import normalize_distribution
+
+#: Above this many (stride × stride) entries the pattern matrix switches
+#: from a dense flat array to sorted-key binary search (~16 MB per dense
+#: matrix at the limit; raw + normalized are stored separately).
+DENSE_LIMIT = 2_000_000
+
+#: Characters :func:`repro.text.normalizer.normalize` passes through
+#: unchanged (ASCII, so NFKC and lowercasing are identities too).
+_CANONICAL_RE = re.compile(r"[a-z0-9$%.' ]*")
+
+
+def _normalize_fast(text: str) -> str:
+    """:func:`normalize`, skipping the regex passes when ``text`` is
+    visibly already in normal form (the common case for query traffic)."""
+    if (
+        _CANONICAL_RE.fullmatch(text)
+        and "  " not in text
+        and text[:1] != " "
+        and text[-1:] != " "
+    ):
+        return text
+    return normalize(text)
+
+
+class PatternMatrix:
+    """The flattened, interned pattern table.
+
+    Weights live behind flat integer keys ``modifier_id * stride + head_id``
+    where ``stride = len(interner) + 1``; the extra row/column is the
+    all-zero slot for concepts outside the table, so unknown concepts
+    contribute exactly the 0.0 the reference path's dict ``.get`` returns.
+
+    Two weight views are kept because the reference path uses both:
+    ``raw`` (``PatternTable.weight``, context disambiguation) and
+    ``norm`` (``PatternTable.score`` = weight / max weight, head scoring).
+    """
+
+    def __init__(
+        self,
+        patterns: PatternTable,
+        interner: Interner,
+        dense_limit: int = DENSE_LIMIT,
+    ) -> None:
+        self.stride = len(interner) + 1
+        self.zero_id = len(interner)
+        max_weight = patterns.max_weight
+        keys: list[int] = []
+        raw: list[float] = []
+        for pattern, weight in patterns.items():
+            modifier_id = interner.id_of(pattern.modifier_concept)
+            head_id = interner.id_of(pattern.head_concept)
+            if modifier_id == UNKNOWN or head_id == UNKNOWN:  # pragma: no cover
+                continue  # interner is built from this table; defensive only
+            keys.append(modifier_id * self.stride + head_id)
+            raw.append(weight)
+        key_array = np.asarray(keys, dtype=np.int64)
+        raw_array = np.asarray(raw, dtype=np.float64)
+        # The same division the reference path performs per lookup, done
+        # once per entry here — identical floats either way.
+        norm_array = raw_array / max_weight if max_weight > 0 else raw_array.copy()
+        # Scalar fast path: one dict probe per (modifier, head) concept
+        # pair beats tiny-array gathers in the per-query loops. Absent
+        # keys mean weight 0.0, exactly like the reference dict ``.get``.
+        self.raw_map: dict[int, float] = dict(zip(keys, raw))
+        self.norm_map: dict[int, float] = dict(zip(keys, norm_array.tolist()))
+        self.dense = self.stride * self.stride <= dense_limit
+        if self.dense:
+            self._raw = np.zeros(self.stride * self.stride, dtype=np.float64)
+            self._norm = np.zeros(self.stride * self.stride, dtype=np.float64)
+            self._raw[key_array] = raw_array
+            self._norm[key_array] = norm_array
+        else:
+            order = np.argsort(key_array)
+            self._keys = key_array[order]
+            self._raw = raw_array[order]
+            self._norm = norm_array[order]
+
+    def raw(self, keys: np.ndarray) -> np.ndarray:
+        """Raw weights behind flat ``keys`` (0.0 where absent)."""
+        if self.dense:
+            return self._raw[keys]
+        return self._sparse_take(self._raw, keys)
+
+    def norm(self, keys: np.ndarray) -> np.ndarray:
+        """Max-normalized weights behind flat ``keys`` (0.0 where absent)."""
+        if self.dense:
+            return self._norm[keys]
+        return self._sparse_take(self._norm, keys)
+
+    def _sparse_take(self, values: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        if not len(self._keys):
+            return np.zeros(len(keys), dtype=np.float64)
+        positions = np.searchsorted(self._keys, keys)
+        positions[positions >= len(self._keys)] = 0
+        found = self._keys[positions] == keys
+        return np.where(found, values[positions], 0.0)
+
+
+class PhraseReading:
+    """One phrase's concept readings: strings for display, ids for math.
+
+    ``ids``/``probs`` are contiguous array slices (the compiled storage
+    format); ``mod_items``/``head_items`` are the same data prezipped
+    into flat tuples for the scalar scoring loop — ``mod_items`` carries
+    the id pre-multiplied by the matrix stride so a pattern lookup is a
+    single integer add.
+    """
+
+    __slots__ = ("concepts", "ids", "probs", "mod_items", "head_items")
+
+    def __init__(
+        self,
+        concepts: tuple[tuple[str, float], ...],
+        ids: np.ndarray,
+        probs: np.ndarray,
+        stride: int,
+    ) -> None:
+        self.concepts = concepts
+        self.ids = ids
+        self.probs = probs
+        id_list = ids.tolist()
+        prob_list = probs.tolist()
+        self.mod_items = [
+            (id_ * stride, id_, prob) for id_, prob in zip(id_list, prob_list)
+        ]
+        self.head_items = list(zip(id_list, prob_list))
+
+
+class _ContextBase:
+    """Precompiled ``Conceptualizer.context_base`` output.
+
+    ``items`` preserves the reference dict's insertion order (it seeds
+    the no-signal fallback); ``rows`` prezips each sense with its
+    stride-scaled concept id for the rescoring loop.
+    """
+
+    __slots__ = ("items", "rows")
+
+    def __init__(
+        self,
+        items: list[tuple[str, float]],
+        rows: list[tuple[str, float, int]],
+    ) -> None:
+        self.items = items
+        self.rows = rows
+
+
+class CompiledSegmenter(Segmenter):
+    """Reference Viterbi segmentation over precompiled span scores.
+
+    The DP and tie-breaking are inherited; only ``_span_score`` and
+    ``_kind_of`` are replaced with dict lookups precomputed from the
+    taxonomy and lexicon. Tokens reaching these hooks are already
+    normalized (``Segmenter.segment`` normalizes first), so the only
+    residual normalization case is a trailing period — handled on the
+    miss path exactly as ``normalize_term`` would.
+    """
+
+    def __init__(
+        self,
+        taxonomy: ConceptTaxonomy | None = None,
+        lexicon: Lexicon | None = None,
+    ) -> None:
+        super().__init__(taxonomy, lexicon)
+        lex = self._lexicon
+        # Reference priority is instance > subjective > connector > verb >
+        # stopword > unknown; build in reverse so later wins.
+        single: dict[str, float] = {}
+        kind: dict[str, str] = {}
+        for word in lex.stopwords:
+            single[word] = 0.5
+            kind[word] = KIND_STOPWORD
+        for word in lex.intent_verbs:
+            single[word] = 0.6
+            kind[word] = KIND_VERB
+        for word in lex.connectors:
+            single[word] = 0.6
+            kind[word] = KIND_CONNECTOR
+        for word in lex.subjective:
+            single[word] = 0.8
+            kind[word] = KIND_SUBJECTIVE
+        instance_single: dict[str, float] = {}
+        multi: dict[str, float] = {}
+        if taxonomy is not None:
+            for phrase in taxonomy.iter_instances():
+                popularity = math.log1p(taxonomy.instance_total(phrase))
+                length = len(phrase.split())
+                kind[phrase] = KIND_INSTANCE
+                if length == 1:
+                    score = 1.0 + 0.1 * popularity
+                    single[phrase] = score
+                    instance_single[phrase] = score
+                else:
+                    multi[phrase] = length**2 * (1.0 + 0.1 * popularity)
+        self._single = single
+        self._instance_single = instance_single
+        self._multi = multi
+        self._kind = kind
+        # First tokens of multi-token instances: a span whose first token
+        # is not here cannot be in ``multi`` (trailing-period stripping
+        # only touches the last token), so the DP skips the join+probe.
+        self._multi_first = {phrase.split()[0] for phrase in multi}
+
+    def segment(self, text: str):
+        return self.segment_tokens(normalize(text).split())
+
+    def segment_tokens(self, tokens: list[str]) -> list[Segment]:
+        """Inlined reference Viterbi over the precompiled score tables.
+
+        ``tokens`` must already be normalized (``normalize(text).split()``
+        output — :meth:`segment` does exactly that). Identical DP, scores,
+        and tie-breaking (ascending-start iteration, strict improvement)
+        to the reference; only the per-span method dispatch and
+        re-normalization are gone.
+        """
+        if not tokens:
+            return []
+        n = len(tokens)
+        single = self._single
+        instance_single = self._instance_single
+        multi = self._multi
+        multi_first = self._multi_first
+        max_span = self._max_span
+        best: list[tuple[float, int, int] | None] = [None] * (n + 1)
+        best[0] = (0.0, 0, -1)
+        for end in range(1, n + 1):
+            entry_score = entry_segments = entry_start = None
+            for start in range(max(0, end - max_span), end - 1):
+                if tokens[start] not in multi_first:
+                    continue
+                prev = best[start]
+                if prev is None:
+                    continue
+                phrase = " ".join(tokens[start:end])
+                span_score = multi.get(phrase)
+                if span_score is None:
+                    if not phrase.endswith("."):
+                        continue
+                    span_score = multi.get(phrase.rstrip(". "))
+                    if span_score is None:
+                        continue
+                score = prev[0] + span_score
+                segments_left = prev[1] - 1
+                if (
+                    entry_score is None
+                    or score > entry_score
+                    or (score == entry_score and segments_left > entry_segments)
+                ):
+                    entry_score, entry_segments, entry_start = (
+                        score,
+                        segments_left,
+                        start,
+                    )
+            prev = best[end - 1]
+            if prev is not None:
+                token = tokens[end - 1]
+                token_score = single.get(token)
+                if token_score is None:
+                    token_score = 0.7
+                    if token.endswith("."):
+                        stripped = instance_single.get(token.rstrip(". "))
+                        if stripped is not None:
+                            token_score = stripped
+                score = prev[0] + token_score
+                segments_left = prev[1] - 1
+                if (
+                    entry_score is None
+                    or score > entry_score
+                    or (score == entry_score and segments_left > entry_segments)
+                ):
+                    entry_score, entry_segments, entry_start = (
+                        score,
+                        segments_left,
+                        end - 1,
+                    )
+            if entry_score is not None:
+                best[end] = (entry_score, entry_segments, entry_start)
+        # Inlined _backtrack over the precompiled kind table.
+        kind_map = self._kind
+        segments: list[Segment] = []
+        end = n
+        while end > 0:
+            entry = best[end]
+            assert entry is not None  # every prefix is reachable via singles
+            start = entry[2]
+            phrase = tokens[start] if end - start == 1 else " ".join(tokens[start:end])
+            kind = kind_map.get(phrase)
+            if kind is None:
+                kind = KIND_WORD
+                if (
+                    phrase.endswith(".")
+                    and kind_map.get(phrase.rstrip(". ")) == KIND_INSTANCE
+                ):
+                    kind = KIND_INSTANCE
+            segments.append(Segment(phrase, start, end, kind))
+            end = start
+        segments.reverse()
+        return segments
+
+    def _span_score(self, span: list[str]) -> float | None:
+        if len(span) == 1:
+            token = span[0]
+            score = self._single.get(token)
+            if score is not None:
+                return score
+            if token.endswith("."):
+                # normalize_term strips trailing periods before the
+                # taxonomy lookup; lexicon words never carry one.
+                score = self._instance_single.get(token.rstrip(". "))
+                if score is not None:
+                    return score
+            return 0.7
+        phrase = " ".join(span)
+        score = self._multi.get(phrase)
+        if score is None and phrase.endswith("."):
+            score = self._multi.get(phrase.rstrip(". "))
+        return score
+
+    def _kind_of(self, phrase: str, num_tokens: int) -> str:
+        kind = self._kind.get(phrase)
+        if kind is not None:
+            return kind
+        if phrase.endswith(".") and self._kind.get(phrase.rstrip(". ")) == KIND_INSTANCE:
+            return KIND_INSTANCE
+        return KIND_WORD
+
+
+class CompiledDetector(HeadModifierDetector):
+    """Behaviour-identical detector running on compiled structures.
+
+    Construct via :meth:`repro.core.model.HdmModel.compile` (preferred)
+    or directly with the same arguments as the reference detector.
+    ``detect_batch`` additionally accepts ``workers`` to fan shards out
+    across processes (see :mod:`repro.runtime.batch`).
+    """
+
+    def __init__(
+        self,
+        patterns: PatternTable,
+        conceptualizer: Conceptualizer,
+        instance_pairs: PairCollection | None = None,
+        constraint_classifier=None,
+        segmenter: Segmenter | None = None,
+        lexicon: Lexicon | None = None,
+        config: DetectorConfig | None = None,
+        speller=None,
+        dense_limit: int = DENSE_LIMIT,
+    ) -> None:
+        lexicon = lexicon or default_lexicon()
+        if segmenter is None:
+            segmenter = CompiledSegmenter(conceptualizer.taxonomy, lexicon)
+        super().__init__(
+            patterns,
+            conceptualizer,
+            instance_pairs=instance_pairs,
+            constraint_classifier=constraint_classifier,
+            segmenter=segmenter,
+            lexicon=lexicon,
+            config=config,
+            speller=speller,
+        )
+        self._interner = Interner(sorted(patterns.concepts()))
+        self._matrix = PatternMatrix(patterns, self._interner, dense_limit)
+        self._zero_id = self._matrix.zero_id
+        self._concept_ids = self._interner.id_map()
+        self._support_map = (
+            instance_pairs.support_map() if instance_pairs is not None else None
+        )
+        cache_size = self._config.cache_size
+        self._reading_cache: LruCache[str, PhraseReading] = LruCache(cache_size)
+        self._context_cache: LruCache[str, _ContextBase] = LruCache(cache_size)
+        self._affinity_cache: LruCache[tuple[str, str], float] = LruCache(cache_size)
+        self._modifier_cache: LruCache[
+            tuple, tuple[tuple[str, float], ...]
+        ] = LruCache(cache_size)
+        phrases = self._taxonomy_phrases(conceptualizer.taxonomy)
+        self._compiled_readings = self._precompute_readings(phrases)
+        self._compiled_context = self._precompute_context_bases(phrases)
+        # detect() can hand pre-split tokens straight to the compiled DP
+        # only when the segmenter actually is the compiled one.
+        self._fast_segmenter = isinstance(self._segmenter, CompiledSegmenter)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _taxonomy_phrases(taxonomy: ConceptTaxonomy) -> list[str]:
+        """Every distinct instance/concept phrase, instances first."""
+        phrases: list[str] = []
+        seen: set[str] = set()
+        for phrase in taxonomy.iter_instances():
+            if phrase not in seen:
+                seen.add(phrase)
+                phrases.append(phrase)
+        for phrase in taxonomy.iter_concepts():
+            if phrase not in seen:
+                seen.add(phrase)
+                phrases.append(phrase)
+        return phrases
+
+    def _precompute_readings(self, phrases: list[str]) -> dict[str, PhraseReading]:
+        """Flatten every known phrase's typicality readings into slices
+        of two contiguous arrays (ids, probabilities)."""
+        per_phrase = [(phrase, self._fresh_reading(phrase)) for phrase in phrases]
+        flat_ids: list[int] = []
+        flat_probs: list[float] = []
+        bounds: list[tuple[str, int, int, tuple[tuple[str, float], ...]]] = []
+        for phrase, readings in per_phrase:
+            start = len(flat_ids)
+            for concept, probability in readings:
+                flat_ids.append(self._id_or_zero(concept))
+                flat_probs.append(probability)
+            bounds.append((phrase, start, len(flat_ids), readings))
+        ids_array = np.asarray(flat_ids, dtype=np.int64)
+        probs_array = np.asarray(flat_probs, dtype=np.float64)
+        stride = self._matrix.stride
+        compiled: dict[str, PhraseReading] = {}
+        for phrase, start, end, readings in bounds:
+            compiled[phrase] = PhraseReading(
+                readings, ids_array[start:end], probs_array[start:end], stride
+            )
+        return compiled
+
+    def _precompute_context_bases(self, phrases: list[str]) -> dict[str, _ContextBase]:
+        """Precompute the context-disambiguation sense priors for every
+        known phrase, so modifier contextualization never re-enters the
+        Python conceptualizer for in-taxonomy phrases."""
+        return {phrase: self._fresh_context_base(phrase) for phrase in phrases}
+
+    def _fresh_context_base(self, phrase: str) -> _ContextBase:
+        """Exactly the reference ``context_base`` computation, interned."""
+        base_dict = self._conceptualizer.context_base(
+            phrase, self._config.top_k_concepts
+        )
+        items = list(base_dict.items())
+        stride = self._matrix.stride
+        rows = [
+            (concept, prior, self._id_or_zero(concept) * stride)
+            for concept, prior in items
+        ]
+        return _ContextBase(items, rows)
+
+    def _fresh_reading(self, phrase: str) -> tuple[tuple[str, float], ...]:
+        """Exactly the reference ``_concepts_of`` computation, uncached."""
+        readings = self._conceptualizer.conceptualize(
+            phrase, self._config.top_k_concepts
+        )
+        if self._config.hierarchy_discount > 0 and readings:
+            readings = self._conceptualizer.expand_with_ancestors(
+                readings, self._config.hierarchy_discount
+            )
+        return tuple(readings)
+
+    def _id_or_zero(self, concept: str) -> int:
+        id_ = self._interner.id_of(concept)
+        return self._zero_id if id_ == UNKNOWN else id_
+
+    # ------------------------------------------------------------------
+    # compiled hot paths (overrides)
+    # ------------------------------------------------------------------
+    def detect(self, text: str) -> Detection:
+        """Reference ``detect``, minus one redundant normalization pass.
+
+        The reference normalizes in ``detect`` and again inside
+        ``Segmenter.segment``; normalization is idempotent, so handing the
+        already-normalized tokens straight to the compiled DP changes
+        nothing but the cost. Spelling correction routes through the
+        segmenter's own normalization, exactly like the reference.
+        """
+        query = _normalize_fast(text)
+        if self._speller is not None:
+            query = self._speller.correct(query)
+        if self._fast_segmenter and self._speller is None:
+            segments = self._segmenter.segment_tokens(query.split())
+        else:
+            segments = self._segmenter.segment(query)
+        if not segments:
+            return Detection(query=query, terms=(), score=0.0, method="empty")
+        content = [s for s in segments if s.kind in CONTENT_KINDS]
+        if not content:
+            return self._all_structural(query, segments)
+        if len(content) == 1:
+            return self._finish(
+                query, segments, head=content[0], score=1.0, method="single"
+            )
+        head, score, method = self._choose_head(segments, content)
+        return self._finish(query, segments, head=head, score=score, method=method)
+
+    def _reading(self, phrase: str) -> PhraseReading:
+        # Segment texts are already normalized (modulo a trailing period),
+        # so most phrases hit the compiled dict directly — one dict probe,
+        # no LRU bookkeeping.
+        reading = self._compiled_readings.get(phrase)
+        if reading is not None:
+            return reading
+        reading = self._reading_cache.get(phrase)
+        if reading is None:
+            reading = self._compiled_readings.get(normalize_term(phrase))
+            if reading is None:
+                concepts = self._fresh_reading(phrase)
+                ids = np.fromiter(
+                    (self._id_or_zero(c) for c, _ in concepts),
+                    dtype=np.int64,
+                    count=len(concepts),
+                )
+                probs = np.fromiter(
+                    (p for _, p in concepts), dtype=np.float64, count=len(concepts)
+                )
+                reading = PhraseReading(concepts, ids, probs, self._matrix.stride)
+            self._reading_cache.put(phrase, reading)
+        return reading
+
+    def _concepts_of(self, phrase: str) -> tuple[tuple[str, float], ...]:
+        return self._reading(phrase).concepts
+
+    def _pair_affinity(self, modifier: str, head: str) -> float:
+        key = (modifier, head)
+        affinity = self._affinity_cache.get(key)
+        if affinity is None:
+            # Inlined reference _pair_affinity/_instance_score over the
+            # bound support dict — identical arithmetic, no method hops.
+            weight = self._config.instance_weight
+            instance = 0.0
+            support = self._support_map
+            if support is not None:
+                forward = support.get(key, 0.0)
+                backward = support.get((head, modifier), 0.0)
+                denominator = forward + backward + self._config.instance_smoothing
+                instance = forward / denominator if denominator > 0 else 0.0
+            pattern = self._pattern_score(modifier, head)
+            affinity = weight * instance + (1 - weight) * pattern
+            self._affinity_cache.put(key, affinity)
+        return affinity
+
+    def _pattern_score(self, modifier: str, head: str) -> float:
+        mod_items = self._reading(modifier).mod_items
+        head_items = self._reading(head).head_items
+        norm_weight = self._matrix.norm_map.get
+        score = 0.0
+        # Reference iteration order and association (m_p·h_p·w, modifier
+        # outer); skipping absent keys adds the same +0.0 the reference
+        # adds explicitly, so the running sum is bit-identical.
+        for m_scaled, m_id, m_prob in mod_items:
+            for h_id, h_prob in head_items:
+                if m_id == h_id:
+                    continue
+                weight = norm_weight(m_scaled + h_id)
+                if weight is not None:
+                    score += m_prob * h_prob * weight
+        return score
+
+    def _context_base(self, phrase: str) -> _ContextBase:
+        base = self._compiled_context.get(phrase)
+        if base is not None:
+            return base
+        base = self._context_cache.get(phrase)
+        if base is None:
+            base = self._compiled_context.get(normalize_term(phrase))
+            if base is None:
+                base = self._fresh_context_base(phrase)
+            self._context_cache.put(phrase, base)
+        return base
+
+    def _modifier_concepts(
+        self, phrase: str, head_concepts: dict[str, float]
+    ) -> tuple[tuple[str, float], ...]:
+        if not self._config.contextualize_modifiers or not head_concepts:
+            return self._concepts_of(phrase)
+        cache_key = (phrase, tuple(head_concepts.items()))
+        cached = self._modifier_cache.get(cache_key)
+        if cached is None:
+            cached = self._contextualized_concepts(phrase, head_concepts)
+            self._modifier_cache.put(cache_key, cached)
+        return cached
+
+    def _contextualized_concepts(
+        self, phrase: str, head_concepts: dict[str, float]
+    ) -> tuple[tuple[str, float], ...]:
+        top_k = self._config.top_k_concepts
+        base = self._context_base(phrase)
+        if not base.rows:
+            return ()
+        concept_id = self._concept_ids.get
+        zero_id = self._zero_id
+        context = [
+            (concept_id(concept, zero_id), probability)
+            for concept, probability in head_concepts.items()
+        ]
+        raw_weight = self._matrix.raw_map.get
+        epsilon = 1e-6
+        rescored: dict[str, float] = {}
+        # Reference evidence sum: context terms in head-dict order,
+        # ``p_ctx · w`` association; absent keys add the reference's +0.0.
+        for concept, prior, scaled in base.rows:
+            evidence = 0.0
+            for context_id, context_probability in context:
+                weight = raw_weight(scaled + context_id)
+                if weight is not None:
+                    evidence += context_probability * weight
+            rescored[concept] = prior * (epsilon + evidence)
+        if all(value <= epsilon for value in rescored.values()):
+            rescored = dict(base.items)  # no signal: keep the prior
+        dist = normalize_distribution(rescored)
+        return tuple(sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k])
+
+    # ------------------------------------------------------------------
+    # batch API
+    # ------------------------------------------------------------------
+    def detect_batch(self, texts, workers: int | None = None):
+        """Detect over ``texts`` in input order.
+
+        With ``workers`` > 1 the (deduplicated) texts are sharded across
+        a process pool; the compiled model is pickled once per worker.
+        """
+        texts = list(texts)
+        if workers is not None and workers > 1 and len(texts) > 1:
+            from repro.runtime.batch import detect_batch_sharded
+
+            return detect_batch_sharded(self, texts, workers)
+        return super().detect_batch(texts)

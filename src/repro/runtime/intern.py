@@ -1,0 +1,75 @@
+"""String interning for the compiled detection runtime.
+
+The reference path hashes strings (and builds :class:`ConceptPattern`
+dataclasses) on every lookup. The compiled path interns each distinct
+phrase/concept to a dense integer id once, at compile time, so the hot
+path works on int arrays: pattern weights become a flattened matrix
+indexed by ``modifier_id * stride + head_id``, and per-phrase concept
+readings become contiguous id/probability array slices.
+
+Ids are dense and start at 0; ``UNKNOWN`` (-1 from :meth:`Interner.id_of`)
+marks strings never interned. Callers map unknowns to a reserved
+all-zero row/column so unknown concepts contribute exactly 0 evidence —
+the same result the reference path gets from its dict ``.get(…, 0.0)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+#: Id returned for strings that were never interned.
+UNKNOWN = -1
+
+
+class Interner:
+    """A bidirectional string ↔ dense-int mapping.
+
+    >>> interner = Interner(["smartphone", "case"])
+    >>> interner.id_of("case")
+    1
+    >>> interner.string_of(0)
+    'smartphone'
+    >>> interner.id_of("never seen")
+    -1
+    """
+
+    __slots__ = ("_ids", "_strings")
+
+    def __init__(self, strings: Iterable[str] = ()) -> None:
+        self._ids: dict[str, int] = {}
+        self._strings: list[str] = []
+        for string in strings:
+            self.intern(string)
+
+    def intern(self, string: str) -> int:
+        """Return the id of ``string``, assigning the next id if new."""
+        existing = self._ids.get(string)
+        if existing is not None:
+            return existing
+        assigned = len(self._strings)
+        self._ids[string] = assigned
+        self._strings.append(string)
+        return assigned
+
+    def id_of(self, string: str) -> int:
+        """The id of ``string``, or :data:`UNKNOWN` when never interned."""
+        return self._ids.get(string, UNKNOWN)
+
+    def string_of(self, id_: int) -> str:
+        """The string behind an id (raises ``IndexError`` for bad ids)."""
+        if id_ < 0:
+            raise IndexError(f"no string behind id {id_}")
+        return self._strings[id_]
+
+    def id_map(self) -> dict[str, int]:
+        """The underlying ``string → id`` dict (treat as read-only)."""
+        return self._ids
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, string: str) -> bool:
+        return string in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._strings)

@@ -1,6 +1,7 @@
 """Shared low-level helpers: math, IO, iteration, timing, RNG."""
 
 from repro.utils.iteration import batched, sliding_windows, take
+from repro.utils.lru import LruCache
 from repro.utils.mathx import (
     entropy,
     harmonic_mean,
@@ -16,6 +17,7 @@ __all__ = [
     "batched",
     "sliding_windows",
     "take",
+    "LruCache",
     "entropy",
     "harmonic_mean",
     "log_add",

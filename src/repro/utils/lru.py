@@ -1,0 +1,90 @@
+"""A small bounded LRU map.
+
+Long-running detector processes memoize pure per-phrase computations
+(concept readings, pair affinities). An unbounded dict grows with the
+vocabulary of the traffic — fine in a benchmark, a slow leak in a
+service. ``LruCache`` is the drop-in replacement: ``get`` refreshes
+recency, ``put`` evicts the least-recently-used entry once ``capacity``
+is exceeded.
+
+Python dicts preserve insertion order, so recency is maintained by
+re-inserting touched keys; eviction pops the oldest (first) key. All
+operations are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LruCache(Generic[K, V]):
+    """Bounded mapping evicting the least-recently-used entry.
+
+    >>> cache = LruCache(capacity=2)
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a")
+    1
+    >>> cache.put("c", 3)          # evicts "b", the LRU entry
+    >>> "b" in cache
+    False
+    """
+
+    __slots__ = ("_capacity", "_data", "_hits", "_misses")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._data: dict[K, V] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries held."""
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        """Number of ``get`` calls that found their key."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of ``get`` calls that did not find their key."""
+        return self._misses
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value (refreshing recency) or ``default``."""
+        value = self._data.pop(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._data[key] = value  # re-insert at the MRU end
+        self._hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+        self._data.pop(key, None)
+        self._data[key] = value
+        if len(self._data) > self._capacity:
+            self._data.pop(next(iter(self._data)))
+
+    def clear(self) -> None:
+        """Drop all entries (hit/miss counters are kept)."""
+        self._data.clear()
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)

@@ -1,0 +1,149 @@
+"""Parity suite: the compiled runtime must be indistinguishable from the
+reference detector.
+
+The compiled path (``HdmModel.compile()``) re-implements the reference
+hot loops over interned ids and flattened tables; the contract is
+*identical output* — heads, modifiers, constraints, concept readings,
+scores, and methods — not merely similar accuracy. These tests compare
+full :class:`~repro.core.detector.Detection` values (dataclass equality
+covers every field, floats included) over the entire held-out evaluation
+set plus the structural edge cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.core.segmentation import Segmenter
+from repro.errors import ModelError
+from repro.runtime import CompiledDetector, CompiledSegmenter, PatternMatrix, shard
+from repro.runtime.intern import Interner
+
+EDGE_CASES = [
+    "",
+    "   ",
+    "best of the best",  # all-structural: no content segments
+    "iphone 5s",  # single content segment
+    "zzqx glorp widget",  # phrases unseen by the taxonomy
+    "for",  # lone connector
+    "inc.",  # trailing-period term
+    "  iPhone-5S  Smart_Cover.",  # messy casing/whitespace/punctuation
+    "café wi‑fi résumé",  # non-ASCII → slow normalize path
+    "cases for iphone 5s",  # connector heuristic
+    "cheap cases for iphone 5s for travel",  # two connectors: heuristic off
+]
+
+
+@pytest.fixture(scope="module")
+def compiled(model):
+    return model.compile()
+
+
+class TestDetectionParity:
+    def test_full_eval_set(self, detector, compiled, eval_examples):
+        mismatches = [
+            example.query
+            for example in eval_examples
+            if detector.detect(example.query) != compiled.detect(example.query)
+        ]
+        assert mismatches == []
+
+    @pytest.mark.parametrize("text", EDGE_CASES)
+    def test_edge_cases(self, detector, compiled, text):
+        assert detector.detect(text) == compiled.detect(text)
+
+    def test_small_cache_still_exact(self, model, detector, eval_examples):
+        """Eviction churn (tiny LRUs) must never change results."""
+        tiny = model.compile(config=DetectorConfig(cache_size=2))
+        for example in eval_examples[:50]:
+            assert tiny.detect(example.query) == detector.detect(example.query)
+
+    def test_sparse_matrix_parity(self, model, detector, eval_examples):
+        """Force the sparse (searchsorted) matrix layout and re-verify."""
+        sparse = CompiledDetector(
+            model.patterns,
+            model.conceptualizer(),
+            instance_pairs=model.pairs,
+            constraint_classifier=model.classifier,
+            dense_limit=0,
+        )
+        assert not sparse._matrix.dense
+        for example in eval_examples[:100]:
+            assert sparse.detect(example.query) == detector.detect(example.query)
+
+
+class TestSegmenterParity:
+    def test_eval_queries(self, taxonomy, eval_examples):
+        reference = Segmenter(taxonomy)
+        fast = CompiledSegmenter(taxonomy)
+        for example in eval_examples:
+            assert fast.segment(example.query) == reference.segment(example.query)
+
+    @pytest.mark.parametrize("text", EDGE_CASES)
+    def test_edge_cases(self, taxonomy, text):
+        assert CompiledSegmenter(taxonomy).segment(text) == Segmenter(
+            taxonomy
+        ).segment(text)
+
+    def test_without_taxonomy(self):
+        assert CompiledSegmenter().segment("some new words") == Segmenter().segment(
+            "some new words"
+        )
+
+
+class TestBatch:
+    def test_batch_matches_sequential(self, compiled, eval_examples):
+        queries = [example.query for example in eval_examples[:40]]
+        assert compiled.detect_batch(queries) == [
+            compiled.detect(query) for query in queries
+        ]
+
+    def test_batch_dedupes_and_preserves_order(self, compiled):
+        queries = ["iphone 5s case", "hotel paris", "iphone 5s case"]
+        results = compiled.detect_batch(queries)
+        assert [r.query for r in results] == queries
+        assert results[0] is results[2]  # duplicate shares the Detection
+
+    def test_sharded_matches_in_process(self, compiled, eval_examples):
+        queries = [example.query for example in eval_examples[:12]]
+        queries.append(queries[0])  # duplicate crosses the dedupe path
+        assert compiled.detect_batch(queries, workers=2) == compiled.detect_batch(
+            queries
+        )
+
+    def test_shard_is_contiguous_and_balanced(self):
+        assert shard(list(range(7)), 3) == [[0, 1, 2], [3, 4], [5, 6]]
+        assert shard([1, 2], 5) == [[1], [2]]
+        assert shard([], 2) == [[]]
+        with pytest.raises(ValueError):
+            shard([1], 0)
+
+
+class TestCompiledStructures:
+    def test_pattern_matrix_matches_table(self, model):
+        interner = Interner(sorted(model.patterns.concepts()))
+        matrix = PatternMatrix(model.patterns, interner)
+        for pattern, weight in model.patterns.items():
+            key = (
+                interner.id_of(pattern.modifier_concept) * matrix.stride
+                + interner.id_of(pattern.head_concept)
+            )
+            assert matrix.raw_map[key] == weight
+            assert matrix.norm_map[key] == model.patterns.score(
+                pattern.modifier_concept, pattern.head_concept
+            )
+
+    def test_unknown_concepts_score_zero(self, compiled):
+        assert compiled._pattern_score("zzqx glorp", "vrml snork") == 0.0
+
+    def test_cache_size_must_be_positive(self):
+        with pytest.raises(ModelError):
+            DetectorConfig(cache_size=0)
+
+    def test_interner_round_trip(self):
+        interner = Interner(["b", "a", "b"])
+        assert len(interner) == 2
+        assert interner.id_of("b") == 0
+        assert interner.string_of(1) == "a"
+        assert interner.id_of("missing") == -1

@@ -1,0 +1,90 @@
+"""Tests for repro.utils.lru."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.lru import LruCache
+
+
+class TestLruCache:
+    def test_get_returns_put_value(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_get_missing_returns_default(self):
+        cache = LruCache(capacity=4)
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_recency_and_value(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh: "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_len_and_iter_follow_recency_order(self):
+        cache = LruCache(capacity=3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        assert len(cache) == 3
+        assert list(cache) == ["b", "c", "a"]
+
+    def test_clear_empties_but_keeps_counters(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_hit_miss_counters(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("zzz")
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LruCache(capacity=0)
+        with pytest.raises(ValueError):
+            LruCache(capacity=-3)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers()), max_size=200))
+    def test_never_exceeds_capacity_and_agrees_with_dict(self, operations):
+        cache = LruCache(capacity=5)
+        shadow: dict[int, int] = {}
+        for key, value in operations:
+            cache.put(key, value)
+            shadow[key] = value
+            assert len(cache) <= 5
+        for key in list(cache):  # snapshot: get() refreshes recency order
+            assert cache.get(key) == shadow[key]
