@@ -1,11 +1,13 @@
 """Small-N compiled-runtime smoke check for CI.
 
 Builds a deliberately small model (fast enough for a CI job), then
-verifies the two things the full R7 benchmark proves at scale:
+verifies the things the full R7 benchmark proves at scale:
 
 1. the compiled detector agrees with the reference detector on every
-   evaluation query (full Detection equality), and
-2. the compiled path is meaningfully faster (a loose >= 1.2x bound —
+   evaluation query (full Detection equality),
+2. a snapshot save → load roundtrip is bit-identical to the detector it
+   was saved from (and the loader rejects a corrupted file), and
+3. the compiled path is meaningfully faster (a loose >= 1.2x bound —
    the small model and shared CI runners are too noisy for the real 3x
    assertion, which ``benchmarks/bench_r7_throughput.py`` enforces at
    full scale and records in ``benchmarks/results/BENCH_r7.json``).
@@ -16,9 +18,13 @@ Run as a script: ``PYTHONPATH=src python benchmarks/smoke_compiled.py``.
 from __future__ import annotations
 
 import sys
+import tempfile
+from pathlib import Path
 
 from repro import LogConfig, TrainingConfig, build_from_seed, generate_log, train_model
+from repro.errors import ModelError
 from repro.eval import build_eval_set
+from repro.runtime import load_snapshot
 from repro.utils.timer import Timer
 
 NUM_INTENTS = 600
@@ -42,6 +48,38 @@ def main() -> int:
     if mismatches:
         print(f"FAIL: {len(mismatches)} parity mismatches, e.g. {mismatches[0]!r}")
         return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "model.hdms"
+        with Timer() as save_timer:
+            compiled.save_snapshot(path)
+        with Timer() as load_timer:
+            loaded = load_snapshot(path)
+        snapshot_mismatches = [
+            q for q in queries if loaded.detect(q) != compiled.detect(q)
+        ]
+        if snapshot_mismatches:
+            print(
+                f"FAIL: {len(snapshot_mismatches)} snapshot-roundtrip mismatches, "
+                f"e.g. {snapshot_mismatches[0]!r}"
+            )
+            return 1
+        corrupted = Path(tmp) / "corrupt.hdms"
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        corrupted.write_bytes(bytes(data))
+        try:
+            load_snapshot(corrupted)
+        except ModelError:
+            pass
+        else:
+            print("FAIL: corrupted snapshot loaded without a ModelError")
+            return 1
+        print(
+            f"snapshot roundtrip ok on {len(queries)} queries "
+            f"({path.stat().st_size} bytes, save {save_timer.elapsed * 1000:.1f} ms, "
+            f"load {load_timer.elapsed * 1000:.1f} ms); corruption rejected"
+        )
 
     def cold_pass(detector) -> float:
         detector.detect_batch(queries[:50])

@@ -6,6 +6,8 @@ Exposes the full offline pipeline and the runtime detector::
     repro log-generate --taxonomy taxonomy.tsv.gz --out log.jsonl.gz --intents 4000
     repro train --log log.jsonl.gz --taxonomy taxonomy.tsv.gz --out model/
     repro detect --model model/ "popular iphone 5s smart cover"
+    repro snapshot --model model/ --out model.hdms
+    repro detect --snapshot model.hdms --workers 4 --input queries.txt
     repro evaluate --model model/ --log heldout.jsonl.gz
     repro patterns --model model/ --top 20
 
@@ -86,8 +88,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-classifier", action="store_true")
     p.set_defaults(handler=_cmd_train)
 
+    p = sub.add_parser(
+        "snapshot", help="compile a model into a binary runtime snapshot"
+    )
+    p.add_argument("--model", required=True, help="model bundle directory")
+    p.add_argument("--out", required=True, help="output snapshot file (.hdms)")
+    p.add_argument(
+        "--spell",
+        action="store_true",
+        help="bake the typo-correcting speller into the snapshot",
+    )
+    p.set_defaults(handler=_cmd_snapshot)
+
     p = sub.add_parser("detect", help="detect head/modifiers/constraints")
-    p.add_argument("--model", required=True)
+    p.add_argument("--model", help="model bundle directory")
+    p.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        help="serve from a compiled snapshot (see `repro snapshot`) "
+        "instead of a model bundle",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --snapshot: shard the batch across N worker processes",
+    )
     p.add_argument("queries", nargs="*", metavar="QUERY")
     p.add_argument(
         "--input",
@@ -177,6 +204,24 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    compiled = model.compile(correct_spelling=args.spell)
+    header = compiled.save_snapshot(args.out)
+    counts = header["counts"]
+    from pathlib import Path
+
+    size = Path(args.out).stat().st_size
+    speller = "yes" if header["has_speller"] else "no"
+    print(
+        f"wrote {args.out}: {size} bytes (format v{header['version']}), "
+        f"{counts['phrases']} phrases, {counts['patterns']} patterns, "
+        f"{counts['support']} support pairs, vocab {counts['vocab']}, "
+        f"speller: {speller}"
+    )
+    return 0
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     queries = list(args.queries)
     if args.input:
@@ -188,16 +233,49 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if not queries:
         print("error: no queries given (positional or --input)", file=sys.stderr)
         return 2
-    model = load_model(args.model)
-    detector = model.detector(correct_spelling=args.spell)
-    for query in queries:
+    if bool(args.model) == bool(args.snapshot):
+        print(
+            "error: detect needs exactly one of --model or --snapshot",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers > 1 and not args.snapshot:
+        print("error: --workers needs --snapshot", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.explain:
+        print("error: --explain is single-process; drop --workers", file=sys.stderr)
+        return 2
+    if args.snapshot:
+        from repro.runtime import read_snapshot_header
+        from repro.runtime.compiled import CompiledDetector
+
+        if args.spell and not read_snapshot_header(args.snapshot)["has_speller"]:
+            print(
+                "error: snapshot was saved without a speller; rebuild it with "
+                "`repro snapshot --spell`",
+                file=sys.stderr,
+            )
+            return 2
+        detector = CompiledDetector.load_snapshot(args.snapshot)
+    else:
+        model = load_model(args.model)
+        detector = model.detector(correct_spelling=args.spell)
+    try:
         if args.explain:
             from repro.core.explain import explain_detection
 
-            print(explain_detection(detector, query).render())
-            print()
-            continue
-        detection = detector.detect(query)
+            for query in queries:
+                print(explain_detection(detector, query).render())
+                print()
+            return 0
+        if args.workers > 1:
+            detections = detector.detect_batch(queries, workers=args.workers)
+        else:
+            detections = [detector.detect(query) for query in queries]
+    finally:
+        if args.snapshot:
+            detector.close()
+    for query, detection in zip(queries, detections):
         if args.json:
             print(
                 json.dumps(

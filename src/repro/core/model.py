@@ -84,6 +84,7 @@ class HdmModel:
         stats: LogStatistics | None = None,
         config: DetectorConfig | None = None,
         correct_spelling: bool = False,
+        snapshot_path: str | Path | None = None,
     ):
         """Build the compiled fast-path detector (see :mod:`repro.runtime`).
 
@@ -92,8 +93,15 @@ class HdmModel:
         contiguous arrays. The result detects identically to
         :meth:`detector` (enforced by the runtime parity suite) at a
         multiple of its throughput, and its ``detect_batch`` accepts
-        ``workers`` for process sharding. The compiled detector snapshots
-        the model — recompile after mutating taxonomy/patterns/pairs.
+        ``workers`` for persistent snapshot-backed process sharding. The
+        compiled detector snapshots the model — recompile after mutating
+        taxonomy/patterns/pairs.
+
+        ``snapshot_path`` additionally writes the compiled state as a
+        binary snapshot (:mod:`repro.runtime.snapshot`); later sessions
+        can skip compilation entirely via
+        ``CompiledDetector.load_snapshot(path)``, and worker pools map
+        the file read-only instead of re-pickling the model.
         """
         from repro.runtime.compiled import CompiledDetector
 
@@ -105,7 +113,7 @@ class HdmModel:
             from repro.text.spelling import SpellingNormalizer
 
             speller = SpellingNormalizer.from_taxonomy(self.taxonomy)
-        return CompiledDetector(
+        compiled = CompiledDetector(
             patterns=self.patterns,
             conceptualizer=self.conceptualizer(),
             instance_pairs=self.pairs,
@@ -113,6 +121,9 @@ class HdmModel:
             config=config or self.detector_config,
             speller=speller,
         )
+        if snapshot_path is not None:
+            compiled.save_snapshot(snapshot_path)
+        return compiled
 
 
 def save_model(model: HdmModel, directory: str | Path) -> None:

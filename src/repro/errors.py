@@ -33,3 +33,10 @@ class NotFittedError(ModelError):
 
 class EvaluationError(ReproError):
     """Raised for malformed evaluation datasets or metric misuse."""
+
+
+class ShardError(ReproError):
+    """Raised when a parallel detection worker or worker pool fails.
+
+    Carries the failing shard/chunk and a preview of its texts so batch
+    failures are attributable without re-running the sweep."""

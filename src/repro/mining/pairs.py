@@ -93,6 +93,25 @@ class PairCollection:
                 result._sources[(modifier, head)] = set(self._sources[(modifier, head)])
         return result
 
+    @classmethod
+    def from_support(
+        cls,
+        support: dict[tuple[str, str], float],
+        source: str | None = None,
+    ) -> "PairCollection":
+        """Rebuild a collection from a raw support mapping.
+
+        Used by the runtime snapshot loader, which persists only the
+        supports (miner provenance is training-time metadata). ``source``
+        optionally labels every pair; with None the source sets are empty.
+        """
+        collection = cls()
+        labels = {source} if source is not None else set()
+        for key, value in support.items():
+            collection._support[key] = value
+            collection._sources[key] = set(labels)
+        return collection
+
     def support_map(self) -> dict[tuple[str, str], float]:
         """The raw ``(modifier, head) → support`` mapping.
 

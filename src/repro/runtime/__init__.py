@@ -4,8 +4,14 @@
 the pattern table and typicality distributions into contiguous NumPy
 arrays, and returns a :class:`CompiledDetector` producing detections
 identical to the reference :class:`~repro.core.detector.HeadModifierDetector`
-at a multiple of its throughput. See ``docs/TOUR.md`` § "Runtime &
-performance".
+at a multiple of its throughput.
+
+For serving, the compiled state persists as a binary **snapshot**
+(:mod:`repro.runtime.snapshot`): a versioned flat-array file loaded with
+``mmap`` so cold-start skips recompilation and concurrent workers share
+read-only pages. :class:`DetectorPool` (:mod:`repro.runtime.pool`) keeps
+a persistent process pool over a snapshot and serves batches via chunked
+dispatch. See ``docs/TOUR.md`` § "Runtime & performance".
 """
 
 from repro.runtime.batch import detect_batch_sharded, shard
@@ -17,15 +23,27 @@ from repro.runtime.compiled import (
     PhraseReading,
 )
 from repro.runtime.intern import UNKNOWN, Interner
+from repro.runtime.pool import DetectorPool
+from repro.runtime.snapshot import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    read_snapshot_header,
+    save_snapshot,
+)
 
 __all__ = [
     "CompiledDetector",
     "CompiledSegmenter",
+    "DetectorPool",
     "PatternMatrix",
     "PhraseReading",
     "DENSE_LIMIT",
+    "SNAPSHOT_VERSION",
     "Interner",
     "UNKNOWN",
     "detect_batch_sharded",
+    "load_snapshot",
+    "read_snapshot_header",
+    "save_snapshot",
     "shard",
 ]

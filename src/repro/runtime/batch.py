@@ -1,4 +1,4 @@
-"""Parallel batch detection across process shards.
+"""One-shot parallel batch detection across process shards.
 
 CPython's GIL caps a single detector at one core, so the batch path
 offers opt-in process sharding: the detector is pickled **once per
@@ -7,8 +7,16 @@ texts are split into one contiguous shard per worker, and results are
 reassembled in input order. Duplicated texts are detected once, like the
 single-process batch path.
 
-Use this for offline sweeps over large logs; for single queries or small
-batches the pool startup cost dominates and the in-process path wins.
+This module pays the full pool-startup + model-transfer cost on *every*
+call; it remains for arbitrary picklable detectors. For repeated batches
+over a compiled model, use the persistent snapshot-backed
+:class:`repro.runtime.pool.DetectorPool` (what
+``CompiledDetector.detect_batch(workers=...)`` uses), which spawns once
+and shares the model read-only between workers.
+
+A worker failure is surfaced as :class:`~repro.errors.ShardError` naming
+the offending shard and a preview of its texts; the pool is always shut
+down before the error propagates.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.detector import Detection
+from repro.errors import ShardError
 
 _WORKER_DETECTOR = None
 
@@ -62,13 +71,28 @@ def detect_batch_sharded(detector, texts: list[str], workers: int) -> list[Detec
             seen.add(text)
             unique.append(text)
     shards = shard(unique, workers)
-    with ProcessPoolExecutor(
+    by_text: dict[str, Detection] = {}
+    index = 0
+    executor = ProcessPoolExecutor(
         max_workers=len(shards), initializer=_init_worker, initargs=(detector,)
-    ) as executor:
-        shard_results = list(executor.map(_detect_shard, shards))
-    by_text = {
-        text: detection
-        for texts_shard, detections in zip(shards, shard_results)
-        for text, detection in zip(texts_shard, detections)
-    }
+    )
+    try:
+        futures = [executor.submit(_detect_shard, s) for s in shards]
+        try:
+            for index, future in enumerate(futures):
+                for text, detection in zip(shards[index], future.result()):
+                    by_text[text] = detection
+        except Exception as exc:
+            for future in futures:
+                future.cancel()
+            failed = shards[index]
+            preview = ", ".join(repr(t) for t in failed[:3])
+            if len(failed) > 3:
+                preview += ", …"
+            raise ShardError(
+                f"detection worker failed on shard {index + 1}/{len(shards)} "
+                f"({len(failed)} texts: {preview}): {exc}"
+            ) from exc
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
     return [by_text[text] for text in texts]

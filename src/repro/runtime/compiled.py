@@ -41,7 +41,10 @@ evaluation set.
 from __future__ import annotations
 
 import math
+import os
 import re
+import tempfile
+import weakref
 
 import numpy as np
 
@@ -126,12 +129,54 @@ class PatternMatrix:
         # The same division the reference path performs per lookup, done
         # once per entry here — identical floats either way.
         norm_array = raw_array / max_weight if max_weight > 0 else raw_array.copy()
+        self._install(
+            key_array,
+            raw_array,
+            norm_array,
+            dense=self.stride * self.stride <= dense_limit,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        keys: np.ndarray,
+        raw: np.ndarray,
+        norm: np.ndarray,
+        stride: int,
+        dense: bool,
+    ) -> "PatternMatrix":
+        """Rebuild a matrix from its flattened arrays (snapshot load path).
+
+        ``keys``/``raw``/``norm`` may be read-only mmap views; they are
+        referenced, not copied, except for the dense scatter."""
+        matrix = cls.__new__(cls)
+        matrix.stride = stride
+        matrix.zero_id = stride - 1
+        matrix._install(
+            np.asarray(keys, dtype=np.int64),
+            np.asarray(raw, dtype=np.float64),
+            np.asarray(norm, dtype=np.float64),
+            dense=dense,
+        )
+        return matrix
+
+    def _install(
+        self,
+        key_array: np.ndarray,
+        raw_array: np.ndarray,
+        norm_array: np.ndarray,
+        dense: bool,
+    ) -> None:
         # Scalar fast path: one dict probe per (modifier, head) concept
         # pair beats tiny-array gathers in the per-query loops. Absent
         # keys mean weight 0.0, exactly like the reference dict ``.get``.
-        self.raw_map: dict[int, float] = dict(zip(keys, raw))
-        self.norm_map: dict[int, float] = dict(zip(keys, norm_array.tolist()))
-        self.dense = self.stride * self.stride <= dense_limit
+        self.raw_map: dict[int, float] = dict(
+            zip(key_array.tolist(), raw_array.tolist())
+        )
+        self.norm_map: dict[int, float] = dict(
+            zip(key_array.tolist(), norm_array.tolist())
+        )
+        self.dense = dense
         if self.dense:
             self._raw = np.zeros(self.stride * self.stride, dtype=np.float64)
             self._norm = np.zeros(self.stride * self.stride, dtype=np.float64)
@@ -447,6 +492,65 @@ class CompiledDetector(HeadModifierDetector):
         # detect() can hand pre-split tokens straight to the compiled DP
         # only when the segmenter actually is the compiled one.
         self._fast_segmenter = isinstance(self._segmenter, CompiledSegmenter)
+        self._init_serving_state(snapshot_path=None)
+
+    def _init_serving_state(self, snapshot_path: str | None) -> None:
+        """Shared tail of ``__init__`` and :meth:`_restore`: snapshot
+        bookkeeping and the (lazily spawned) persistent worker pools."""
+        self._snapshot_path = snapshot_path
+        self._owns_snapshot = False
+        self._pools: dict[int, object] = {}
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        patterns: PatternTable,
+        conceptualizer: Conceptualizer,
+        instance_pairs: PairCollection | None,
+        constraint_classifier,
+        lexicon: Lexicon,
+        config: DetectorConfig,
+        speller,
+        interner: Interner,
+        matrix: PatternMatrix,
+        readings: dict[str, PhraseReading],
+        context_bases: dict[str, _ContextBase],
+        snapshot_path: str | None,
+    ) -> "CompiledDetector":
+        """Assemble a detector from already-compiled structures
+        (:func:`repro.runtime.snapshot.load_snapshot`), skipping the
+        whole-taxonomy precomputation that dominates ``__init__``."""
+        self = cls.__new__(cls)
+        segmenter = CompiledSegmenter(conceptualizer.taxonomy, lexicon)
+        HeadModifierDetector.__init__(
+            self,
+            patterns,
+            conceptualizer,
+            instance_pairs=instance_pairs,
+            constraint_classifier=constraint_classifier,
+            segmenter=segmenter,
+            lexicon=lexicon,
+            config=config,
+            speller=speller,
+        )
+        self._interner = interner
+        self._matrix = matrix
+        self._zero_id = matrix.zero_id
+        self._concept_ids = interner.id_map()
+        self._support_map = (
+            instance_pairs.support_map() if instance_pairs is not None else None
+        )
+        cache_size = config.cache_size
+        self._reading_cache = LruCache(cache_size)
+        self._context_cache = LruCache(cache_size)
+        self._affinity_cache = LruCache(cache_size)
+        self._modifier_cache = LruCache(cache_size)
+        self._compiled_readings = readings
+        self._compiled_context = context_bases
+        self._fast_segmenter = True
+        self._init_serving_state(snapshot_path=snapshot_path)
+        return self
 
     # ------------------------------------------------------------------
     # compilation
@@ -672,17 +776,101 @@ class CompiledDetector(HeadModifierDetector):
         return tuple(sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k])
 
     # ------------------------------------------------------------------
-    # batch API
+    # snapshots & batch API
     # ------------------------------------------------------------------
+    def save_snapshot(self, path) -> dict:
+        """Write this detector as a binary snapshot (see
+        :mod:`repro.runtime.snapshot`) and return the written header."""
+        from repro.runtime.snapshot import save_snapshot
+
+        header = save_snapshot(self, path)
+        if not self._owns_snapshot:
+            self._snapshot_path = str(path)
+        return header
+
+    @classmethod
+    def load_snapshot(cls, path, verify: bool = True) -> "CompiledDetector":
+        """Reconstruct a detector from a snapshot file, sharing the
+        mmap'd array payload instead of copying it."""
+        from repro.runtime.snapshot import load_snapshot
+
+        return load_snapshot(path, verify=verify)
+
+    @property
+    def snapshot_path(self) -> str | None:
+        """Path of the snapshot backing this detector's worker pools
+        (None until one is saved or :meth:`detect_batch` needs one)."""
+        return self._snapshot_path
+
     def detect_batch(self, texts, workers: int | None = None):
         """Detect over ``texts`` in input order.
 
-        With ``workers`` > 1 the (deduplicated) texts are sharded across
-        a process pool; the compiled model is pickled once per worker.
-        """
+        With ``workers`` > 1 the (deduplicated) texts are dispatched in
+        small chunks to a *persistent* :class:`~repro.runtime.pool.DetectorPool`
+        whose workers map this detector's snapshot read-only instead of
+        unpickling private copies. The pool is spawned on first use,
+        reused across calls, and shut down by :meth:`close` (or when the
+        detector is garbage collected)."""
         texts = list(texts)
         if workers is not None and workers > 1 and len(texts) > 1:
-            from repro.runtime.batch import detect_batch_sharded
-
-            return detect_batch_sharded(self, texts, workers)
+            return self._pool_for(workers).detect_batch(texts)
         return super().detect_batch(texts)
+
+    def _pool_for(self, workers: int):
+        pool = self._pools.get(workers)
+        if pool is None or pool.closed:
+            from repro.runtime.pool import DetectorPool
+
+            pool = DetectorPool(self._ensure_snapshot(), workers)
+            self._pools[workers] = pool
+        return pool
+
+    def _ensure_snapshot(self) -> str:
+        """The snapshot path backing worker pools, written on demand."""
+        path = self._snapshot_path
+        if path is not None and os.path.exists(path):
+            return path
+        from repro.runtime.snapshot import save_snapshot
+
+        fd, path = tempfile.mkstemp(prefix="hdm-snapshot-", suffix=".hdms")
+        os.close(fd)
+        save_snapshot(self, path)
+        self._snapshot_path = path
+        self._owns_snapshot = True
+        # Removes the temp file when the detector is collected; pools
+        # hold only the path, and their executors join at process exit.
+        weakref.finalize(self, _remove_quietly, path)
+        return path
+
+    def close(self) -> None:
+        """Shut down any spawned worker pools (blocking, deterministic)
+        and delete the detector-owned temp snapshot, if one was written."""
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.close()
+        if self._owns_snapshot and self._snapshot_path is not None:
+            _remove_quietly(self._snapshot_path)
+            self._snapshot_path = None
+            self._owns_snapshot = False
+
+    def __enter__(self) -> "CompiledDetector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        """Pickle without live pools (process handles don't cross
+        processes) and without temp-snapshot ownership (the copy must
+        not delete the original's file)."""
+        state = self.__dict__.copy()
+        state["_pools"] = {}
+        state["_owns_snapshot"] = False
+        return state
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

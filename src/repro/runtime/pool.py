@@ -1,0 +1,206 @@
+"""Persistent sharded serving: a reusable worker pool over a snapshot.
+
+The PR 1 batch path lost to a single core because every ``detect_batch``
+call paid the full parallelism tax again: a fresh ``ProcessPoolExecutor``,
+the whole compiled model shipped into every worker, and one contiguous
+shard per worker so the slowest shard gated the batch.
+:class:`DetectorPool` removes all three costs:
+
+- **Persistent workers** — the pool is spawned once (lazily, on the
+  first batch) and reused across calls; per-batch overhead drops to task
+  dispatch + result pickling.
+- **Zero-copy initialization** — workers don't receive a pickled
+  detector; their initializer ``load_snapshot``-s the pool's snapshot
+  file, so the array payload is ``mmap``-ed read-only and *shared*
+  between workers through the page cache (see
+  :mod:`repro.runtime.snapshot`).
+- **Chunked dispatch** — the deduplicated batch is split into many small
+  chunks (default ~4 per worker, capped) instead of one shard per
+  worker, so a straggler chunk no longer serializes the whole batch and
+  idle workers keep pulling work.
+
+Failure handling is deterministic: a worker exception cancels the
+remaining chunks, shuts the executor down, and surfaces as
+:class:`~repro.errors.ShardError` naming the offending chunk and a
+preview of its texts. A failed pool is left closed; the next
+``detect_batch`` through :meth:`repro.runtime.compiled.CompiledDetector.detect_batch`
+spawns a fresh one.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.detector import Detection
+from repro.errors import ShardError
+
+#: Target number of chunks handed to each worker per batch. More chunks
+#: = finer load balancing; fewer = less dispatch overhead.
+CHUNKS_PER_WORKER = 4
+
+#: Upper bound on texts per chunk, so huge batches still interleave.
+MAX_CHUNK_SIZE = 64
+
+_WORKER_DETECTOR = None
+
+
+def _pool_initializer(snapshot_path: str) -> None:
+    """Worker initializer: map the shared snapshot read-only.
+
+    CRC verification is skipped — the parent validated the file before
+    spawning, and re-hashing it in every worker would fault in all pages.
+    """
+    global _WORKER_DETECTOR
+    from repro.runtime.snapshot import load_snapshot
+
+    _WORKER_DETECTOR = load_snapshot(snapshot_path, verify=False)
+
+
+def _detect_chunk(texts: list[str]) -> list[Detection]:
+    """Detect one chunk inside a worker process."""
+    detector = _WORKER_DETECTOR
+    if detector is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("pool worker was not initialized with a snapshot")
+    return [detector.detect(text) for text in texts]
+
+
+def _preview(texts: list[str], limit: int = 3) -> str:
+    shown = ", ".join(repr(text) for text in texts[:limit])
+    return shown + (", …" if len(texts) > limit else "")
+
+
+class DetectorPool:
+    """A persistent process pool serving batch detection from a snapshot.
+
+    >>> with DetectorPool("model.hdms", workers=4) as pool:   # doctest: +SKIP
+    ...     detections = pool.detect_batch(queries)
+    ...     more = pool.detect_batch(more_queries)  # same workers, no respawn
+
+    The pool is a context manager; outside ``with``, call :meth:`close`
+    to join the workers deterministically. Workers spawn lazily on the
+    first batch (``warm()`` forces it, e.g. before a latency-sensitive
+    window).
+    """
+
+    def __init__(
+        self,
+        snapshot_path,
+        workers: int,
+        chunksize: int | None = None,
+        mp_context=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be positive, got {chunksize}")
+        # Fail fast in the parent on a bad path/magic/version, instead of
+        # letting every worker die with an opaque BrokenProcessPool.
+        from repro.runtime.snapshot import read_snapshot_header
+
+        read_snapshot_header(snapshot_path)
+        self._snapshot_path = str(snapshot_path)
+        self._workers = workers
+        self._chunksize = chunksize
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_path(self) -> str:
+        """The snapshot file the workers map."""
+        return self._snapshot_path
+
+    @property
+    def workers(self) -> int:
+        """Configured worker count."""
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        """True once the pool has been shut down (pools don't reopen)."""
+        return self._closed
+
+    def warm(self) -> None:
+        """Spawn and initialize all workers now (otherwise lazy)."""
+        executor = self._ensure_executor()
+        # One empty chunk per worker forces the executor to spin every
+        # process up; each initializer maps the snapshot.
+        for future in [
+            executor.submit(_detect_chunk, []) for _ in range(self._workers)
+        ]:
+            future.result()
+
+    def close(self) -> None:
+        """Shut the pool down, joining workers. Idempotent."""
+        self._closed = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "DetectorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise ShardError("detector pool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=self._mp_context,
+                initializer=_pool_initializer,
+                initargs=(self._snapshot_path,),
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def detect_batch(self, texts) -> list[Detection]:
+        """Detect ``texts`` across the pool, in input order.
+
+        Duplicates are detected once and share the resulting
+        :class:`~repro.core.detector.Detection`, matching the
+        single-process batch path.
+        """
+        texts = list(texts)
+        if not texts:
+            return []
+        unique: list[str] = []
+        seen: set[str] = set()
+        for text in texts:
+            if text not in seen:
+                seen.add(text)
+                unique.append(text)
+        chunks = self._chunk(unique)
+        executor = self._ensure_executor()
+        futures = [executor.submit(_detect_chunk, chunk) for chunk in chunks]
+        by_text: dict[str, Detection] = {}
+        index = 0
+        try:
+            for index, future in enumerate(futures):
+                for text, detection in zip(chunks[index], future.result()):
+                    by_text[text] = detection
+        except Exception as exc:
+            for future in futures:
+                future.cancel()
+            self.close()
+            chunk = chunks[index]
+            raise ShardError(
+                f"detection worker failed on chunk {index + 1}/{len(chunks)} "
+                f"({len(chunk)} texts: {_preview(chunk)}): {exc}"
+            ) from exc
+        return [by_text[text] for text in texts]
+
+    def _chunk(self, items: list[str]) -> list[list[str]]:
+        size = self._chunksize
+        if size is None:
+            target = self._workers * CHUNKS_PER_WORKER
+            size = max(1, min(MAX_CHUNK_SIZE, math.ceil(len(items) / target)))
+        return [items[i : i + size] for i in range(0, len(items), size)]

@@ -1,0 +1,572 @@
+"""Zero-copy binary snapshots of the compiled detection runtime.
+
+``CompiledDetector`` construction front-loads all the expensive work —
+conceptualizing every taxonomy phrase, flattening the pattern table,
+prezipping reading tuples — which makes the detector itself expensive to
+ship across process boundaries: pickling it serializes thousands of
+small Python objects, and every worker process pays the full
+deserialization again. The PR 1 sharded batch path lost to a single
+core largely for this reason.
+
+A snapshot is the compiled state laid out flat on disk::
+
+    ┌────────────────────────────────────────────────────────────┐
+    │ prelude: magic "HDMSNAP1" · u32 version · u32 header bytes │
+    │ header: JSON (config, counts, flags, section table, crc32) │
+    │ …padding to 64-byte alignment…                             │
+    │ sections: raw little-endian arrays + utf-8 string blobs    │
+    └────────────────────────────────────────────────────────────┘
+
+Every numeric structure (interner tables, the stride-indexed pattern
+weight matrix, precomputed typicality readings, context-disambiguation
+priors, instance-pair supports, taxonomy edges) is one contiguous
+``int64``/``float64`` section; strings live once in a shared vocabulary
+blob and are referenced by id. :func:`load_snapshot` maps the file with
+``mmap`` and builds NumPy views directly over the mapping
+(``np.frombuffer``), so the array payload is never copied — worker
+processes that load the same snapshot share the read-only page-cache
+pages instead of each unpickling a private replica, and cold-start cost
+is decoding ~a thousand vocabulary strings plus dict construction.
+
+Two side tables have no natural flat layout and are stored as blobs: the
+lexicon/classifier JSON, and — when the classifier has live
+:class:`~repro.querylog.stats.LogStatistics` bound — one pickled
+``stats_pickle`` section (cold classifier state, covered by the payload
+CRC like everything else). Because of that section, snapshots carry a
+pickle and should only be loaded from trusted sources, the same trust
+model as a pickled model file.
+
+Floats round-trip bit-exactly (raw IEEE-754 bytes), so a snapshot-loaded
+detector is *bit-identical* to the detector it was saved from — enforced
+by ``tests/test_runtime_parity.py`` over the held-out evaluation set.
+
+Format stability: the prelude magic and version gate the whole file; a
+wrong magic, unsupported version, truncated payload, or CRC mismatch
+raises :class:`~repro.errors.ModelError` with a message naming the file.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.concept_patterns import ConceptPattern, PatternTable
+from repro.core.conceptualizer import Conceptualizer
+from repro.core.constraints import ConstraintClassifier, LogisticRegression
+from repro.core.detector import DetectorConfig
+from repro.core.features import ConstraintFeatureExtractor, DroppabilityTables
+from repro.errors import ModelError
+from repro.mining.pairs import PairCollection
+from repro.taxonomy.store import ConceptTaxonomy
+from repro.text.lexicon import Lexicon
+
+#: File magic: "HDM SNAPshot", format generation 1 baked into the bytes.
+MAGIC = b"HDMSNAP1"
+
+#: Current snapshot format version. Bump on any layout change.
+SNAPSHOT_VERSION = 1
+
+#: ``magic (8s) · version (u32) · header length (u32)``, little-endian.
+_PRELUDE = struct.Struct("<8sII")
+
+#: Section payloads start on this alignment so mmap'd array views are
+#: safely aligned for any dtype we store.
+_ALIGN = 64
+
+_I64 = np.dtype("<i8")
+_F64 = np.dtype("<f8")
+
+#: Fields of :class:`Lexicon` persisted in the lexicon section.
+_LEXICON_FIELDS = (
+    "stopwords",
+    "connectors",
+    "subjective",
+    "intent_verbs",
+    "adjectives",
+    "determiners",
+    "prepositions",
+    "conjunctions",
+    "verbs",
+)
+
+
+class _SectionWriter:
+    """Accumulates named sections and their relative offsets."""
+
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+        self.table: dict[str, dict] = {}
+        self._cursor = 0
+
+    def add_bytes(self, name: str, payload: bytes) -> None:
+        pad = (-self._cursor) % _ALIGN
+        if pad:
+            self.chunks.append(b"\x00" * pad)
+            self._cursor += pad
+        self.table[name] = {"offset": self._cursor, "bytes": len(payload)}
+        self.chunks.append(payload)
+        self._cursor += len(payload)
+
+    def add_array(self, name: str, values, dtype: np.dtype) -> None:
+        array = np.ascontiguousarray(np.asarray(values, dtype=dtype))
+        self.add_bytes(name, array.tobytes())
+        self.table[name]["dtype"] = dtype.str
+        self.table[name]["count"] = int(array.size)
+
+    def payload(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class _Vocab:
+    """String → dense id for the snapshot's shared string pool."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self.strings: list[str] = []
+
+    def id_of(self, string: str) -> int:
+        existing = self._ids.get(string)
+        if existing is not None:
+            return existing
+        assigned = len(self.strings)
+        self._ids[string] = assigned
+        self.strings.append(string)
+        return assigned
+
+    def ids_of(self, strings) -> list[int]:
+        return [self.id_of(s) for s in strings]
+
+
+def save_snapshot(detector, path: str | Path) -> dict:
+    """Serialize a :class:`~repro.runtime.compiled.CompiledDetector` to
+    ``path`` and return the written header (for logging/inspection).
+
+    The write is atomic (temp file + rename). Raises
+    :class:`~repro.errors.ModelError` for detectors the format cannot
+    represent (currently: a custom, non-compiled segmenter).
+
+    Unlike ``save_model``, a classifier with live
+    :class:`~repro.querylog.stats.LogStatistics` bound *is* representable:
+    the statistics ride along as one pickled side-section so the loaded
+    detector is bit-identical to this one, constraint features included.
+    """
+    from repro.runtime.compiled import CompiledSegmenter
+
+    if not isinstance(detector._segmenter, CompiledSegmenter):
+        raise ModelError(
+            "snapshot requires the compiled segmenter; detectors built with a "
+            "custom segmenter cannot be snapshotted"
+        )
+    classifier = detector._classifier
+    stats = classifier.extractor._stats if classifier is not None else None
+
+    vocab = _Vocab()
+    writer = _SectionWriter()
+    conceptualizer = detector._conceptualizer
+    taxonomy = conceptualizer.taxonomy
+    matrix = detector._matrix
+    interner = detector._interner
+
+    # --- interner + pattern matrix -----------------------------------
+    writer.add_array("pattern_concepts", vocab.ids_of(interner), _I64)
+    keys = sorted(matrix.raw_map)
+    writer.add_array("pattern_keys", keys, _I64)
+    writer.add_array("pattern_raw", [matrix.raw_map[k] for k in keys], _F64)
+    writer.add_array("pattern_norm", [matrix.norm_map[k] for k in keys], _F64)
+
+    # --- precomputed readings + context priors ------------------------
+    readings = detector._compiled_readings
+    contexts = detector._compiled_context
+    phrases = list(readings)
+    if list(contexts) != phrases:  # pragma: no cover - compile() invariant
+        raise ModelError("snapshot: reading/context phrase tables disagree")
+    writer.add_array("phrases", vocab.ids_of(phrases), _I64)
+
+    reading_offsets = [0]
+    reading_concepts: list[int] = []
+    reading_ids: list[int] = []
+    reading_probs: list[float] = []
+    context_offsets = [0]
+    context_concepts: list[int] = []
+    context_scaled: list[int] = []
+    context_priors: list[float] = []
+    for phrase in phrases:
+        reading = readings[phrase]
+        for (concept, probability), id_ in zip(reading.concepts, reading.ids.tolist()):
+            reading_concepts.append(vocab.id_of(concept))
+            reading_ids.append(id_)
+            reading_probs.append(probability)
+        reading_offsets.append(len(reading_concepts))
+        for (concept, prior), (_, _, scaled) in zip(
+            contexts[phrase].items, contexts[phrase].rows
+        ):
+            context_concepts.append(vocab.id_of(concept))
+            context_scaled.append(scaled)
+            context_priors.append(prior)
+        context_offsets.append(len(context_concepts))
+    writer.add_array("reading_offsets", reading_offsets, _I64)
+    writer.add_array("reading_concepts", reading_concepts, _I64)
+    writer.add_array("reading_ids", reading_ids, _I64)
+    writer.add_array("reading_probs", reading_probs, _F64)
+    writer.add_array("context_offsets", context_offsets, _I64)
+    writer.add_array("context_concepts", context_concepts, _I64)
+    writer.add_array("context_scaled", context_scaled, _I64)
+    writer.add_array("context_priors", context_priors, _F64)
+
+    # --- instance-pair supports ---------------------------------------
+    support = detector._support_map or {}
+    writer.add_array(
+        "support_modifiers", [vocab.id_of(m) for m, _ in support], _I64
+    )
+    writer.add_array("support_heads", [vocab.id_of(h) for _, h in support], _I64)
+    writer.add_array("support_values", list(support.values()), _F64)
+
+    # --- taxonomy edges (fallback conceptualization + segmenter) ------
+    edge_instances: list[int] = []
+    edge_concepts: list[int] = []
+    edge_counts: list[float] = []
+    for instance, concept, count in taxonomy.iter_edges():
+        edge_instances.append(vocab.id_of(instance))
+        edge_concepts.append(vocab.id_of(concept))
+        edge_counts.append(count)
+    writer.add_array("edge_instances", edge_instances, _I64)
+    writer.add_array("edge_concepts", edge_concepts, _I64)
+    writer.add_array("edge_counts", edge_counts, _F64)
+    domains = [
+        (vocab.id_of(c), vocab.id_of(taxonomy.domain_of(c)))
+        for c in taxonomy.iter_concepts()
+        if taxonomy.domain_of(c)
+    ]
+    writer.add_array("domain_concepts", [c for c, _ in domains], _I64)
+    writer.add_array("domain_labels", [d for _, d in domains], _I64)
+
+    # --- side tables as JSON blobs ------------------------------------
+    lexicon = detector._lexicon
+    writer.add_bytes(
+        "lexicon_json",
+        json.dumps(
+            {name: sorted(getattr(lexicon, name)) for name in _LEXICON_FIELDS}
+        ).encode("utf-8"),
+    )
+    if classifier is not None:
+        droppability = classifier.extractor.droppability
+        writer.add_bytes(
+            "classifier_json",
+            json.dumps(
+                {
+                    "model": classifier.model.to_dict(),
+                    "threshold": classifier.threshold,
+                    "concept_droppability": droppability.concept,
+                    "instance_droppability": droppability.instance,
+                }
+            ).encode("utf-8"),
+        )
+    if stats is not None:
+        # The one non-flat section: LogStatistics wraps the full query
+        # log (click indexes over arbitrary query strings), which has no
+        # fixed-width layout. It is cold classifier state, not hot-path
+        # arrays, so a pickle blob under the payload CRC is acceptable.
+        writer.add_bytes("stats_pickle", pickle.dumps(stats, protocol=4))
+
+    # --- vocabulary blob (added last: every section interned into it) -
+    blob = "".join(vocab.strings).encode("utf-8")
+    offsets = [0]
+    for string in vocab.strings:
+        offsets.append(offsets[-1] + len(string.encode("utf-8")))
+    writer.add_array("vocab_offsets", offsets, _I64)
+    writer.add_bytes("vocab_blob", blob)
+
+    payload = writer.payload()
+    config = detector._config
+    header = {
+        "format": "hdm-compiled-snapshot",
+        "version": SNAPSHOT_VERSION,
+        "stride": matrix.stride,
+        "dense": matrix.dense,
+        "has_pairs": detector._support_map is not None,
+        "has_classifier": classifier is not None,
+        "has_stats": stats is not None,
+        "has_speller": detector._speller is not None,
+        "conceptualizer": {
+            "smoothing": conceptualizer._scorer._smoothing,
+            "max_backoff_tokens": conceptualizer._max_backoff_tokens,
+            "self_concept_weight": conceptualizer._self_concept_weight,
+        },
+        "detector_config": {
+            "top_k_concepts": config.top_k_concepts,
+            "instance_weight": config.instance_weight,
+            "instance_smoothing": config.instance_smoothing,
+            "min_evidence": config.min_evidence,
+            "use_connector_heuristic": config.use_connector_heuristic,
+            "contextualize_modifiers": config.contextualize_modifiers,
+            "hierarchy_discount": config.hierarchy_discount,
+            "cache_size": config.cache_size,
+        },
+        "counts": {
+            "vocab": len(vocab.strings),
+            "patterns": len(keys),
+            "phrases": len(phrases),
+            "support": len(support),
+            "edges": len(edge_counts),
+        },
+        "payload_bytes": len(payload),
+        "payload_crc32": zlib.crc32(payload),
+        "sections": writer.table,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    prelude = _PRELUDE.pack(MAGIC, SNAPSHOT_VERSION, len(header_bytes))
+    pad = (-(len(prelude) + len(header_bytes))) % _ALIGN
+
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent or Path("."), suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as out:
+            out.write(prelude)
+            out.write(header_bytes)
+            out.write(b"\x00" * pad)
+            out.write(payload)
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return header
+
+
+def read_snapshot_header(path: str | Path) -> dict:
+    """Validate the prelude and return the parsed JSON header.
+
+    Raises :class:`~repro.errors.ModelError` on anything that is not a
+    well-formed snapshot of a supported version.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            prelude = handle.read(_PRELUDE.size)
+            if len(prelude) < _PRELUDE.size:
+                raise ModelError(f"{path}: truncated snapshot (no prelude)")
+            magic, version, header_len = _PRELUDE.unpack(prelude)
+            if magic != MAGIC:
+                raise ModelError(f"{path}: not a detection snapshot (bad magic)")
+            if version != SNAPSHOT_VERSION:
+                raise ModelError(
+                    f"{path}: unsupported snapshot version {version} "
+                    f"(this build reads version {SNAPSHOT_VERSION})"
+                )
+            header_bytes = handle.read(header_len)
+    except OSError as exc:
+        raise ModelError(f"{path}: unreadable snapshot ({exc})") from exc
+    if len(header_bytes) < header_len:
+        raise ModelError(f"{path}: truncated snapshot (incomplete header)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ModelError(f"{path}: corrupted snapshot header ({exc})") from exc
+    header["_payload_start"] = (
+        _PRELUDE.size + header_len + ((-(_PRELUDE.size + header_len)) % _ALIGN)
+    )
+    return header
+
+
+def load_snapshot(path: str | Path, verify: bool = True):
+    """Reconstruct a :class:`~repro.runtime.compiled.CompiledDetector`
+    from a file written by :func:`save_snapshot`.
+
+    The array payload is ``mmap``-ed read-only and exposed as NumPy views
+    without copying; concurrent loaders of the same file share pages.
+    ``verify=False`` skips the payload CRC check (the page-by-page read
+    it forces) — used by pool workers after the parent already verified.
+    """
+    from repro.runtime.compiled import CompiledDetector
+
+    path = Path(path)
+    header = read_snapshot_header(path)
+    payload_start = header.pop("_payload_start")
+    expected = payload_start + header["payload_bytes"]
+    actual = path.stat().st_size
+    if actual < expected:
+        raise ModelError(
+            f"{path}: truncated snapshot ({actual} bytes, expected {expected})"
+        )
+
+    with open(path, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    if verify:
+        crc = zlib.crc32(
+            memoryview(mapped)[payload_start : payload_start + header["payload_bytes"]]
+        )
+        if crc != header["payload_crc32"]:
+            raise ModelError(f"{path}: corrupted snapshot (payload CRC mismatch)")
+
+    sections = header["sections"]
+
+    def array(name: str) -> np.ndarray:
+        entry = sections[name]
+        return np.frombuffer(
+            mapped,
+            dtype=np.dtype(entry["dtype"]),
+            count=entry["count"],
+            offset=payload_start + entry["offset"],
+        )
+
+    def raw_bytes(name: str) -> bytes:
+        entry = sections[name]
+        start = payload_start + entry["offset"]
+        return bytes(memoryview(mapped)[start : start + entry["bytes"]])
+
+    # --- vocabulary ----------------------------------------------------
+    blob = raw_bytes("vocab_blob")
+    offsets = array("vocab_offsets").tolist()
+    try:
+        vocab = [
+            blob[offsets[i] : offsets[i + 1]].decode("utf-8")
+            for i in range(len(offsets) - 1)
+        ]
+    except UnicodeDecodeError as exc:
+        raise ModelError(f"{path}: corrupted snapshot vocabulary ({exc})") from exc
+
+    # --- taxonomy + conceptualizer ------------------------------------
+    domain_of = dict(
+        zip(array("domain_concepts").tolist(), array("domain_labels").tolist())
+    )
+    taxonomy = ConceptTaxonomy()
+    for instance, concept, count in zip(
+        array("edge_instances").tolist(),
+        array("edge_concepts").tolist(),
+        array("edge_counts").tolist(),
+    ):
+        label = domain_of.get(concept)
+        taxonomy.add_edge(
+            vocab[instance],
+            vocab[concept],
+            count,
+            domain=vocab[label] if label is not None else None,
+        )
+    params = header["conceptualizer"]
+    conceptualizer = Conceptualizer(
+        taxonomy,
+        smoothing=params["smoothing"],
+        max_backoff_tokens=params["max_backoff_tokens"],
+        self_concept_weight=params["self_concept_weight"],
+    )
+
+    # --- interner + pattern matrix + pattern table --------------------
+    from repro.runtime.compiled import PatternMatrix
+    from repro.runtime.intern import Interner
+
+    interner = Interner(vocab[i] for i in array("pattern_concepts").tolist())
+    stride = header["stride"]
+    matrix = PatternMatrix.from_arrays(
+        array("pattern_keys"),
+        array("pattern_raw"),
+        array("pattern_norm"),
+        stride=stride,
+        dense=header["dense"],
+    )
+    patterns = PatternTable(
+        {
+            ConceptPattern(interner.string_of(key // stride), interner.string_of(key % stride)): weight
+            for key, weight in matrix.raw_map.items()
+        }
+    )
+
+    # --- readings + context bases -------------------------------------
+    from repro.runtime.compiled import PhraseReading, _ContextBase
+
+    phrases = [vocab[i] for i in array("phrases").tolist()]
+    reading_offsets = array("reading_offsets").tolist()
+    reading_concepts = array("reading_concepts").tolist()
+    reading_ids = array("reading_ids")
+    reading_probs = array("reading_probs")
+    prob_list = reading_probs.tolist()
+    context_offsets = array("context_offsets").tolist()
+    context_concepts = array("context_concepts").tolist()
+    context_scaled = array("context_scaled").tolist()
+    context_priors = array("context_priors").tolist()
+
+    readings: dict[str, PhraseReading] = {}
+    contexts: dict[str, _ContextBase] = {}
+    for index, phrase in enumerate(phrases):
+        start, end = reading_offsets[index], reading_offsets[index + 1]
+        concepts = tuple(
+            (vocab[reading_concepts[i]], prob_list[i]) for i in range(start, end)
+        )
+        readings[phrase] = PhraseReading(
+            concepts, reading_ids[start:end], reading_probs[start:end], stride
+        )
+        start, end = context_offsets[index], context_offsets[index + 1]
+        items = [
+            (vocab[context_concepts[i]], context_priors[i]) for i in range(start, end)
+        ]
+        rows = [
+            (concept, prior, context_scaled[i])
+            for (concept, prior), i in zip(items, range(start, end))
+        ]
+        contexts[phrase] = _ContextBase(items, rows)
+
+    # --- supports, lexicon, classifier, speller -----------------------
+    pairs = None
+    if header["has_pairs"]:
+        mods = array("support_modifiers").tolist()
+        heads = array("support_heads").tolist()
+        values = array("support_values").tolist()
+        pairs = PairCollection.from_support(
+            {(vocab[m], vocab[h]): v for m, h, v in zip(mods, heads, values)}
+        )
+
+    lexicon_data = json.loads(raw_bytes("lexicon_json").decode("utf-8"))
+    lexicon = Lexicon(
+        **{name: frozenset(lexicon_data[name]) for name in _LEXICON_FIELDS}
+    )
+
+    classifier = None
+    if header["has_classifier"]:
+        payload = json.loads(raw_bytes("classifier_json").decode("utf-8"))
+        stats = (
+            pickle.loads(raw_bytes("stats_pickle"))
+            if header.get("has_stats")
+            else None
+        )
+        extractor = ConstraintFeatureExtractor(
+            conceptualizer,
+            stats=stats,
+            droppability=DroppabilityTables(
+                concept=payload["concept_droppability"],
+                instance=payload["instance_droppability"],
+            ),
+            lexicon=lexicon,
+        )
+        classifier = ConstraintClassifier(
+            extractor,
+            LogisticRegression.from_dict(payload["model"]),
+            threshold=payload["threshold"],
+        )
+
+    speller = None
+    if header["has_speller"]:
+        from repro.text.spelling import SpellingNormalizer
+
+        speller = SpellingNormalizer.from_taxonomy(taxonomy)
+
+    config = DetectorConfig(**header["detector_config"])
+    return CompiledDetector._restore(
+        patterns=patterns,
+        conceptualizer=conceptualizer,
+        instance_pairs=pairs,
+        constraint_classifier=classifier,
+        lexicon=lexicon,
+        config=config,
+        speller=speller,
+        interner=interner,
+        matrix=matrix,
+        readings=readings,
+        context_bases=contexts,
+        snapshot_path=str(path),
+    )

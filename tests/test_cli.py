@@ -228,6 +228,108 @@ class TestPipelineCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestSnapshotCommands:
+    @pytest.fixture(scope="class")
+    def snapshot(self, workspace, tmp_path_factory):
+        path = tmp_path_factory.mktemp("snap") / "model.hdms"
+        assert (
+            main(["snapshot", "--model", str(workspace["model"]), "--out", str(path)])
+            == 0
+        )
+        return path
+
+    def test_snapshot_writes_file_and_summary(self, workspace, snapshot, capsys):
+        assert snapshot.exists() and snapshot.stat().st_size > 0
+        # overwriting is fine (atomic replace); the summary names the model
+        code = main(
+            ["snapshot", "--model", str(workspace["model"]), "--out", str(snapshot)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phrases" in out and "speller: no" in out
+
+    def test_detect_from_snapshot_matches_model(self, workspace, snapshot, capsys):
+        query = "cheap hotels in rome"
+        assert main(["detect", "--snapshot", str(snapshot), "--json", query]) == 0
+        from_snapshot = json.loads(capsys.readouterr().out)
+        assert main(["detect", "--model", str(workspace["model"]), "--json", query]) == 0
+        from_model = json.loads(capsys.readouterr().out)
+        assert from_snapshot == from_model
+
+    def test_detect_from_snapshot_with_workers(self, snapshot, capsys):
+        code = main(
+            [
+                "detect",
+                "--snapshot", str(snapshot),
+                "--workers", "2",
+                "--json",
+                "cheap hotels in rome",
+                "iphone 5s smart cover",
+                "cheap hotels in rome",
+            ]
+        )
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        assert len(out_lines) == 3
+        assert json.loads(out_lines[0]) == json.loads(out_lines[2])
+
+    def test_detect_needs_exactly_one_source(self, workspace, snapshot, capsys):
+        assert main(["detect", "q"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+        code = main(
+            [
+                "detect",
+                "--model", str(workspace["model"]),
+                "--snapshot", str(snapshot),
+                "q",
+            ]
+        )
+        assert code == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_workers_require_snapshot(self, workspace, capsys):
+        code = main(
+            ["detect", "--model", str(workspace["model"]), "--workers", "2", "q"]
+        )
+        assert code == 2
+        assert "--workers needs --snapshot" in capsys.readouterr().err
+
+    def test_spell_requires_speller_in_snapshot(self, snapshot, capsys):
+        code = main(["detect", "--snapshot", str(snapshot), "--spell", "q"])
+        assert code == 2
+        assert "without a speller" in capsys.readouterr().err
+
+    def test_snapshot_with_speller_corrects_typos(self, workspace, tmp_path, capsys):
+        path = tmp_path / "spelled.hdms"
+        code = main(
+            [
+                "snapshot",
+                "--model", str(workspace["model"]),
+                "--out", str(path),
+                "--spell",
+            ]
+        )
+        assert code == 0
+        assert "speller: yes" in capsys.readouterr().out
+        code = main(
+            [
+                "detect",
+                "--snapshot", str(path),
+                "--spell", "--json",
+                "ihpone 5s smart cvoer",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["head"] == "smart cover"
+
+    def test_corrupt_snapshot_is_error_not_traceback(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hdms"
+        bad.write_bytes(b"scrambled bytes")
+        assert main(["detect", "--snapshot", str(bad), "q"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestCorpusBuildPath:
     def test_taxonomy_from_corpus(self, tmp_path, capsys):
         out = tmp_path / "tax.tsv.gz"

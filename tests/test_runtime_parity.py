@@ -12,12 +12,23 @@ set plus the structural edge cases.
 
 from __future__ import annotations
 
+import struct
+
 import pytest
 
 from repro.core.detector import DetectorConfig
 from repro.core.segmentation import Segmenter
 from repro.errors import ModelError
-from repro.runtime import CompiledDetector, CompiledSegmenter, PatternMatrix, shard
+from repro.runtime import (
+    SNAPSHOT_VERSION,
+    CompiledDetector,
+    CompiledSegmenter,
+    PatternMatrix,
+    load_snapshot,
+    read_snapshot_header,
+    save_snapshot,
+    shard,
+)
 from repro.runtime.intern import Interner
 
 EDGE_CASES = [
@@ -38,6 +49,18 @@ EDGE_CASES = [
 @pytest.fixture(scope="module")
 def compiled(model):
     return model.compile()
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(compiled, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snapshot") / "model.hdms"
+    compiled.save_snapshot(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def loaded(snapshot_path):
+    return load_snapshot(snapshot_path)
 
 
 class TestDetectionParity:
@@ -118,6 +141,117 @@ class TestBatch:
         assert shard([], 2) == [[]]
         with pytest.raises(ValueError):
             shard([1], 0)
+
+
+class TestSnapshotParity:
+    """save → load must be bit-identical, not merely close."""
+
+    def test_roundtrip_full_eval_set(self, compiled, loaded, eval_examples):
+        mismatches = [
+            example.query
+            for example in eval_examples
+            if compiled.detect(example.query) != loaded.detect(example.query)
+        ]
+        assert mismatches == []
+
+    @pytest.mark.parametrize("text", EDGE_CASES)
+    def test_roundtrip_edge_cases(self, compiled, loaded, text):
+        assert compiled.detect(text) == loaded.detect(text)
+
+    def test_loaded_matches_reference_detector(self, detector, loaded, eval_examples):
+        for example in eval_examples[:100]:
+            assert loaded.detect(example.query) == detector.detect(example.query)
+
+    def test_header_describes_model(self, snapshot_path, compiled):
+        header = read_snapshot_header(snapshot_path)
+        assert header["version"] == SNAPSHOT_VERSION
+        assert header["stride"] == compiled._matrix.stride
+        assert header["counts"]["phrases"] == len(compiled._compiled_readings)
+        assert header["has_classifier"]
+        assert header["payload_bytes"] > 0
+        assert header["sections"]["vocab_blob"]["bytes"] > 0
+
+    def test_log_statistics_survive_roundtrip(self, compiled, loaded):
+        # train_model binds live LogStatistics to the classifier; the
+        # snapshot must carry them so constraint features stay exact.
+        original = compiled._classifier.extractor._stats
+        restored = loaded._classifier.extractor._stats
+        assert original is not None and restored is not None
+        assert restored.phrase_idf("iphone") == original.phrase_idf("iphone")
+
+    def test_loaded_arrays_are_readonly_views(self, loaded):
+        reading = next(iter(loaded._compiled_readings.values()))
+        assert not reading.ids.flags.writeable  # mmap-backed, not copied
+
+    def test_loaded_snapshot_is_resnapshotable(self, loaded, tmp_path):
+        """A loaded detector can itself be saved and reloaded exactly."""
+        second = tmp_path / "second.hdms"
+        loaded.save_snapshot(second)
+        twice = load_snapshot(second)
+        for text in EDGE_CASES:
+            assert twice.detect(text) == loaded.detect(text)
+
+
+class TestSnapshotErrors:
+    def _mutated(self, snapshot_path, tmp_path, mutate):
+        data = bytearray(snapshot_path.read_bytes())
+        mutate(data)
+        bad = tmp_path / "bad.hdms"
+        bad.write_bytes(bytes(data))
+        return bad
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelError, match="unreadable"):
+            read_snapshot_header(tmp_path / "nope.hdms")
+
+    def test_empty_file_is_truncated(self, tmp_path):
+        empty = tmp_path / "empty.hdms"
+        empty.write_bytes(b"")
+        with pytest.raises(ModelError, match="truncated"):
+            read_snapshot_header(empty)
+
+    def test_bad_magic(self, tmp_path):
+        junk = tmp_path / "junk.hdms"
+        junk.write_bytes(b"definitely not a model snapshot")
+        with pytest.raises(ModelError, match="bad magic"):
+            load_snapshot(junk)
+
+    def test_wrong_version(self, snapshot_path, tmp_path):
+        bad = self._mutated(
+            snapshot_path,
+            tmp_path,
+            lambda data: data.__setitem__(
+                slice(8, 12), struct.pack("<I", SNAPSHOT_VERSION + 1)
+            ),
+        )
+        with pytest.raises(ModelError, match="unsupported snapshot version"):
+            load_snapshot(bad)
+
+    def test_truncated_payload(self, snapshot_path, tmp_path):
+        data = snapshot_path.read_bytes()
+        cut = tmp_path / "cut.hdms"
+        cut.write_bytes(data[:-512])
+        with pytest.raises(ModelError, match="truncated"):
+            load_snapshot(cut)
+
+    def test_corrupted_payload_fails_crc(self, snapshot_path, tmp_path):
+        bad = self._mutated(
+            snapshot_path,
+            tmp_path,
+            lambda data: data.__setitem__(-1, data[-1] ^ 0xFF),
+        )
+        with pytest.raises(ModelError, match="CRC"):
+            load_snapshot(bad)
+
+    def test_custom_segmenter_is_not_snapshotable(self, model, taxonomy, tmp_path):
+        bespoke = CompiledDetector(
+            model.patterns,
+            model.conceptualizer(),
+            instance_pairs=model.pairs,
+            segmenter=Segmenter(taxonomy),
+        )
+        with pytest.raises(ModelError, match="compiled segmenter"):
+            save_snapshot(bespoke, tmp_path / "x.hdms")
 
 
 class TestCompiledStructures:
