@@ -86,6 +86,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pattern-mass", type=float, default=0.99)
     p.add_argument("--max-patterns", type=int, default=None)
     p.add_argument("--no-classifier", action="store_true")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard pair mining across N worker processes (default 1)",
+    )
+    p.add_argument(
+        "--reference",
+        action="store_true",
+        help="use the pure-Python reference pipeline instead of the "
+        "vectorized one (identical output, slower; for cross-checking)",
+    )
     p.set_defaults(handler=_cmd_train)
 
     p = sub.add_parser(
@@ -194,13 +206,28 @@ def _cmd_train(args: argparse.Namespace) -> int:
         max_patterns=args.max_patterns,
         train_classifier=not args.no_classifier,
     )
-    model = train_model(log, taxonomy, config)
+    timings: dict[str, float] = {}
+    model = train_model(
+        log,
+        taxonomy,
+        config,
+        workers=args.workers,
+        vectorized=not args.reference,
+        timings=timings,
+    )
     save_model(model, args.out)
     classifier = "yes" if model.classifier is not None else "no"
     print(
         f"wrote {args.out}: {len(model.pairs)} mined pairs, "
         f"{len(model.patterns)} concept patterns, classifier: {classifier}"
     )
+    stages = " ".join(
+        f"{stage}={timings[stage]:.2f}s"
+        for stage in ("mine", "derive", "features", "classifier", "total")
+        if stage in timings
+    )
+    path = "reference" if args.reference else "vectorized"
+    print(f"training path: {path}, workers: {args.workers}, {stages}")
     return 0
 
 

@@ -20,9 +20,12 @@ from the taxonomy, with two practical additions:
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.taxonomy.store import ConceptTaxonomy
 from repro.taxonomy.typicality import TypicalityScorer
 from repro.text.normalizer import normalize_term
+from repro.utils.lru import LruCache
 from repro.utils.mathx import normalize_distribution
 
 
@@ -35,16 +38,26 @@ class Conceptualizer:
         smoothing: float = 0.0,
         max_backoff_tokens: int = 2,
         self_concept_weight: float = 0.6,
+        cache_size: int | None = None,
     ) -> None:
         """``self_concept_weight`` is the probability mass given to the
         self-reading when the phrase is itself a concept name (the rest
-        goes to its instance readings, if any)."""
+        goes to its instance readings, if any). ``cache_size`` bounds an
+        optional memo of ``(phrase, top_k) → readings``: conceptualization
+        is pure, so training pipelines that revisit the same phrases
+        thousands of times (pattern derivation, droppability tables,
+        feature extraction) pay each distinct phrase once. ``None``
+        disables memoization; pass ``DetectorConfig.cache_size`` to share
+        the serving-side bound."""
         if not 0 <= self_concept_weight <= 1:
             raise ValueError("self_concept_weight must be in [0, 1]")
         self._taxonomy = taxonomy
         self._scorer = TypicalityScorer(taxonomy, smoothing=smoothing)
         self._max_backoff_tokens = max_backoff_tokens
         self._self_concept_weight = self_concept_weight
+        self._cache: LruCache[tuple[str, int], tuple[tuple[str, float], ...]] | None = (
+            LruCache(cache_size) if cache_size is not None else None
+        )
 
     @property
     def taxonomy(self) -> ConceptTaxonomy:
@@ -65,6 +78,38 @@ class Conceptualizer:
 
         >>> # doctest-style illustration; see tests for executable checks
         """
+        if self._cache is None:
+            return self._conceptualize_uncached(phrase, top_k)
+        key = (phrase, top_k)
+        readings = self._cache.get(key)
+        if readings is None:
+            readings = tuple(self._conceptualize_uncached(phrase, top_k))
+            self._cache.put(key, readings)
+        # Hand out a fresh list so callers cannot corrupt the memo.
+        return list(readings)
+
+    def conceptualize_many(
+        self, phrases: Iterable[str], top_k: int = 5
+    ) -> list[list[tuple[str, float]]]:
+        """Readings for each phrase, aligned with the input order.
+
+        Bulk entry point for training and the compiled runtime: duplicate
+        phrases are resolved once per call even when memoization is
+        disabled. Returned lists are independent copies.
+        """
+        seen: dict[str, list[tuple[str, float]]] = {}
+        results = []
+        for phrase in phrases:
+            readings = seen.get(phrase)
+            if readings is None:
+                readings = self.conceptualize(phrase, top_k)
+                seen[phrase] = readings
+            results.append(list(readings))
+        return results
+
+    def _conceptualize_uncached(
+        self, phrase: str, top_k: int
+    ) -> list[tuple[str, float]]:
         norm = normalize_term(phrase)
         is_concept = (
             self._self_concept_weight > 0 and self._taxonomy.has_concept(norm)

@@ -48,6 +48,10 @@ _AMBIGUITY_SCALE = 2.0
 _BREADTH_SCALE = 4.0
 _IDF_SCALE = 10.0
 
+#: The only two features that depend on the query, not just the modifier.
+_DROP_SIMILARITY = FEATURE_NAMES.index("drop_similarity")
+_DROP_EVIDENCE_MISSING = FEATURE_NAMES.index("drop_evidence_missing")
+
 
 def _squash(value: float, scale: float) -> float:
     """Clamp a non-negative quantity into [0, 1] at the given scale."""
@@ -105,6 +109,15 @@ class ConstraintFeatureExtractor:
 
     def extract(self, query: str, modifier: str) -> np.ndarray:
         """Feature vector for ``modifier`` inside ``query``."""
+        vector = self._modifier_vector(modifier)
+        drop_sim, drop_missing = self._drop_evidence(query, modifier)
+        vector[_DROP_SIMILARITY] = drop_sim
+        vector[_DROP_EVIDENCE_MISSING] = drop_missing
+        return vector
+
+    def _modifier_vector(self, modifier: str) -> np.ndarray:
+        """All features that depend only on the modifier (fresh array;
+        the two drop-evidence slots are left as placeholders)."""
         words = modifier.split()
         concepts = self._conceptualizer.conceptualize(modifier, top_k=3)
         top_concept = concepts[0][0] if concepts else None
@@ -123,7 +136,6 @@ class ConstraintFeatureExtractor:
         specificity = self._specificity(modifier)
         numeric = float(any(any(ch.isdigit() for ch in w) for w in words))
         multiword = float(len(words) > 1)
-        drop_sim, drop_missing = self._drop_evidence(query, modifier)
         instance_drop = self._droppability.instance.get(modifier, 0.5)
         concept_drop = self._concept_droppability_of(concepts)
         idf = self._idf(modifier)
@@ -138,8 +150,8 @@ class ConstraintFeatureExtractor:
                 specificity,
                 numeric,
                 multiword,
-                drop_sim,
-                drop_missing,
+                0.0,  # drop_similarity placeholder
+                0.0,  # drop_evidence_missing placeholder
                 instance_drop,
                 concept_drop,
                 idf,
@@ -152,6 +164,34 @@ class ConstraintFeatureExtractor:
         if not rows:
             return np.zeros((0, self.num_features))
         return np.vstack([self.extract(q, m) for q, m in rows])
+
+    def extract_training_batch(
+        self,
+        rows: list[tuple[str, str]],
+        drop_similarities: list[float],
+    ) -> np.ndarray:
+        """Feature matrix for rows whose drop similarity is already known.
+
+        The training pipeline measured every row's drop similarity while
+        collecting evidence, so re-deriving it here (the only per-query
+        feature) would be pure waste; everything else is a function of the
+        modifier alone and is memoized per distinct modifier. Bit-identical
+        to :meth:`extract_batch` on the same rows.
+        """
+        if not rows:
+            return np.zeros((0, self.num_features))
+        matrix = np.empty((len(rows), self.num_features), dtype=np.float64)
+        vectors: dict[str, np.ndarray] = {}
+        for index, (_, modifier) in enumerate(rows):
+            vector = vectors.get(modifier)
+            if vector is None:
+                vector = self._modifier_vector(modifier)
+                vectors[modifier] = vector
+            matrix[index] = vector
+        matrix[:, _DROP_SIMILARITY] = drop_similarities
+        # Rows come from observed evidence: drop similarity always exists.
+        matrix[:, _DROP_EVIDENCE_MISSING] = 0.0
+        return matrix
 
     # ------------------------------------------------------------------
     # individual features

@@ -13,6 +13,8 @@ No step reads gold labels.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -68,31 +70,76 @@ def train_model(
     log: QueryLog,
     taxonomy: ConceptTaxonomy,
     config: TrainingConfig | None = None,
+    *,
+    workers: int = 1,
+    vectorized: bool = False,
+    timings: dict[str, float] | None = None,
 ) -> HdmModel:
-    """Run the full offline pipeline and return the trained bundle."""
+    """Run the full offline pipeline and return the trained bundle.
+
+    ``workers`` > 1 shards pair mining across that many processes
+    (:mod:`repro.training.parallel`); ``vectorized`` routes derivation and
+    classifier training through the batched-numpy stages
+    (:mod:`repro.training.vectorized`). Both switches are output-identical
+    to the reference — same pattern table to the bit, same detections —
+    so they are purely a throughput choice. ``timings``, when given, is
+    filled with per-stage wall seconds (``mine``, ``derive``, ``features``,
+    ``classifier``, ``total``).
+    """
     config = config or TrainingConfig()
+    if workers < 1:
+        raise ModelError(f"workers must be positive, got {workers}")
+    record_stage = _stage_recorder(timings)
+    started = time.perf_counter()
     stats = LogStatistics(log)
-    conceptualizer = Conceptualizer(taxonomy)
+    conceptualizer = Conceptualizer(
+        taxonomy,
+        cache_size=config.detector.cache_size if vectorized else None,
+    )
     segmenter = Segmenter(taxonomy)
 
-    pairs = mine_pairs(log, config.mining)
-    patterns = derive_pattern_table(
-        pairs,
-        conceptualizer,
-        config.top_k_concepts,
-        hierarchy_discount=config.hierarchy_discount,
-    )
-    if config.pattern_mass < 1.0:
-        patterns = patterns.pruned_to_mass(config.pattern_mass)
-    if config.max_patterns is not None:
-        patterns = patterns.pruned_to_count(config.max_patterns)
+    with record_stage("mine"):
+        if workers > 1:
+            from repro.training.parallel import mine_pairs_sharded
+
+            pairs = mine_pairs_sharded(log, config.mining, workers=workers)
+        else:
+            pairs = mine_pairs(log, config.mining)
+    with record_stage("derive"):
+        if vectorized:
+            from repro.training.vectorized import derive_pattern_table_vectorized
+
+            patterns = derive_pattern_table_vectorized(
+                pairs,
+                conceptualizer,
+                config.top_k_concepts,
+                hierarchy_discount=config.hierarchy_discount,
+            )
+        else:
+            patterns = derive_pattern_table(
+                pairs,
+                conceptualizer,
+                config.top_k_concepts,
+                hierarchy_discount=config.hierarchy_discount,
+            )
+        if config.pattern_mass < 1.0:
+            patterns = patterns.pruned_to_mass(config.pattern_mass)
+        if config.max_patterns is not None:
+            patterns = patterns.pruned_to_count(config.max_patterns)
 
     classifier = None
     if config.train_classifier:
-        classifier = _train_constraint_classifier(
-            stats, conceptualizer, segmenter, config
-        )
+        if vectorized:
+            classifier = _train_constraint_classifier_vectorized(
+                stats, conceptualizer, config, record_stage
+            )
+        else:
+            classifier = _train_constraint_classifier(
+                stats, conceptualizer, segmenter, config, record_stage
+            )
 
+    if timings is not None:
+        timings["total"] = time.perf_counter() - started
     return HdmModel(
         taxonomy=taxonomy,
         patterns=patterns,
@@ -100,6 +147,23 @@ def train_model(
         classifier=classifier,
         detector_config=config.detector,
     )
+
+
+def _stage_recorder(timings: dict[str, float] | None):
+    """A context-manager factory accumulating stage wall time."""
+
+    @contextlib.contextmanager
+    def record_stage(name: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            if timings is not None:
+                timings[name] = (
+                    timings.get(name, 0.0) + time.perf_counter() - started
+                )
+
+    return record_stage
 
 
 def constraint_training_rows(
@@ -207,23 +271,68 @@ def _train_constraint_classifier(
     conceptualizer: Conceptualizer,
     segmenter: Segmenter,
     config: TrainingConfig,
+    record_stage=None,
 ) -> ConstraintClassifier | None:
     """Distant-supervision training of the constraint classifier."""
-    droppability = build_droppability_tables(stats, conceptualizer, segmenter)
-    extractor = ConstraintFeatureExtractor(
-        conceptualizer, stats=stats, droppability=droppability
+    record_stage = record_stage or _stage_recorder(None)
+    with record_stage("features"):
+        droppability = build_droppability_tables(stats, conceptualizer, segmenter)
+        extractor = ConstraintFeatureExtractor(
+            conceptualizer, stats=stats, droppability=droppability
+        )
+        rows, labels, weights = constraint_training_rows(
+            stats, segmenter, config.drop_label_threshold
+        )
+        if len(rows) < 10 or len(set(labels)) < 2:
+            return None  # not enough distant supervision in this log
+        features = extractor.extract_batch(rows)
+    with record_stage("classifier"):
+        model = LogisticRegression(
+            learning_rate=config.classifier_learning_rate,
+            epochs=config.classifier_epochs,
+            l2=config.classifier_l2,
+        ).fit(features, np.asarray(labels, float), np.asarray(weights, float))
+    return ConstraintClassifier(extractor, model, threshold=config.constraint_threshold)
+
+
+def _train_constraint_classifier_vectorized(
+    stats: LogStatistics,
+    conceptualizer: Conceptualizer,
+    config: TrainingConfig,
+    record_stage,
+) -> ConstraintClassifier | None:
+    """Output-identical fast path: one shared drop-evidence pass (the
+    reference walks the log once for the droppability tables and again
+    for the training rows), the parity-tested compiled segmenter, and
+    batched feature extraction."""
+    from repro.runtime.compiled import CompiledSegmenter
+    from repro.training.evidence import collect_drop_evidence
+    from repro.training.vectorized import (
+        build_droppability_tables_vectorized,
+        training_rows_from_evidence,
     )
-    rows, labels, weights = constraint_training_rows(
-        stats, segmenter, config.drop_label_threshold
-    )
-    if len(rows) < 10 or len(set(labels)) < 2:
-        return None  # not enough distant supervision in this log
-    features = extractor.extract_batch(rows)
-    model = LogisticRegression(
-        learning_rate=config.classifier_learning_rate,
-        epochs=config.classifier_epochs,
-        l2=config.classifier_l2,
-    ).fit(features, np.asarray(labels, float), np.asarray(weights, float))
+
+    with record_stage("features"):
+        segmenter = CompiledSegmenter(conceptualizer.taxonomy)
+        evidence = collect_drop_evidence(stats.log, segmenter)
+        droppability = build_droppability_tables_vectorized(evidence, conceptualizer)
+        extractor = ConstraintFeatureExtractor(
+            conceptualizer, stats=stats, droppability=droppability
+        )
+        rows, labels, weights = training_rows_from_evidence(
+            evidence, config.drop_label_threshold
+        )
+        if len(rows) < 10 or len(set(labels)) < 2:
+            return None  # not enough distant supervision in this log
+        features = extractor.extract_training_batch(
+            rows, [e.similarity for e in evidence]
+        )
+    with record_stage("classifier"):
+        model = LogisticRegression(
+            learning_rate=config.classifier_learning_rate,
+            epochs=config.classifier_epochs,
+            l2=config.classifier_l2,
+        ).fit(features, np.asarray(labels, float), np.asarray(weights, float))
     return ConstraintClassifier(extractor, model, threshold=config.constraint_threshold)
 
 

@@ -234,9 +234,10 @@ class DeletionMiner:
     def mine(self, log: QueryLog) -> Iterator[MinedPair]:
         """Yield pairs from every eligible query of ``log``."""
         for record in log.records():
-            yield from self._mine_record(log, record)
+            yield from self.mine_record(log, record)
 
-    def _mine_record(self, log: QueryLog, record: QueryRecord) -> Iterator[MinedPair]:
+    def mine_record(self, log: QueryLog, record: QueryRecord) -> Iterator[MinedPair]:
+        """Yield pairs for a single record (the unit sharded mining splits on)."""
         cfg = self._config
         tokens = record.tokens
         if (
@@ -334,14 +335,18 @@ class LexicalPatternMiner:
 
     def mine(self, log: QueryLog) -> Iterator[MinedPair]:
         """Yield pairs from connector surfaces in ``log``."""
-        cfg = self._config
         for record in log.records():
-            if record.frequency < cfg.min_query_frequency:
-                continue
-            tokens = record.tokens
-            if not 3 <= len(tokens) <= cfg.max_query_tokens:
-                continue
-            yield from self._mine_tokens(tokens, record.frequency)
+            yield from self.mine_record(log, record)
+
+    def mine_record(self, log: QueryLog, record: QueryRecord) -> Iterator[MinedPair]:
+        """Yield pairs for a single record (the unit sharded mining splits on)."""
+        cfg = self._config
+        if record.frequency < cfg.min_query_frequency:
+            return
+        tokens = record.tokens
+        if not 3 <= len(tokens) <= cfg.max_query_tokens:
+            return
+        yield from self._mine_tokens(tokens, record.frequency)
 
     def _mine_tokens(self, tokens: tuple[str, ...], frequency: int) -> Iterator[MinedPair]:
         for i, token in enumerate(tokens):

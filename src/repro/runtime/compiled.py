@@ -500,6 +500,11 @@ class CompiledDetector(HeadModifierDetector):
         self._snapshot_path = snapshot_path
         self._owns_snapshot = False
         self._pools: dict[int, object] = {}
+        # Garbage-collection guards for resources close() also releases:
+        # an abandoned detector must not strand live worker processes or
+        # its temp snapshot until interpreter exit.
+        self._pool_finalizer: weakref.finalize | None = None
+        self._snapshot_finalizer: weakref.finalize | None = None
 
     @classmethod
     def _restore(
@@ -573,7 +578,21 @@ class CompiledDetector(HeadModifierDetector):
     def _precompute_readings(self, phrases: list[str]) -> dict[str, PhraseReading]:
         """Flatten every known phrase's typicality readings into slices
         of two contiguous arrays (ids, probabilities)."""
-        per_phrase = [(phrase, self._fresh_reading(phrase)) for phrase in phrases]
+        bulk = self._conceptualizer.conceptualize_many(
+            phrases, self._config.top_k_concepts
+        )
+        if self._config.hierarchy_discount > 0:
+            bulk = [
+                self._conceptualizer.expand_with_ancestors(
+                    readings, self._config.hierarchy_discount
+                )
+                if readings
+                else readings
+                for readings in bulk
+            ]
+        per_phrase = [
+            (phrase, tuple(readings)) for phrase, readings in zip(phrases, bulk)
+        ]
         flat_ids: list[int] = []
         flat_probs: list[float] = []
         bounds: list[tuple[str, int, int, tuple[tuple[str, float], ...]]] = []
@@ -823,6 +842,12 @@ class CompiledDetector(HeadModifierDetector):
 
             pool = DetectorPool(self._ensure_snapshot(), workers)
             self._pools[workers] = pool
+            if self._pool_finalizer is None or not self._pool_finalizer.alive:
+                # The callback captures the dict, never the detector, so
+                # it cannot keep self alive; close() detaches it.
+                self._pool_finalizer = weakref.finalize(
+                    self, _close_pools, self._pools
+                )
         return pool
 
     def _ensure_snapshot(self) -> str:
@@ -837,21 +862,34 @@ class CompiledDetector(HeadModifierDetector):
         save_snapshot(self, path)
         self._snapshot_path = path
         self._owns_snapshot = True
-        # Removes the temp file when the detector is collected; pools
-        # hold only the path, and their executors join at process exit.
-        weakref.finalize(self, _remove_quietly, path)
+        # Removes the temp file when the detector is collected without an
+        # explicit close(); pools hold only the path.
+        self._snapshot_finalizer = weakref.finalize(self, _remove_quietly, path)
         return path
 
     def close(self) -> None:
         """Shut down any spawned worker pools (blocking, deterministic)
-        and delete the detector-owned temp snapshot, if one was written."""
+        and delete the detector-owned temp snapshot, if one was written.
+
+        Routed through the same ``weakref.finalize`` guards that fire on
+        garbage collection, so explicit close and GC cleanup are one code
+        path and each resource is released exactly once."""
+        pool_finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if pool_finalizer is not None:
+            pool_finalizer()  # no-op if already dead
         pools, self._pools = self._pools, {}
-        for pool in pools.values():
+        for pool in pools.values():  # pools spawned with no finalizer guard
             pool.close()
-        if self._owns_snapshot and self._snapshot_path is not None:
-            _remove_quietly(self._snapshot_path)
+        snapshot_finalizer, self._snapshot_finalizer = self._snapshot_finalizer, None
+        if self._owns_snapshot:
+            if snapshot_finalizer is not None:
+                snapshot_finalizer()
+            elif self._snapshot_path is not None:
+                _remove_quietly(self._snapshot_path)
             self._snapshot_path = None
             self._owns_snapshot = False
+        elif snapshot_finalizer is not None:
+            snapshot_finalizer.detach()
 
     def __enter__(self) -> "CompiledDetector":
         return self
@@ -866,7 +904,17 @@ class CompiledDetector(HeadModifierDetector):
         state = self.__dict__.copy()
         state["_pools"] = {}
         state["_owns_snapshot"] = False
+        # finalizers are process-local (and unpicklable); the copy gets
+        # fresh ones if and when it spawns its own pools/snapshot.
+        state["_pool_finalizer"] = None
+        state["_snapshot_finalizer"] = None
         return state
+
+
+def _close_pools(pools: dict[int, object]) -> None:
+    for pool in pools.values():
+        pool.close()
+    pools.clear()
 
 
 def _remove_quietly(path: str) -> None:

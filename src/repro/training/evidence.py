@@ -1,0 +1,159 @@
+"""Single-pass drop-evidence collection for the fast training path.
+
+The reference pipeline walks the log twice with identical filtering:
+:func:`repro.core.features.build_droppability_tables` aggregates the
+droppability tables, then :func:`repro.core.pipeline.constraint_training_rows`
+re-segments every query and recomputes every drop similarity to emit the
+distant-supervision rows. Both passes need exactly the same facts per
+(query, segment): the observed drop similarity and the query volume.
+
+:func:`collect_drop_evidence` computes those facts once and hands the
+stream to both consumers. A :class:`SimilarityCache` memoizes the pure
+per-record quantities (normalized lookups, collapsed host+path
+histograms, cosine norms) so each is paid once per record instead of once
+per comparison. Every arithmetic operation matches the reference
+(`querylog.stats._cosine`) term for term, so the cached similarities are
+bit-identical, not merely close.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.querylog.models import QueryLog, QueryRecord
+from repro.querylog.stats import _remove_segment
+from repro.querylog.urls import url_host_path
+from repro.utils.mathx import safe_div
+
+#: Host+path similarity above which a segment counts as head-like and is
+#: excluded from drop evidence (same constant as the reference pipeline).
+HEAD_SIMILARITY_CUTOFF = 0.6
+
+
+@dataclass(frozen=True, slots=True)
+class DropEvidence:
+    """One observed segment drop: the unit both training consumers share."""
+
+    query: str
+    segment: str
+    similarity: float
+    frequency: int
+
+
+class SimilarityCache:
+    """Memoized click-similarity primitives over one log.
+
+    All methods reproduce ``querylog.stats`` bit-for-bit: the same dict
+    iteration orders, the same ``sqrt``/``safe_div`` expressions — only
+    redundant recomputation is removed.
+    """
+
+    def __init__(self, log: QueryLog) -> None:
+        self._log = log
+        self._lookup: dict[str, QueryRecord | None] = {}
+        self._norms: dict[str, float] = {}
+        self._collapsed: dict[str, Counter[str]] = {}
+        self._collapsed_norms: dict[str, float] = {}
+
+    def lookup(self, text: str) -> QueryRecord | None:
+        """`log.lookup` with the normalization cost paid once per string."""
+        try:
+            return self._lookup[text]
+        except KeyError:
+            record = self._log.lookup(text)
+            self._lookup[text] = record
+            return record
+
+    def drop_similarity(self, record: QueryRecord, segment: str) -> float | None:
+        """``LogStatistics.drop_similarity(record.query, segment)``."""
+        reduced = _remove_segment(record.query, segment)
+        if reduced is None:
+            return None
+        reduced_record = self.lookup(reduced)
+        if reduced_record is None:
+            return None
+        return self.click_similarity(record, reduced_record)
+
+    def click_similarity(self, a: QueryRecord, b: QueryRecord) -> float:
+        """Full-URL cosine between two records' click histograms."""
+        if not a.clicks or not b.clicks:
+            return 0.0
+        dot = sum(count * b.clicks.get(url, 0) for url, count in a.clicks.items())
+        return safe_div(dot, self._norm_of(a) * self._norm_of(b))
+
+    def host_path_similarity(self, a: QueryRecord, b: QueryRecord) -> float:
+        """Host+path cosine between two records' click histograms."""
+        collapsed_a = self._collapsed_of(a)
+        collapsed_b = self._collapsed_of(b)
+        if not collapsed_a or not collapsed_b:
+            return 0.0
+        dot = sum(
+            count * collapsed_b.get(url, 0) for url, count in collapsed_a.items()
+        )
+        return safe_div(
+            dot, self._collapsed_norms[a.query] * self._collapsed_norms[b.query]
+        )
+
+    def is_head_like(
+        self,
+        record: QueryRecord,
+        segment: str,
+        cutoff: float = HEAD_SIMILARITY_CUTOFF,
+    ) -> bool:
+        """Whether the segment's own clicks match the full query's."""
+        segment_record = self.lookup(segment)
+        if segment_record is None or not segment_record.clicks:
+            return False
+        return self.host_path_similarity(record, segment_record) >= cutoff
+
+    def _norm_of(self, record: QueryRecord) -> float:
+        norm = self._norms.get(record.query)
+        if norm is None:
+            norm = math.sqrt(sum(c * c for c in record.clicks.values()))
+            self._norms[record.query] = norm
+        return norm
+
+    def _collapsed_of(self, record: QueryRecord) -> Counter[str]:
+        collapsed = self._collapsed.get(record.query)
+        if collapsed is None:
+            collapsed = Counter()
+            for url, count in record.clicks.items():
+                collapsed[url_host_path(url)] += count
+            self._collapsed[record.query] = collapsed
+            self._collapsed_norms[record.query] = math.sqrt(
+                sum(c * c for c in collapsed.values())
+            )
+        return collapsed
+
+
+def collect_drop_evidence(
+    log: QueryLog,
+    segmenter,
+    head_similarity_cutoff: float = HEAD_SIMILARITY_CUTOFF,
+) -> list[DropEvidence]:
+    """Every (query, segment) drop observation, in reference scan order.
+
+    Applies exactly the reference filters: multi-token queries only,
+    proper sub-segments only, drop evidence must exist in the log, and
+    head-like segments are excluded. The returned stream feeds both the
+    droppability tables and the distant-supervision rows.
+    """
+    cache = SimilarityCache(log)
+    evidence: list[DropEvidence] = []
+    for record in log.records():
+        if len(record.tokens) < 2:
+            continue
+        for segment in segmenter.segment(record.query):
+            if segment.num_tokens >= len(record.tokens):
+                continue
+            similarity = cache.drop_similarity(record, segment.text)
+            if similarity is None:
+                continue
+            if cache.is_head_like(record, segment.text, head_similarity_cutoff):
+                continue
+            evidence.append(
+                DropEvidence(record.query, segment.text, similarity, record.frequency)
+            )
+    return evidence

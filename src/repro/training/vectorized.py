@@ -1,0 +1,234 @@
+"""Batched-numpy training stages, bit-identical to the reference loops.
+
+The reference derivation and droppability passes are per-pair / per-row
+Python loops over dict accumulators. Here each pass is restated as array
+work over interned concept ids (:class:`repro.runtime.intern.Interner`,
+the same move the compiled serving runtime makes):
+
+1. conceptualize each *distinct* phrase once (``conceptualize_many``),
+   flatten the readings into id/probability arrays with slice offsets;
+2. expand the per-item contribution stream with ``repeat`` + a ragged
+   ``arange`` so contributions appear in exactly the reference's
+   iteration order;
+3. reduce with ``np.bincount``, which adds elements sequentially — the
+   same float additions, in the same order, as the reference's
+   ``dict.get(k, 0.0) + w`` accumulation, so sums are bit-identical,
+   not merely close;
+4. rebuild the output dicts in first-seen key order (``np.unique`` over
+   the stream plus an argsort of first occurrence), matching the
+   insertion order of the reference dicts.
+
+Step 4 matters beyond aesthetics: ``PatternTable.pruned_to_mass`` sums
+``total_weight`` in insertion order, so reproducing the order reproduces
+the prune boundary exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.concept_patterns import ConceptPattern, PatternTable
+from repro.core.conceptualizer import Conceptualizer
+from repro.core.features import DroppabilityTables
+from repro.mining.pairs import PairCollection
+from repro.runtime.intern import Interner
+from repro.training.evidence import DropEvidence
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0), [0..c1), ...`` concatenated (the within-group index)."""
+    if len(counts) == 0 or counts.sum() == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return np.arange(ends[-1], dtype=np.int64) - np.repeat(ends - counts, counts)
+
+
+class _ReadingArrays:
+    """Flattened concept readings of a distinct-phrase list.
+
+    ``starts[i]:starts[i] + lengths[i]`` slices the id/probability arrays
+    for phrase ``i``; ids index ``interner``.
+    """
+
+    __slots__ = ("interner", "ids", "probs", "starts", "lengths")
+
+    def __init__(
+        self,
+        phrases: list[str],
+        readings: list[list[tuple[str, float]]],
+    ) -> None:
+        self.interner = Interner()
+        flat_ids: list[int] = []
+        flat_probs: list[float] = []
+        starts = np.empty(len(phrases) + 1, dtype=np.int64)
+        position = 0
+        for index, phrase_readings in enumerate(readings):
+            starts[index] = position
+            for concept, prob in phrase_readings:
+                flat_ids.append(self.interner.intern(concept))
+                flat_probs.append(prob)
+                position += 1
+        starts[len(phrases)] = position
+        self.ids = np.asarray(flat_ids, dtype=np.int64)
+        self.probs = np.asarray(flat_probs, dtype=np.float64)
+        self.starts = starts[:-1]
+        self.lengths = np.diff(starts)
+
+
+def _first_seen_order(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unique keys in first-occurrence order plus the inverse mapping.
+
+    ``np.unique`` sorts; re-ordering by each key's first index restores
+    the order a sequential dict would have inserted them in.
+    """
+    unique, first_index, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_index, kind="stable")
+    rank_of_sorted = np.empty(len(unique), dtype=np.int64)
+    rank_of_sorted[order] = np.arange(len(unique), dtype=np.int64)
+    return unique[order], rank_of_sorted[inverse]
+
+
+def derive_pattern_table_vectorized(
+    pairs: PairCollection,
+    conceptualizer: Conceptualizer,
+    top_k_concepts: int = 5,
+    hierarchy_discount: float = 0.0,
+) -> PatternTable:
+    """Vectorized :func:`repro.core.concept_patterns.derive_pattern_table`."""
+    triples = list(pairs.items())
+    if not triples:
+        return PatternTable()
+
+    phrase_ids = Interner()
+    modifiers = np.empty(len(triples), dtype=np.int64)
+    heads = np.empty(len(triples), dtype=np.int64)
+    support = np.empty(len(triples), dtype=np.float64)
+    for index, (modifier, head, pair_support) in enumerate(triples):
+        modifiers[index] = phrase_ids.intern(modifier)
+        heads[index] = phrase_ids.intern(head)
+        support[index] = pair_support
+
+    phrases = list(phrase_ids)
+    readings = conceptualizer.conceptualize_many(phrases, top_k_concepts)
+    if hierarchy_discount > 0:
+        readings = [
+            conceptualizer.expand_with_ancestors(r, hierarchy_discount) if r else r
+            for r in readings
+        ]
+    arrays = _ReadingArrays(phrases, readings)
+
+    # The reference walks, per pair, modifier readings outer and head
+    # readings inner. repeat + ragged arange reproduces that exact row
+    # stream: row r of pair p is (m_reading r // H_p, h_reading r % H_p).
+    m_counts = arrays.lengths[modifiers]
+    h_counts = arrays.lengths[heads]
+    rows_per_pair = m_counts * h_counts
+    pair_of_row = np.repeat(np.arange(len(triples), dtype=np.int64), rows_per_pair)
+    row_in_pair = _ragged_arange(rows_per_pair)
+    if len(pair_of_row) == 0:
+        return PatternTable()
+    h_count_of_row = h_counts[pair_of_row]
+    m_slot = arrays.starts[modifiers][pair_of_row] + row_in_pair // h_count_of_row
+    h_slot = arrays.starts[heads][pair_of_row] + row_in_pair % h_count_of_row
+    m_concept = arrays.ids[m_slot]
+    h_concept = arrays.ids[h_slot]
+    # Same association order as the reference: (support * m_prob) * h_prob.
+    weights = (support[pair_of_row] * arrays.probs[m_slot]) * arrays.probs[h_slot]
+
+    keep = (m_concept != h_concept) & (weights > 0)
+    stride = np.int64(len(arrays.interner))
+    keys = m_concept[keep] * stride + h_concept[keep]
+    weights = weights[keep]
+    if len(keys) == 0:
+        return PatternTable()
+
+    unique_keys, slot_of_row = _first_seen_order(keys)
+    sums = np.bincount(slot_of_row, weights=weights, minlength=len(unique_keys))
+    table_weights: dict[ConceptPattern, float] = {}
+    for key, weight in zip(unique_keys.tolist(), sums.tolist()):
+        pattern = ConceptPattern(
+            arrays.interner.string_of(key // int(stride)),
+            arrays.interner.string_of(key % int(stride)),
+        )
+        table_weights[pattern] = weight
+    return PatternTable(table_weights)
+
+
+def build_droppability_tables_vectorized(
+    evidence: list[DropEvidence],
+    conceptualizer: Conceptualizer,
+    min_concept_evidence: float = 3.0,
+    min_instance_evidence: float = 2.0,
+) -> DroppabilityTables:
+    """Vectorized :func:`repro.core.features.build_droppability_tables`
+    over a pre-collected evidence stream."""
+    if not evidence:
+        return DroppabilityTables()
+
+    segment_ids = Interner()
+    segments = np.fromiter(
+        (segment_ids.intern(e.segment) for e in evidence),
+        dtype=np.int64,
+        count=len(evidence),
+    )
+    frequency = np.asarray([e.frequency for e in evidence], dtype=np.float64)
+    similarity = np.asarray([e.similarity for e in evidence], dtype=np.float64)
+
+    # Instance level. bincount over segment ids (= first-seen order, the
+    # reference dict's insertion order) adds in stream order.
+    instance_sums = np.bincount(
+        segments, weights=frequency * similarity, minlength=len(segment_ids)
+    )
+    instance_mass = np.bincount(segments, weights=frequency, minlength=len(segment_ids))
+
+    # Concept level: conceptualize each distinct segment once, then expand
+    # the contribution stream back to evidence rows.
+    distinct_segments = list(segment_ids)
+    readings = conceptualizer.conceptualize_many(distinct_segments, top_k=3)
+    arrays = _ReadingArrays(distinct_segments, readings)
+    concepts_per_row = arrays.lengths[segments]
+    row_of_slot = np.repeat(np.arange(len(evidence), dtype=np.int64), concepts_per_row)
+    slot = arrays.starts[segments][row_of_slot] + _ragged_arange(concepts_per_row)
+    concept_of_slot = arrays.ids[slot]
+    # Reference order: weight = frequency * prob; sums += weight * similarity.
+    weight = frequency[row_of_slot] * arrays.probs[slot]
+    if len(concept_of_slot):
+        concept_sums = np.bincount(
+            concept_of_slot,
+            weights=weight * similarity[row_of_slot],
+            minlength=len(arrays.interner),
+        )
+        concept_mass = np.bincount(
+            concept_of_slot, weights=weight, minlength=len(arrays.interner)
+        )
+    else:
+        concept_sums = concept_mass = np.zeros(0, dtype=np.float64)
+
+    # Concept ids were interned per distinct segment in first-seen segment
+    # order, which equals first appearance in the evidence stream — so
+    # iterating ids ascending reproduces the reference dict order.
+    concept = {
+        arrays.interner.string_of(cid): float(concept_sums[cid] / concept_mass[cid])
+        for cid in range(len(arrays.interner))
+        if concept_mass[cid] >= min_concept_evidence
+    }
+    instance = {
+        segment_ids.string_of(sid): float(instance_sums[sid] / instance_mass[sid])
+        for sid in range(len(segment_ids))
+        if instance_mass[sid] >= min_instance_evidence
+    }
+    return DroppabilityTables(concept=concept, instance=instance)
+
+
+def training_rows_from_evidence(
+    evidence: list[DropEvidence],
+    drop_label_threshold: float = 0.5,
+) -> tuple[list[tuple[str, str]], list[int], list[float]]:
+    """The distant-supervision rows the evidence stream already encodes
+    (same triple as :func:`repro.core.pipeline.constraint_training_rows`)."""
+    rows = [(e.query, e.segment) for e in evidence]
+    labels = [int(e.similarity < drop_label_threshold) for e in evidence]
+    weights = [float(e.frequency) for e in evidence]
+    return rows, labels, weights

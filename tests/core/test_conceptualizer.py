@@ -200,3 +200,60 @@ class TestOnSeedTaxonomy:
         c = Conceptualizer(taxonomy)
         concepts = {concept for concept, _ in c.conceptualize("battery", top_k=5)}
         assert {"phone accessory", "auto part"} <= concepts
+
+
+class TestMemoization:
+    """The bounded conceptualization memo: same outputs, bounded size,
+    corruption-proof (callers get copies, never the cached tuples)."""
+
+    def test_cached_matches_uncached(self, taxonomy):
+        plain = Conceptualizer(taxonomy)
+        cached = Conceptualizer(taxonomy, cache_size=1000)
+        phrases = ["iphone 5s", "apple", "rome", "unknown zzz thing", ""]
+        for phrase in phrases:
+            for top_k in (1, 3, 5):
+                assert cached.conceptualize(phrase, top_k) == plain.conceptualize(
+                    phrase, top_k
+                )
+        # second pass serves from the memo and must not drift
+        for phrase in phrases:
+            assert cached.conceptualize(phrase, 3) == plain.conceptualize(phrase, 3)
+
+    def test_cache_is_bounded(self, taxonomy):
+        cached = Conceptualizer(taxonomy, cache_size=4)
+        for phrase in ["iphone", "apple", "rome", "case", "cover", "battery"]:
+            cached.conceptualize(phrase, top_k=3)
+        assert len(cached._cache) <= 4
+
+    def test_respects_detector_config_cache_size(self, taxonomy):
+        from repro.core.detector import DetectorConfig
+
+        config = DetectorConfig()
+        cached = Conceptualizer(taxonomy, cache_size=config.cache_size)
+        cached.conceptualize("iphone", top_k=3)
+        assert cached._cache.capacity == config.cache_size
+
+    def test_returned_lists_are_copies(self, taxonomy):
+        cached = Conceptualizer(taxonomy, cache_size=100)
+        first = cached.conceptualize("iphone 5s", top_k=3)
+        first.append(("corrupted", 1.0))
+        second = cached.conceptualize("iphone 5s", top_k=3)
+        assert ("corrupted", 1.0) not in second
+
+    def test_conceptualize_many_matches_individual(self, taxonomy):
+        plain = Conceptualizer(taxonomy)
+        phrases = ["iphone 5s", "apple", "iphone 5s", "zzz unknown", "rome"]
+        bulk = plain.conceptualize_many(phrases, top_k=4)
+        assert bulk == [plain.conceptualize(p, 4) for p in phrases]
+        # duplicates yield equal but independent lists
+        assert bulk[0] == bulk[2]
+        bulk[0].append(("corrupted", 1.0))
+        assert bulk[0] != bulk[2]
+
+    def test_conceptualize_many_with_cache(self, taxonomy):
+        cached = Conceptualizer(taxonomy, cache_size=100)
+        plain = Conceptualizer(taxonomy)
+        phrases = ["iphone 5s", "apple", "case"]
+        assert cached.conceptualize_many(phrases, top_k=3) == [
+            plain.conceptualize(p, 3) for p in phrases
+        ]

@@ -206,3 +206,54 @@ class TestShardEdgeCases:
         assert len(shards) == (min(num_shards, len(items)) or 1)
         sizes = [len(s) for s in shards]
         assert max(sizes) - min(sizes) <= 1
+
+
+class TestFinalizeGuards:
+    """Abandoned detectors must release their pools and temp snapshot at
+    garbage collection, not only via an explicit close()."""
+
+    def test_abandoned_detector_releases_snapshot_and_pools(self, model):
+        import gc
+        import os
+
+        detector = model.compile()
+        detector.detect_batch(["iphone 5s case", "hotels in rome"], workers=2)
+        path = detector.snapshot_path
+        assert path is not None and os.path.exists(path)
+        pools = detector._pools
+        pool = next(iter(pools.values()))
+        assert not pool.closed
+        del detector
+        gc.collect()
+        assert not os.path.exists(path)  # temp snapshot removed
+        assert pool.closed  # worker processes shut down
+        assert pools == {}
+
+    def test_close_fires_and_detaches_finalizers(self, model):
+        detector = model.compile()
+        detector.detect_batch(["iphone 5s case", "hotels in rome"], workers=2)
+        snapshot_finalizer = detector._snapshot_finalizer
+        pool_finalizer = detector._pool_finalizer
+        assert snapshot_finalizer.alive and pool_finalizer.alive
+        detector.close()
+        assert not snapshot_finalizer.alive and not pool_finalizer.alive
+        assert detector._snapshot_finalizer is None
+        assert detector._pool_finalizer is None
+        detector.close()  # idempotent
+
+    def test_pools_respawn_after_close(self, model, queries):
+        detector = model.compile()
+        with detector:
+            first = detector.detect_batch(queries[:4], workers=2)
+            detector.close()
+            # a fresh snapshot + pool come up transparently after close()
+            second = detector.detect_batch(queries[:4], workers=2)
+            assert first == second
+            assert detector._pool_finalizer is not None
+
+    def test_pickled_copy_carries_no_finalizers(self, compiled, queries):
+        compiled.detect_batch(queries[:4], workers=2)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone._pool_finalizer is None
+        assert clone._snapshot_finalizer is None
+        compiled.close()

@@ -1,0 +1,131 @@
+"""Sharded mining determinism and failure surfacing.
+
+The contract is stronger than "same pairs": for any worker/shard count
+the merged collection must replay the sequential reference's exact
+``add`` order, so supports are bit-identical floats and insertion order
+matches. Process tests cover the real executor path; hypothesis covers
+the shard/merge algebra over arbitrary synthetic logs without paying a
+pool spawn per example.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LogConfig, generate_log
+from repro.errors import ShardError
+from repro.mining.pairs import MiningConfig, PairCollection, mine_pairs
+from repro.querylog.models import QueryLog
+from repro.training.parallel import (
+    default_miners,
+    merge_shard_batches,
+    mine_pairs_sharded,
+    mine_shard,
+    shard_of,
+)
+
+
+@pytest.fixture(scope="module")
+def small_log(taxonomy):
+    return generate_log(taxonomy, LogConfig(seed=21, num_intents=400))
+
+
+@pytest.fixture(scope="module")
+def reference_pairs(small_log):
+    return mine_pairs(small_log, MiningConfig())
+
+
+def _assert_identical(actual: PairCollection, expected: PairCollection) -> None:
+    assert actual.support_map() == expected.support_map()
+    # dict equality ignores order; insertion order must match too (the
+    # reference's downstream derivation is order-sensitive).
+    assert list(actual.support_map()) == list(expected.support_map())
+    for modifier, head, _ in expected.items():
+        assert actual.sources(modifier, head) == expected.sources(modifier, head)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_worker_processes_match_reference(small_log, reference_pairs, workers):
+    sharded = mine_pairs_sharded(small_log, MiningConfig(), workers=workers)
+    _assert_identical(sharded, reference_pairs)
+
+
+class _PoisonedMiner:
+    """Raises on every record: whichever shard runs first fails."""
+
+    def mine_record(self, log, record):
+        raise ValueError("poisoned shard")
+
+    def mine(self, log):  # pragma: no cover - interface completeness
+        for record in log.records():
+            yield from self.mine_record(log, record)
+
+
+def _poisoned_miners(config):
+    return (_PoisonedMiner(),)
+
+
+def test_poisoned_shard_surfaces_as_shard_error(small_log):
+    with pytest.raises(ShardError, match=r"mining worker failed on shard \d+/2"):
+        mine_pairs_sharded(
+            small_log, MiningConfig(), workers=2, miner_factory=_poisoned_miners
+        )
+
+
+def test_zero_workers_rejected(small_log):
+    with pytest.raises(ShardError, match="workers must be positive"):
+        mine_pairs_sharded(small_log, MiningConfig(), workers=0)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: shard/merge determinism over synthetic logs
+# ----------------------------------------------------------------------
+
+_TOKEN = st.sampled_from(
+    ["iphone", "5s", "galaxy", "case", "cover", "cheap", "rome",
+     "hotels", "for", "in", "red", "2013"]
+)
+_URL = st.sampled_from(
+    ["http://a.com/x", "http://a.com/y", "http://b.com/x", "http://c.com/z"]
+)
+_RECORD = st.tuples(
+    st.lists(_TOKEN, min_size=1, max_size=4).map(" ".join),
+    st.integers(min_value=1, max_value=6),
+    st.dictionaries(_URL, st.integers(min_value=1, max_value=5), max_size=3),
+)
+
+
+def _build_log(records) -> QueryLog:
+    log = QueryLog()
+    for query, frequency, clicks in records:
+        log.add_record(query, frequency, clicks)
+    return log
+
+
+@given(records=st.lists(_RECORD, min_size=1, max_size=25),
+       num_shards=st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_shard_merge_replays_reference_order(records, num_shards):
+    log = _build_log(records)
+    config = MiningConfig(min_query_frequency=1, min_pair_support=0.0)
+    miners = default_miners(config)
+    reference = PairCollection()
+    for miner in miners:
+        for pair in miner.mine(log):
+            reference.add(pair)
+    shard_results = [
+        mine_shard(log, miners, shard, num_shards) for shard in range(num_shards)
+    ]
+    merged = merge_shard_batches(shard_results)
+    _assert_identical(merged, reference)
+
+
+@given(query=st.lists(_TOKEN, min_size=1, max_size=6).map(" ".join),
+       num_shards=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_shard_of_is_stable_and_in_range(query, num_shards):
+    shard = shard_of(query, num_shards)
+    assert 0 <= shard < num_shards
+    assert shard == shard_of(query, num_shards)
