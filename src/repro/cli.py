@@ -8,6 +8,7 @@ Exposes the full offline pipeline and the runtime detector::
     repro detect --model model/ "popular iphone 5s smart cover"
     repro snapshot --model model/ --out model.hdms
     repro detect --snapshot model.hdms --workers 4 --input queries.txt
+    repro serve --snapshot model.hdms --port 8080
     repro evaluate --model model/ --log heldout.jsonl.gz
     repro patterns --model model/ --top 20
 
@@ -21,6 +22,7 @@ import json
 import sys
 from collections.abc import Sequence
 
+from repro import __version__
 from repro.core.model import load_model, save_model
 from repro.core.pipeline import TrainingConfig, train_model
 from repro.errors import ReproError
@@ -53,6 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Head, modifier, and constraint detection in short texts "
         "(ICDE 2014 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(required=True)
 
@@ -139,7 +144,60 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--explain", action="store_true", help="print the full decision trace"
     )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="with --snapshot: print runtime cache hit/miss counters "
+        "to stderr after the detections",
+    )
     p.set_defaults(handler=_cmd_detect)
+
+    p = sub.add_parser(
+        "serve", help="serve detection over HTTP (micro-batched, cached)"
+    )
+    p.add_argument("--model", help="model bundle directory")
+    p.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        help="serve from a compiled snapshot (workers mmap it read-only)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --snapshot: run micro-batches on an N-process "
+        "snapshot-backed pool instead of in-process",
+    )
+    p.add_argument("--spell", action="store_true", help="enable typo correction")
+    p.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="flush a micro-batch at this many queries (default 32)",
+    )
+    p.add_argument(
+        "--max-wait-us",
+        type=int,
+        default=500,
+        help="max microseconds a query waits for batch-mates (default 500)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission limit: distinct in-flight queries before 503 "
+        "(default 1024)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=50_000,
+        help="normalized-query result cache entries; 0 disables (default 50000)",
+    )
+    p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser("evaluate", help="evaluate a model on a labelled log")
     p.add_argument("--model", required=True)
@@ -272,6 +330,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if args.workers > 1 and args.explain:
         print("error: --explain is single-process; drop --workers", file=sys.stderr)
         return 2
+    if args.stats and not args.snapshot:
+        print(
+            "error: --stats reads the compiled runtime caches; use --snapshot",
+            file=sys.stderr,
+        )
+        return 2
     if args.snapshot:
         from repro.runtime import read_snapshot_header
         from repro.runtime.compiled import CompiledDetector
@@ -319,6 +383,91 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             )
         else:
             print(f"{query}\n  {detection.explain()}")
+    if args.stats:
+        print("runtime cache stats:", file=sys.stderr)
+        for name, stats in detector.cache_stats().items():
+            print(
+                f"  {name}: size={stats['size']}/{stats['capacity']} "
+                f"hits={stats['hits']} misses={stats['misses']} "
+                f"hit_rate={stats['hit_rate']:.2f}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+class _PoolBackedDetector:
+    """Route a service's micro-batches through the snapshot worker pool.
+
+    ``DetectionService`` only calls ``detect_batch``/``detect``; this
+    adapter pins the pool fan-out (`workers`) chosen on the command line
+    while single-query fallbacks stay in-process.
+    """
+
+    def __init__(self, detector, workers: int) -> None:
+        self._detector = detector
+        self._workers = workers
+
+    def detect(self, text):
+        return self._detector.detect(text)
+
+    def detect_batch(self, texts):
+        return self._detector.detect_batch(texts, workers=self._workers)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import DetectionService, ServingConfig, run_server
+
+    if bool(args.model) == bool(args.snapshot):
+        print(
+            "error: serve needs exactly one of --model or --snapshot",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers > 1 and not args.snapshot:
+        print("error: --workers needs --snapshot", file=sys.stderr)
+        return 2
+    if args.snapshot:
+        from repro.runtime import read_snapshot_header
+        from repro.runtime.compiled import CompiledDetector
+
+        if args.spell and not read_snapshot_header(args.snapshot)["has_speller"]:
+            print(
+                "error: snapshot was saved without a speller; rebuild it with "
+                "`repro snapshot --spell`",
+                file=sys.stderr,
+            )
+            return 2
+        detector = CompiledDetector.load_snapshot(args.snapshot)
+    else:
+        model = load_model(args.model)
+        detector = model.compile(correct_spelling=args.spell)
+    config = ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+    )
+    serving_detector = (
+        _PoolBackedDetector(detector, args.workers) if args.workers > 1 else detector
+    )
+
+    def _ready(port: int) -> None:
+        print(f"serving on http://{args.host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            run_server(
+                DetectionService(serving_detector, config),
+                host=args.host,
+                port=args.port,
+                ready=_ready,
+            )
+        )
+    finally:
+        detector.close()
+    print("server drained and stopped", flush=True)
     return 0
 
 

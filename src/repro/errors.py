@@ -40,3 +40,17 @@ class ShardError(ReproError):
 
     Carries the failing shard/chunk and a preview of its texts so batch
     failures are attributable without re-running the sweep."""
+
+
+class ServingError(ReproError):
+    """Raised by the online serving layer (:mod:`repro.serving`)."""
+
+
+class ServerOverloadedError(ServingError):
+    """Raised when admission control rejects a request: the serving
+    queue is at capacity. Deterministic backpressure — callers should
+    shed load or retry with backoff, never queue unboundedly."""
+
+
+class ServerClosedError(ServingError):
+    """Raised when a request arrives after the server began shutdown."""

@@ -794,6 +794,23 @@ class CompiledDetector(HeadModifierDetector):
         dist = normalize_distribution(rescored)
         return tuple(sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k])
 
+    def cache_stats(self) -> dict[str, dict]:
+        """Hit/miss counters of the runtime memoization caches.
+
+        One entry per LRU (``readings``, ``context``, ``affinity``,
+        ``modifier``) with ``size``/``capacity``/``hits``/``misses``/
+        ``hit_rate``. Phrases served from the precompiled taxonomy
+        tables never touch these caches, so low traffic here is the
+        healthy case — the counters matter when live vocabulary falls
+        outside the taxonomy (``repro detect --stats`` prints them).
+        """
+        return {
+            "readings": self._reading_cache.stats(),
+            "context": self._context_cache.stats(),
+            "affinity": self._affinity_cache.stats(),
+            "modifier": self._modifier_cache.stats(),
+        }
+
     # ------------------------------------------------------------------
     # snapshots & batch API
     # ------------------------------------------------------------------

@@ -1,0 +1,39 @@
+"""Online serving: the asyncio front-end over the compiled runtime.
+
+PRs 1–3 made one process fast (compiled runtime), many processes cheap
+(snapshot-backed pools), and training quick — but every path so far is
+*batch-shaped*: a caller shows up with a list. Real query/ads traffic is
+the opposite: many concurrent callers, one short text each, heavy
+repetition (Zipfian logs). This package turns the compiled detector into
+a server for that shape:
+
+- :class:`MicroBatcher` (:mod:`repro.serving.batcher`) — coalesces
+  concurrent single detections into ``detect_batch`` calls under a
+  max-batch-size / max-wait policy.
+- :class:`DetectionService` (:mod:`repro.serving.service`) — the
+  request path: normalized-key result cache (sharded LRU), single-flight
+  dedup of identical in-flight queries, bounded admission queue raising
+  :class:`~repro.errors.ServerOverloadedError`, graceful drain, and a
+  finalize guard for abandoned services.
+- :class:`DetectionHTTPServer` (:mod:`repro.serving.http`) — a small
+  stdlib-only asyncio HTTP server (``POST /detect``, ``GET /stats``,
+  ``GET /healthz``) behind ``repro serve``.
+
+Cached, deduped, and micro-batched responses are **bit-identical** to
+one-shot ``CompiledDetector.detect`` — enforced by
+``tests/serving/test_service.py`` on the held-out eval set and measured
+by the R10 benchmark (``benchmarks/bench_r10_serving.py``).
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.http import DetectionHTTPServer, detection_payload, run_server
+from repro.serving.service import DetectionService, ServingConfig
+
+__all__ = [
+    "DetectionHTTPServer",
+    "DetectionService",
+    "MicroBatcher",
+    "ServingConfig",
+    "detection_payload",
+    "run_server",
+]

@@ -1,0 +1,136 @@
+"""Dynamic micro-batching for concurrent single-item requests.
+
+``CompiledDetector.detect_batch`` amortizes per-call overhead (memo
+setup, cache locality) that per-request ``detect`` calls pay over and
+over; under concurrency the server should be calling it. The
+:class:`MicroBatcher` makes that happen without changing the caller
+contract: each request awaits its own item, the batcher coalesces
+whatever is pending into one runner call when either
+
+- the forming batch reaches ``max_batch_size`` (flush immediately), or
+- the *oldest* pending item has waited ``max_wait_us`` microseconds
+  (flush on timer),
+
+whichever comes first. A lone request therefore pays at most
+``max_wait_us`` of extra latency; a burst pays none (size-triggered
+flushes skip the timer).
+
+Results keep per-item attribution: the runner returns one outcome per
+item in order, and an outcome that is an :class:`Exception` instance is
+raised to *that* item's awaiter only — one poisoned request cannot fail
+its batch-mates. A runner that raises fails the whole batch (every
+awaiter sees that exception).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Runner contract: one outcome per item, in item order; an Exception
+#: outcome is delivered to that item's future via ``set_exception``.
+BatchRunner = Callable[[list[T]], Awaitable[list[R]]]
+
+
+class MicroBatcher(Generic[T, R]):
+    """Coalesce concurrent ``submit`` calls into batched runner calls.
+
+    Must be used from a single asyncio event loop (the loop is captured
+    on first submit). ``flush()`` forces the forming batch out early —
+    the drain path uses it — and ``join()`` waits for every dispatched
+    batch to finish.
+    """
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        max_batch_size: int = 32,
+        max_wait_us: int = 500,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        self._runner = runner
+        self._max_batch_size = max_batch_size
+        self._max_wait = max_wait_us / 1_000_000
+        self._pending: list[tuple[T, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    @property
+    def max_batch_size(self) -> int:
+        """Flush threshold: a forming batch never exceeds this size."""
+        return self._max_batch_size
+
+    @property
+    def pending(self) -> int:
+        """Items in the forming (not yet dispatched) batch."""
+        return len(self._pending)
+
+    def submit_nowait(self, item: T) -> asyncio.Future:
+        """Enqueue ``item`` and return the future of its outcome.
+
+        The future resolves when the batch containing the item runs;
+        awaiting it is how callers receive their result.
+        """
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((item, future))
+        if len(self._pending) >= self._max_batch_size:
+            self.flush()
+        elif self._timer is None:
+            # Timer for the batch's *first* item; later arrivals ride it.
+            self._timer = loop.call_later(self._max_wait, self.flush)
+        return future
+
+    async def submit(self, item: T) -> R:
+        """Enqueue ``item`` and await its outcome."""
+        return await asyncio.shield(self.submit_nowait(item))
+
+    def flush(self) -> None:
+        """Dispatch the forming batch now (no-op when empty)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        assert self._loop is not None  # submit_nowait set it
+        task = self._loop.create_task(self._run(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def join(self) -> None:
+        """Flush, then wait until every dispatched batch has finished."""
+        self.flush()
+        while self._tasks:
+            await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
+
+    async def _run(self, batch: list[tuple[T, asyncio.Future]]) -> None:
+        items = [item for item, _ in batch]
+        try:
+            outcomes = await self._runner(items)
+            if len(outcomes) != len(items):  # pragma: no cover - runner bug
+                raise RuntimeError(
+                    f"batch runner returned {len(outcomes)} outcomes "
+                    f"for {len(items)} items"
+                )
+        except Exception as exc:
+            for _, future in batch:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        for (_, future), outcome in zip(batch, outcomes):
+            if future.cancelled():
+                continue
+            if isinstance(outcome, Exception):
+                future.set_exception(outcome)
+            else:
+                future.set_result(outcome)

@@ -1,0 +1,208 @@
+"""A small stdlib-only asyncio HTTP front door for the serving layer.
+
+``repro serve`` binds :class:`DetectionHTTPServer` over a
+:class:`~repro.serving.service.DetectionService`. The protocol surface
+is deliberately tiny (HTTP/1.1, ``Connection: close``, JSON in/out):
+
+- ``POST /detect`` with body ``{"query": "cheap hotels in rome"}`` →
+  ``200`` and the same JSON shape as ``repro detect --json``.
+- ``GET /stats`` → serving counters (cache hit rate, batch histogram…).
+- ``GET /healthz`` → ``{"status": "ok"}`` once accepting traffic.
+
+Admission-control rejections map to ``503`` with a ``Retry-After``
+header (deterministic backpressure all the way to the wire), malformed
+requests to ``400``, unknown routes to ``404``. Shutdown is graceful:
+:meth:`DetectionHTTPServer.stop` stops accepting connections, drains the
+service (in-flight detections complete), then returns; ``run_server``
+wires that to SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+
+from repro.core.detector import Detection
+from repro.errors import ServerClosedError, ServerOverloadedError
+from repro.serving.service import DetectionService
+
+#: Largest accepted request body; detection inputs are short texts.
+MAX_BODY_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def detection_payload(detection: Detection) -> dict:
+    """The wire shape of a detection (matches ``repro detect --json``)."""
+    return {
+        "query": detection.query,
+        "head": detection.head,
+        "modifiers": list(detection.modifiers),
+        "constraints": list(detection.constraints),
+        "method": detection.method,
+        "score": detection.score,
+    }
+
+
+class DetectionHTTPServer:
+    """Serve a :class:`DetectionService` over HTTP (see module docstring).
+
+    >>> server = DetectionHTTPServer(service, port=0)     # doctest: +SKIP
+    >>> await server.start()       # server.port is the bound port
+    >>> await server.stop()        # drains in-flight requests
+    """
+
+    def __init__(
+        self,
+        service: DetectionService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def service(self) -> DetectionService:
+        """The detection service behind this server."""
+        return self._service
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is not None:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until the server is stopped."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain the service."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await self._service.close()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as exc:  # never leak a traceback to the socket
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        if status == 503:
+            headers.append("Retry-After: 1")
+        writer.write("\r\n".join(headers).encode("ascii") + b"\r\n\r\n" + body)
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        try:
+            request_line = await reader.readline()
+            method, target, *_ = request_line.decode("ascii", "replace").split()
+        except ValueError:
+            return 400, {"error": "malformed request line"}
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
+        if content_length > MAX_BODY_BYTES:
+            return 400, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        if target == "/healthz" and method == "GET":
+            return 200, {"status": "closed" if self._service.closed else "ok"}
+        if target == "/stats" and method == "GET":
+            return 200, self._service.stats()
+        if target == "/detect":
+            if method != "POST":
+                return 405, {"error": "use POST /detect"}
+            try:
+                request = json.loads(body.decode("utf-8"))
+                query = request["query"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError):
+                return 400, {"error": 'body must be JSON: {"query": "..."}'}
+            if not isinstance(query, str):
+                return 400, {"error": "query must be a string"}
+            try:
+                detection = await self._service.detect(query)
+            except ServerOverloadedError as exc:
+                return 503, {"error": str(exc)}
+            except ServerClosedError as exc:
+                return 503, {"error": str(exc)}
+            return 200, detection_payload(detection)
+        return 404, {"error": f"no route {method} {target}"}
+
+
+async def run_server(
+    service: DetectionService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    ready=None,
+) -> None:
+    """Run a server until SIGINT/SIGTERM, then drain and return.
+
+    ``ready`` (optional) is called with the bound port once the server
+    accepts traffic — the CLI uses it to print the URL, tests to learn
+    an ephemeral port.
+    """
+    server = DetectionHTTPServer(service, host, port)
+    await server.start()
+    if ready is not None:
+        ready(server.port)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or platform without signal support
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass

@@ -1,0 +1,277 @@
+"""The online request path: cache → single-flight → micro-batch → detect.
+
+:class:`DetectionService` wraps a detector (compiled, reference, or
+snapshot-loaded) behind one ``await service.detect(text)`` coroutine.
+Per request, in order:
+
+1. **Normalize** the text with the same fast normalizer the compiled
+   detector applies first (``_normalize_fast``; pinned bit-identical to
+   the reference :func:`repro.text.normalizer.normalize` by a hypothesis
+   test). A detection is a pure function of the normalized text, so the
+   normal form is the cache and dedup key.
+2. **Result cache** — a :class:`~repro.utils.lru.ShardedLruCache` keyed
+   by the normal form. Real query logs are Zipfian; the hot head of the
+   distribution is answered here without touching the detector.
+3. **Single-flight dedup** — identical queries already being detected
+   are *joined*, not re-enqueued: every concurrent waiter shares one
+   in-flight future, so a thundering herd of the same query costs one
+   detection.
+4. **Admission control** — at most ``max_pending`` distinct queries may
+   be in flight; past that, :class:`~repro.errors.ServerOverloadedError`
+   is raised immediately (deterministic backpressure, never an unbounded
+   queue).
+5. **Micro-batching** — admitted queries coalesce into
+   ``detector.detect_batch`` calls (:class:`~repro.serving.batcher.MicroBatcher`)
+   executed on a single worker thread, keeping the event loop free to
+   accept requests while a batch runs.
+
+Every path returns the *same* ``Detection`` object one-shot
+``detector.detect(text)`` would — bit-identical, enforced by
+``tests/serving/test_service.py`` over the held-out eval set.
+
+Shutdown mirrors the runtime pools: ``await close()`` stops admission
+(:class:`~repro.errors.ServerClosedError` for late arrivals), flushes
+and drains in-flight batches, then releases the worker thread. An
+abandoned service is finalize-guarded (``weakref.finalize``) so garbage
+collection also releases the thread — the PR 3 pattern.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import weakref
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.detector import Detection
+from repro.errors import ServerClosedError, ServerOverloadedError, ServingError
+from repro.runtime.compiled import _normalize_fast
+from repro.serving.batcher import MicroBatcher
+from repro.utils.lru import ShardedLruCache
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Serving-layer policy knobs.
+
+    - ``max_batch_size`` / ``max_wait_us``: micro-batching policy — a
+      burst flushes at ``max_batch_size``; a lone request waits at most
+      ``max_wait_us`` microseconds for batch-mates.
+    - ``max_pending``: distinct in-flight queries admitted before
+      :class:`~repro.errors.ServerOverloadedError`.
+    - ``cache_size`` / ``cache_shards``: the normalized-query result
+      cache (``cache_size=0`` disables it).
+    """
+
+    max_batch_size: int = 32
+    max_wait_us: int = 500
+    max_pending: int = 1024
+    cache_size: int = 50_000
+    cache_shards: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ServingError(
+                f"max_pending must be positive, got {self.max_pending}"
+            )
+        if self.cache_size < 0:
+            raise ServingError(f"cache_size must be >= 0, got {self.cache_size}")
+
+
+class DetectionService:
+    """Concurrent front-end over a detector (see module docstring).
+
+    >>> service = DetectionService(model.compile())        # doctest: +SKIP
+    >>> detection = await service.detect("cheap hotels in rome")
+    >>> await service.close()
+    """
+
+    def __init__(
+        self,
+        detector,
+        config: ServingConfig | None = None,
+    ) -> None:
+        self._detector = detector
+        self._config = config or ServingConfig()
+        self._batcher: MicroBatcher[str, Detection] = MicroBatcher(
+            self._run_batch,
+            max_batch_size=self._config.max_batch_size,
+            max_wait_us=self._config.max_wait_us,
+        )
+        self._cache: ShardedLruCache[str, Detection] | None = None
+        if self._config.cache_size > 0:
+            self._cache = ShardedLruCache(
+                max(self._config.cache_size, self._config.cache_shards),
+                self._config.cache_shards,
+            )
+        self._inflight: dict[str, asyncio.Future] = {}
+        # One worker thread: batches run off the event loop (the loop
+        # keeps accepting requests), but detection stays single-threaded
+        # so the detector's LRU memoization needs no locking.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="hdm-serving"
+        )
+        # GC guard, PR 3 pattern: the callback captures the executor,
+        # never the service, so it cannot keep self alive; close()
+        # detaches it after the explicit shutdown.
+        self._finalizer = weakref.finalize(
+            self, _shutdown_executor, self._executor
+        )
+        self._closed = False
+        self._requests = 0
+        self._coalesced = 0
+        self._rejected = 0
+        self._detected = 0
+        self._batch_sizes: Counter[int] = Counter()
+
+    @property
+    def config(self) -> ServingConfig:
+        """The policy this service was built with."""
+        return self._config
+
+    @property
+    def closed(self) -> bool:
+        """True once shutdown has begun (services don't reopen)."""
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        """Distinct queries currently in flight (admission counter)."""
+        return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    async def detect(self, text: str) -> Detection:
+        """Detect ``text``, bit-identical to ``detector.detect(text)``.
+
+        Raises :class:`~repro.errors.ServerOverloadedError` when the
+        admission queue is full and :class:`~repro.errors.ServerClosedError`
+        after shutdown has begun.
+        """
+        if self._closed:
+            raise ServerClosedError("detection service is closed")
+        self._requests += 1
+        key = _normalize_fast(text)
+        if self._cache is not None:
+            cached = self._cache.get(key, _MISS)
+            if cached is not _MISS:
+                return cached
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self._coalesced += 1
+            # shield: one cancelled waiter must not cancel the shared
+            # detection every other waiter is parked on.
+            return await asyncio.shield(inflight)
+        if len(self._inflight) >= self._config.max_pending:
+            self._rejected += 1
+            raise ServerOverloadedError(
+                f"serving queue is full ({self._config.max_pending} queries "
+                "in flight); shed load or retry with backoff"
+            )
+        future = self._batcher.submit_nowait(key)
+        self._inflight[key] = future
+        future.add_done_callback(self._make_inflight_reaper(key, future))
+        return await asyncio.shield(future)
+
+    async def detect_many(self, texts) -> list[Detection]:
+        """Detect ``texts`` concurrently through the request path,
+        preserving input order (a convenience for clients and tests)."""
+        return list(await asyncio.gather(*(self.detect(text) for text in texts)))
+
+    def _make_inflight_reaper(self, key: str, future: asyncio.Future):
+        def _reap(_done: asyncio.Future) -> None:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+
+        return _reap
+
+    async def _run_batch(self, keys: list[str]) -> list:
+        """Batch runner: detect on the worker thread, fill the cache.
+
+        Outcomes are per-key: a failing batch is retried key-by-key so
+        only the offending request errors (the MicroBatcher delivers an
+        Exception outcome to exactly that waiter).
+        """
+        loop = asyncio.get_running_loop()
+        outcomes = await loop.run_in_executor(
+            self._executor, _detect_batch_attributed, self._detector, keys
+        )
+        self._batch_sizes[len(keys)] += 1
+        self._detected += len(keys)
+        if self._cache is not None:
+            for key, outcome in zip(keys, outcomes):
+                if not isinstance(outcome, Exception):
+                    self._cache.put(key, outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # lifecycle & stats
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Drain and shut down: stop admission, flush the forming batch,
+        wait for every in-flight detection, release the worker thread.
+        Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._batcher.join()
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer()  # shuts the executor down exactly once
+
+    async def __aenter__(self) -> "DetectionService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def stats(self) -> dict:
+        """Serving counters as one JSON-friendly dict.
+
+        ``requests`` counts every accepted ``detect`` call; of those,
+        ``cache.hits`` were answered from the result cache, ``coalesced``
+        joined an identical in-flight query, ``detected`` ran through the
+        detector, and ``rejected`` hit admission control. ``batch_sizes``
+        is the dispatch histogram (size → batches).
+        """
+        return {
+            "requests": self._requests,
+            "detected": self._detected,
+            "coalesced": self._coalesced,
+            "rejected": self._rejected,
+            "pending": len(self._inflight),
+            "closed": self._closed,
+            "cache": self._cache.stats() if self._cache is not None else None,
+            "batches": sum(self._batch_sizes.values()),
+            "batch_sizes": {
+                str(size): count
+                for size, count in sorted(self._batch_sizes.items())
+            },
+        }
+
+
+def _detect_batch_attributed(detector, keys: list[str]) -> list:
+    """Detect ``keys`` (worker thread), attributing failures per key.
+
+    The fast path is one ``detect_batch`` call; if it raises, each key is
+    retried alone so the poisoned one carries its exception and the rest
+    still return detections.
+    """
+    try:
+        return list(detector.detect_batch(keys))
+    except Exception:
+        outcomes: list = []
+        for key in keys:
+            try:
+                outcomes.append(detector.detect(key))
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
+
+def _shutdown_executor(executor: ThreadPoolExecutor) -> None:
+    executor.shutdown(wait=True, cancel_futures=True)

@@ -1,4 +1,4 @@
-"""A small bounded LRU map.
+"""A small bounded LRU map, and its sharded variant.
 
 Long-running detector processes memoize pure per-phrase computations
 (concept readings, pair affinities). An unbounded dict grows with the
@@ -10,11 +10,33 @@ is exceeded.
 Python dicts preserve insertion order, so recency is maintained by
 re-inserting touched keys; eviction pops the oldest (first) key. All
 operations are O(1).
+
+:class:`ShardedLruCache` spreads one logical cache over N independent
+``LruCache`` shards selected by :func:`shard_of` (crc32 of the key, the
+same deterministic sharding the training pipeline uses for query logs).
+Eviction pressure stays local to a shard, and the layout matches how a
+sharded serving tier would partition a distributed cache — the stats it
+reports are per-key-space, not per-process.
 """
 
 from __future__ import annotations
 
 from typing import Generic, Hashable, Iterator, TypeVar
+from zlib import crc32
+
+
+def shard_of(key: Hashable, num_shards: int) -> int:
+    """Deterministic shard index for ``key`` (stable across processes).
+
+    Strings hash via crc32 of their UTF-8 bytes — the same scheme
+    :mod:`repro.training.parallel` uses to shard query logs — so a key
+    always lands on the same shard regardless of ``PYTHONHASHSEED``.
+    Non-string keys fall back to ``hash`` (process-stable, which is all
+    an in-process cache needs).
+    """
+    if isinstance(key, str):
+        return crc32(key.encode("utf-8")) % num_shards
+    return hash(key) % num_shards
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -80,6 +102,17 @@ class LruCache(Generic[K, V]):
         """Drop all entries (hit/miss counters are kept)."""
         self._data.clear()
 
+    def stats(self) -> dict:
+        """Counters as one JSON-friendly dict (hit_rate over all gets)."""
+        lookups = self._hits + self._misses
+        return {
+            "size": len(self._data),
+            "capacity": self._capacity,
+            "hits": self._hits,
+            "misses": self._misses,
+            "hit_rate": self._hits / lookups if lookups else 0.0,
+        }
+
     def __contains__(self, key: K) -> bool:
         return key in self._data
 
@@ -88,3 +121,85 @@ class LruCache(Generic[K, V]):
 
     def __iter__(self) -> Iterator[K]:
         return iter(self._data)
+
+
+class ShardedLruCache(Generic[K, V]):
+    """One logical LRU cache spread over ``num_shards`` independent shards.
+
+    The total ``capacity`` is split evenly (any remainder goes to the
+    first shards), and each key is pinned to one shard by
+    :func:`shard_of`. The interface mirrors :class:`LruCache`; hit/miss
+    counters aggregate across shards.
+
+    >>> cache = ShardedLruCache(capacity=8, num_shards=4)
+    >>> cache.put("a", 1)
+    >>> cache.get("a")
+    1
+    """
+
+    __slots__ = ("_shards",)
+
+    def __init__(self, capacity: int, num_shards: int = 8) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if capacity < num_shards:
+            raise ValueError(
+                f"capacity ({capacity}) must be >= num_shards ({num_shards})"
+            )
+        base, extra = divmod(capacity, num_shards)
+        self._shards: list[LruCache[K, V]] = [
+            LruCache(base + (1 if index < extra else 0))
+            for index in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of independent shards."""
+        return len(self._shards)
+
+    @property
+    def capacity(self) -> int:
+        """Total entries held across all shards."""
+        return sum(shard.capacity for shard in self._shards)
+
+    @property
+    def hits(self) -> int:
+        """Aggregate hit count across shards."""
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        """Aggregate miss count across shards."""
+        return sum(shard.misses for shard in self._shards)
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value (refreshing recency) or ``default``."""
+        return self._shards[shard_of(key, len(self._shards))].get(key, default)
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or refresh) ``key`` on its shard, evicting that
+        shard's LRU entry when the shard is full."""
+        self._shards[shard_of(key, len(self._shards))].put(key, value)
+
+    def clear(self) -> None:
+        """Drop all entries (hit/miss counters are kept)."""
+        for shard in self._shards:
+            shard.clear()
+
+    def stats(self) -> dict:
+        """Aggregate counters plus per-shard sizes."""
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "shard_sizes": [len(shard) for shard in self._shards],
+        }
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._shards[shard_of(key, len(self._shards))]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)

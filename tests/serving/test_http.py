@@ -1,0 +1,139 @@
+"""HTTP front door: routes, error mapping, and graceful shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServerOverloadedError
+from repro.serving import (
+    DetectionHTTPServer,
+    DetectionService,
+    ServingConfig,
+    detection_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def compiled(model):
+    return model.compile()
+
+
+def _request(port: int, path: str, body: bytes | None = None):
+    """One HTTP exchange; returns (status, parsed JSON body)."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body,
+        method="POST" if body is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+async def _exchange(port: int, path: str, body: bytes | None = None):
+    return await asyncio.to_thread(_request, port, path, body)
+
+
+def serve(handler):
+    """Run ``handler(server, port)`` against a live server, then stop it."""
+
+    async def main(compiled, config=None):
+        service = DetectionService(compiled, config or ServingConfig())
+        server = DetectionHTTPServer(service, port=0)
+        await server.start()
+        try:
+            return await handler(server, server.port)
+        finally:
+            await server.stop()
+
+    return main
+
+
+class TestRoutes:
+    def test_detect_matches_one_shot(self, compiled):
+        query = "cheap hotels in rome"
+
+        async def handler(server, port):
+            body = json.dumps({"query": query}).encode()
+            return await _exchange(port, "/detect", body)
+
+        status, payload = asyncio.run(serve(handler)(compiled))
+        assert status == 200
+        assert payload == detection_payload(compiled.detect(query))
+        assert payload["head"] == "hotels"
+
+    def test_healthz_and_stats(self, compiled):
+        async def handler(server, port):
+            health = await _exchange(port, "/healthz")
+            body = json.dumps({"query": "iphone 5s case"}).encode()
+            await _exchange(port, "/detect", body)
+            stats = await _exchange(port, "/stats")
+            return health, stats
+
+        health, stats = asyncio.run(serve(handler)(compiled))
+        assert health == (200, {"status": "ok"})
+        status, payload = stats
+        assert status == 200
+        assert payload["requests"] == 1
+        assert payload["batches"] == 1
+
+    def test_error_mapping(self, compiled):
+        async def handler(server, port):
+            return {
+                "bad_json": await _exchange(port, "/detect", b"nonsense"),
+                "bad_type": await _exchange(
+                    port, "/detect", json.dumps({"query": 7}).encode()
+                ),
+                "missing_key": await _exchange(
+                    port, "/detect", json.dumps({"q": "x"}).encode()
+                ),
+                "wrong_method": await _exchange(port, "/detect"),
+                "unknown_route": await _exchange(port, "/nope"),
+            }
+
+        outcomes = asyncio.run(serve(handler)(compiled))
+        assert outcomes["bad_json"][0] == 400
+        assert outcomes["bad_type"][0] == 400
+        assert outcomes["missing_key"][0] == 400
+        assert outcomes["wrong_method"][0] == 405
+        assert outcomes["unknown_route"][0] == 404
+
+    def test_overload_maps_to_503(self, compiled):
+        async def handler(server, port):
+            async def overloaded(text):
+                raise ServerOverloadedError("serving queue is full (test)")
+
+            server.service.detect = overloaded
+            return await _exchange(
+                port, "/detect", json.dumps({"query": "q"}).encode()
+            )
+
+        status, payload = asyncio.run(serve(handler)(compiled))
+        assert status == 503
+        assert "full" in payload["error"]
+
+
+class TestShutdown:
+    def test_stop_drains_service(self, compiled):
+        async def main():
+            service = DetectionService(compiled)
+            server = DetectionHTTPServer(service, port=0)
+            await server.start()
+            port = server.port
+            body = json.dumps({"query": "cheap hotels in rome"}).encode()
+            status, _ = await _exchange(port, "/detect", body)
+            assert status == 200
+            await server.stop()
+            assert service.closed
+            # The socket is gone: new connections are refused.
+            with pytest.raises(urllib.error.URLError):
+                await _exchange(port, "/healthz")
+
+        asyncio.run(main())

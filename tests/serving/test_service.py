@@ -1,0 +1,341 @@
+"""Serving-layer contract: every response the micro-batched, cached,
+single-flighted path produces must be bit-identical to one-shot
+``CompiledDetector.detect``, and the control machinery (admission,
+drain, finalize guard) must behave deterministically."""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import threading
+
+import pytest
+
+from repro.errors import ServerClosedError, ServerOverloadedError, ServingError
+from repro.serving import DetectionService, MicroBatcher, ServingConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class StubDetector:
+    """Records batch composition; fails on poisoned texts."""
+
+    def __init__(self, poison: set[str] | None = None, barrier=None):
+        self.poison = poison or set()
+        self.batches: list[list[str]] = []
+        self.barrier = barrier  # threading.Event the worker blocks on
+
+    def detect(self, text: str) -> str:
+        if text in self.poison:
+            raise ValueError(f"poisoned text: {text!r}")
+        return f"detection[{text}]"
+
+    def detect_batch(self, texts):
+        if self.barrier is not None:
+            self.barrier.wait(timeout=10)
+        self.batches.append(list(texts))
+        return [self.detect(text) for text in texts]
+
+
+@pytest.fixture(scope="module")
+def compiled(model):
+    return model.compile()
+
+
+class TestServingParity:
+    def test_eval_set_bit_identical(self, compiled, eval_examples):
+        """Cached, deduped, and micro-batched responses over the full
+        held-out eval set — with heavy repetition — equal one-shot
+        ``detect`` exactly (Detection dataclass equality, floats and
+        all)."""
+        queries = [example.query for example in eval_examples]
+        # Repeats exercise all three fast paths: same-batch dedup
+        # (single-flight), cross-batch repeats (result cache), and
+        # fresh queries (micro-batched detection).
+        traffic = queries + queries[::2] + queries[:50] + queries[::-3]
+        config = ServingConfig(max_batch_size=16, max_wait_us=200)
+
+        async def serve_all():
+            async with DetectionService(compiled, config) as service:
+                results = await service.detect_many(traffic)
+                return results, service.stats()
+
+        results, stats = run(serve_all())
+        expected = {query: compiled.detect(query) for query in set(traffic)}
+        mismatches = [
+            query
+            for query, result in zip(traffic, results)
+            if result != expected[query]
+        ]
+        assert mismatches == []
+        assert stats["requests"] == len(traffic)
+        # Every request was answered by exactly one of the three paths.
+        cache_hits = stats["cache"]["hits"]
+        assert (
+            stats["detected"] + stats["coalesced"] + cache_hits == len(traffic)
+        )
+        # Single-flight + cache: no query is ever detected twice.
+        assert stats["detected"] <= len(set(traffic))
+        assert stats["batches"] >= 1
+        assert all(
+            int(size) <= config.max_batch_size for size in stats["batch_sizes"]
+        )
+
+    def test_cache_hit_returns_identical_detection(self, compiled):
+        query = "cheap hotels in rome"
+
+        async def serve():
+            async with DetectionService(compiled) as service:
+                first = await service.detect(query)
+                second = await service.detect(query)  # sequential: cache hit
+                return first, second, service.stats()
+
+        first, second, stats = run(serve())
+        assert first is second  # the cached object itself
+        assert first == compiled.detect(query)
+        assert stats["cache"]["hits"] == 1
+
+    def test_normalized_variants_share_cache_entry(self, compiled):
+        """Cache keys are the fast-normalized text, so formatting
+        variants of one query cost one detection."""
+
+        async def serve():
+            async with DetectionService(compiled) as service:
+                a = await service.detect("cheap hotels in rome")
+                b = await service.detect("  Cheap   Hotels in ROME ")
+                return a, b, service.stats()
+
+        a, b, stats = run(serve())
+        assert a is b
+        assert stats["detected"] == 1
+        assert a == compiled.detect("  Cheap   Hotels in ROME ")
+
+
+class TestSingleFlight:
+    def test_identical_inflight_queries_detect_once(self):
+        stub = StubDetector()
+        config = ServingConfig(max_batch_size=64, max_wait_us=1_000, cache_size=0)
+
+        async def serve():
+            async with DetectionService(stub, config) as service:
+                results = await service.detect_many(["same query"] * 25)
+                return results, service.stats()
+
+        results, stats = run(serve())
+        assert results == ["detection[same query]"] * 25
+        assert stub.batches == [["same query"]]  # one detection total
+        assert stats["coalesced"] == 24
+        assert stats["detected"] == 1
+
+    def test_batches_contain_only_unique_keys(self):
+        stub = StubDetector()
+        config = ServingConfig(max_batch_size=8, max_wait_us=1_000, cache_size=0)
+        traffic = ["a", "b", "a", "c", "b", "a", "d"]
+
+        async def serve():
+            async with DetectionService(stub, config) as service:
+                return await service.detect_many(traffic)
+
+        results = run(serve())
+        assert results == [f"detection[{text}]" for text in traffic]
+        for batch in stub.batches:
+            assert len(batch) == len(set(batch))
+
+
+class TestMicroBatching:
+    def test_burst_coalesces_and_respects_max_batch_size(self):
+        stub = StubDetector()
+        config = ServingConfig(max_batch_size=4, max_wait_us=5_000, cache_size=0)
+        queries = [f"query {index}" for index in range(10)]
+
+        async def serve():
+            async with DetectionService(stub, config) as service:
+                return await service.detect_many(queries)
+
+        results = run(serve())
+        assert results == [f"detection[{text}]" for text in queries]
+        assert all(len(batch) <= 4 for batch in stub.batches)
+        assert max(len(batch) for batch in stub.batches) == 4  # real batching
+        assert sorted(sum(stub.batches, [])) == sorted(queries)
+
+    def test_lone_request_flushes_on_timer(self):
+        stub = StubDetector()
+        config = ServingConfig(max_batch_size=64, max_wait_us=100, cache_size=0)
+
+        async def serve():
+            async with DetectionService(stub, config) as service:
+                return await service.detect("lonely")
+
+        assert run(serve()) == "detection[lonely]"
+        assert stub.batches == [["lonely"]]
+
+    def test_per_request_errors_spare_batch_mates(self):
+        stub = StubDetector(poison={"bad"})
+        config = ServingConfig(max_batch_size=8, max_wait_us=2_000, cache_size=0)
+
+        async def serve():
+            async with DetectionService(stub, config) as service:
+                outcomes = await asyncio.gather(
+                    service.detect("good one"),
+                    service.detect("bad"),
+                    service.detect("good two"),
+                    return_exceptions=True,
+                )
+                return outcomes
+
+        good_one, bad, good_two = run(serve())
+        assert good_one == "detection[good one]"
+        assert good_two == "detection[good two]"
+        assert isinstance(bad, ValueError)
+        assert "poisoned" in str(bad)
+
+    def test_poisoned_result_is_not_cached(self):
+        stub = StubDetector(poison={"bad"})
+        config = ServingConfig(max_batch_size=4, max_wait_us=100)
+
+        async def serve():
+            async with DetectionService(stub, config) as service:
+                for _ in range(2):
+                    with pytest.raises(ValueError):
+                        await service.detect("bad")
+                return service.stats()
+
+        stats = run(serve())
+        assert stats["cache"]["size"] == 0
+        assert stats["detected"] == 2  # retried, never served from cache
+
+
+class TestAdmissionControl:
+    def test_overload_raises_deterministically(self):
+        barrier = threading.Event()
+        stub = StubDetector(barrier=barrier)
+        config = ServingConfig(
+            max_batch_size=1, max_wait_us=0, max_pending=2, cache_size=0
+        )
+
+        async def serve():
+            service = DetectionService(stub, config)
+            first = asyncio.create_task(service.detect("a"))
+            second = asyncio.create_task(service.detect("b"))
+            await asyncio.sleep(0)  # both now occupy the admission queue
+            assert service.pending == 2
+            with pytest.raises(ServerOverloadedError) as excinfo:
+                await service.detect("c")
+            barrier.set()  # release the worker; queued requests drain
+            assert await first == "detection[a]"
+            assert await second == "detection[b]"
+            stats = service.stats()
+            await service.close()
+            return excinfo.value, stats
+
+        error, stats = run(serve())
+        assert "2 queries" in str(error)
+        assert stats["rejected"] == 1
+        assert stats["detected"] == 2
+
+    def test_coalesced_requests_bypass_admission(self):
+        """Joining an in-flight query consumes no queue slot: dedup means
+        a thundering herd of one hot query cannot trip overload."""
+        barrier = threading.Event()
+        stub = StubDetector(barrier=barrier)
+        config = ServingConfig(
+            max_batch_size=1, max_wait_us=0, max_pending=1, cache_size=0
+        )
+
+        async def serve():
+            service = DetectionService(stub, config)
+            tasks = [
+                asyncio.create_task(service.detect("hot")) for _ in range(10)
+            ]
+            await asyncio.sleep(0)
+            barrier.set()
+            results = await asyncio.gather(*tasks)
+            stats = service.stats()
+            await service.close()
+            return results, stats
+
+        results, stats = run(serve())
+        assert results == ["detection[hot]"] * 10
+        assert stats["rejected"] == 0
+        assert stats["coalesced"] == 9
+
+
+class TestLifecycle:
+    def test_close_drains_inflight_requests(self):
+        stub = StubDetector()
+        # Huge wait: only the drain's flush can dispatch the batch.
+        config = ServingConfig(max_batch_size=64, max_wait_us=10_000_000)
+
+        async def serve():
+            service = DetectionService(stub, config)
+            pending = [
+                asyncio.create_task(service.detect(f"query {index}"))
+                for index in range(5)
+            ]
+            await asyncio.sleep(0)
+            await service.close()
+            return await asyncio.gather(*pending)
+
+        results = run(serve())
+        assert results == [f"detection[query {index}]" for index in range(5)]
+        assert stub.batches == [[f"query {index}" for index in range(5)]]
+
+    def test_detect_after_close_raises(self):
+        async def serve():
+            service = DetectionService(StubDetector())
+            await service.close()
+            with pytest.raises(ServerClosedError):
+                await service.detect("too late")
+            await service.close()  # idempotent
+
+        run(serve())
+
+    def test_finalize_guard_releases_worker_thread(self):
+        """An abandoned service must not strand its executor thread
+        (same weakref.finalize pattern as the runtime pools)."""
+        service = DetectionService(StubDetector())
+        executor = service._executor
+        finalizer = service._finalizer
+        del service
+        gc.collect()
+        assert not finalizer.alive
+        assert executor._shutdown
+
+    def test_close_detaches_finalizer(self):
+        async def serve():
+            service = DetectionService(StubDetector())
+            executor = service._executor
+            await service.close()
+            return service._finalizer, executor
+
+        finalizer, executor = run(serve())
+        assert finalizer is None
+        assert executor._shutdown
+
+
+class TestConfigValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ServingError):
+            ServingConfig(max_pending=0)
+        with pytest.raises(ServingError):
+            ServingConfig(cache_size=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_wait_us=-1)
+
+    def test_cache_disabled(self):
+        stub = StubDetector()
+        config = ServingConfig(max_batch_size=2, max_wait_us=100, cache_size=0)
+
+        async def serve():
+            async with DetectionService(stub, config) as service:
+                await service.detect("q")
+                await service.detect("q")  # sequential: re-detected
+                return service.stats()
+
+        stats = run(serve())
+        assert stats["cache"] is None
+        assert stats["detected"] == 2

@@ -1,10 +1,25 @@
 """Tests for repro.cli — the full pipeline driven through the CLI."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.cli import main
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
 
 
 @pytest.fixture(scope="module")
@@ -228,16 +243,16 @@ class TestPipelineCommands:
         assert "error:" in capsys.readouterr().err
 
 
-class TestSnapshotCommands:
-    @pytest.fixture(scope="class")
-    def snapshot(self, workspace, tmp_path_factory):
-        path = tmp_path_factory.mktemp("snap") / "model.hdms"
-        assert (
-            main(["snapshot", "--model", str(workspace["model"]), "--out", str(path)])
-            == 0
-        )
-        return path
+@pytest.fixture(scope="module")
+def snapshot(workspace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snap") / "model.hdms"
+    assert (
+        main(["snapshot", "--model", str(workspace["model"]), "--out", str(path)]) == 0
+    )
+    return path
 
+
+class TestSnapshotCommands:
     def test_snapshot_writes_file_and_summary(self, workspace, snapshot, capsys):
         assert snapshot.exists() and snapshot.stat().st_size > 0
         # overwriting is fine (atomic replace); the summary names the model
@@ -328,6 +343,83 @@ class TestSnapshotCommands:
         bad.write_bytes(b"scrambled bytes")
         assert main(["detect", "--snapshot", str(bad), "q"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_detect_stats_prints_cache_counters(self, snapshot, capsys):
+        code = main(
+            [
+                "detect",
+                "--snapshot", str(snapshot),
+                "--stats",
+                "zzqx glorp widget",
+                "zzqx glorp widget",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "runtime cache stats:" in captured.err
+        assert "readings:" in captured.err
+        assert "hit_rate=" in captured.err
+        assert "zzqx" in captured.out  # detections still printed
+
+    def test_detect_stats_requires_snapshot(self, workspace, capsys):
+        code = main(["detect", "--model", str(workspace["model"]), "--stats", "q"])
+        assert code == 2
+        assert "--stats" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_needs_exactly_one_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_serve_workers_require_snapshot(self, workspace, capsys):
+        code = main(
+            ["serve", "--model", str(workspace["model"]), "--workers", "2"]
+        )
+        assert code == 2
+        assert "--workers needs --snapshot" in capsys.readouterr().err
+
+    def test_serve_spell_requires_speller_in_snapshot(self, snapshot, capsys):
+        code = main(["serve", "--snapshot", str(snapshot), "--spell"])
+        assert code == 2
+        assert "without a speller" in capsys.readouterr().err
+
+    def test_serve_end_to_end(self, snapshot):
+        """Real server process: start, POST a query, drain on SIGTERM."""
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli",
+                "serve", "--snapshot", str(snapshot), "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            ready = process.stdout.readline()  # "serving on http://host:port"
+            assert "serving on http://" in ready, ready
+            port = int(ready.rsplit(":", 1)[1])
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/detect",
+                data=json.dumps({"query": "cheap hotels in rome"}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read())
+            assert payload["head"] == "hotels"
+            assert "rome" in payload["constraints"]
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=30)
+            assert process.returncode == 0
+            assert "server drained and stopped" in out
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.communicate()
 
 
 class TestCorpusBuildPath:

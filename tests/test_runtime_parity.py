@@ -15,6 +15,8 @@ from __future__ import annotations
 import struct
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.detector import DetectorConfig
 from repro.core.segmentation import Segmenter
@@ -29,7 +31,9 @@ from repro.runtime import (
     save_snapshot,
     shard,
 )
+from repro.runtime.compiled import _normalize_fast
 from repro.runtime.intern import Interner
+from repro.text.normalizer import normalize
 
 EDGE_CASES = [
     "",
@@ -94,6 +98,51 @@ class TestDetectionParity:
         assert not sparse._matrix.dense
         for example in eval_examples[:100]:
             assert sparse.detect(example.query) == detector.detect(example.query)
+
+
+class TestNormalizeFastParity:
+    """``_normalize_fast`` is the serving layer's cache key; it must be
+    *the same function* as the reference normalizer, not an
+    approximation — a single divergent input would alias distinct
+    queries (wrong cached answers) or split identical ones."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=60))
+    def test_matches_reference_on_arbitrary_text(self, text):
+        assert _normalize_fast(text) == normalize(text)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789$%.' ", max_size=60))
+    def test_matches_reference_on_canonical_looking_text(self, text):
+        # Concentrates on the fast path's own alphabet, where skipping
+        # the regex passes must still be exact.
+        assert _normalize_fast(text) == normalize(text)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=60))
+    def test_idempotent_on_normal_forms(self, text):
+        # Cache keys are re-normalized on lookup; normal forms must be
+        # fixed points or one query would occupy two cache slots.
+        assert _normalize_fast(normalize(text)) == normalize(text)
+
+    @pytest.mark.parametrize("text", EDGE_CASES)
+    def test_edge_cases(self, text):
+        assert _normalize_fast(text) == normalize(text)
+
+
+class TestCacheStats:
+    def test_counters_expose_runtime_cache_traffic(self, model):
+        fresh = model.compile()
+        stats = fresh.cache_stats()
+        assert set(stats) == {"readings", "context", "affinity", "modifier"}
+        for entry in stats.values():
+            assert entry["hits"] == 0 and entry["misses"] == 0
+        fresh.detect("zzqx glorp widget")  # unknown phrases → cache misses
+        fresh.detect("zzqx glorp widget")  # repeat → cache hits
+        after = fresh.cache_stats()
+        assert after["readings"]["misses"] > 0
+        assert after["readings"]["hits"] > 0
+        assert 0.0 <= after["readings"]["hit_rate"] <= 1.0
 
 
 class TestSegmenterParity:
