@@ -1,0 +1,102 @@
+"""Grandfathered findings: the committed lint baseline.
+
+Introducing a new rule on a living tree usually surfaces pre-existing
+findings that are not this diff's business to fix. Rather than blocking
+every PR until the tree is spotless (or worse, weakening the rule), the
+offending findings are *baselined*: ``repro lint --write-baseline``
+records their fingerprints in a committed JSON file, and subsequent runs
+report only findings **not** in the baseline.
+
+Fingerprints hash the rule, file, and offending line's text — not line
+numbers — so unrelated edits don't invalidate entries, while touching
+the offending line itself resurfaces the finding for a fresh look. A
+baseline entry whose finding no longer exists is *stale*; the engine
+reports stale entries so the file ratchets monotonically toward empty
+(the repo ships with an empty baseline, and the CI lint job keeps it
+that way).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+#: Format marker written into every baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints.
+
+    Entries map fingerprint → ``{rule, path}`` context (the context is
+    for human readers of the JSON; matching is by fingerprint alone).
+    """
+
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise AnalysisError(
+                f"baseline {path} is not a lint baseline "
+                '(expected {"version": ..., "findings": {...}})'
+            )
+        findings = payload["findings"]
+        if not isinstance(findings, dict):
+            raise AnalysisError(f"baseline {path}: findings must be an object")
+        entries: dict[str, dict[str, str]] = {}
+        for fingerprint, context in findings.items():
+            if not isinstance(context, dict):
+                raise AnalysisError(
+                    f"baseline {path}: entry {fingerprint!r} must be an object"
+                )
+            entries[str(fingerprint)] = {
+                "rule": str(context.get("rule", "?")),
+                "path": str(context.get("path", "?")),
+            }
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline (sorted keys: diffs stay reviewable)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {
+                fingerprint: self.entries[fingerprint]
+                for fingerprint in sorted(self.entries)
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, fingerprint: str, rule: str, path: str) -> None:
+        """Record one grandfathered finding."""
+        self.entries[fingerprint] = {"rule": rule, "path": path}
+
+    def stale(self, live_fingerprints: set[str]) -> dict[str, dict[str, str]]:
+        """Entries whose finding no longer exists (fixed or rewritten) —
+        candidates for removal so the baseline only ever shrinks."""
+        return {
+            fingerprint: context
+            for fingerprint, context in self.entries.items()
+            if fingerprint not in live_fingerprints
+        }

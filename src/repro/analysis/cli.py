@@ -1,0 +1,133 @@
+"""The ``repro lint`` command.
+
+Thin argparse-to-engine glue with stable exit codes — the CI contract:
+
+- **0** — clean (no active findings, no stale baseline entries), and
+  always after a successful ``--write-baseline``;
+- **1** — active findings (or stale baseline entries: the baseline only
+  ratchets down, so a fixed finding must be removed from it);
+- **2** — usage error (unknown rule id, bad path, unreadable baseline),
+  via :class:`~repro.errors.AnalysisError` and the top-level handler in
+  :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import discover_project, find_project_root, run_lint
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_json, render_text
+
+#: Baseline location relative to the project root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_parser(
+    sub: "argparse._SubParsersAction[argparse.ArgumentParser]",
+) -> None:
+    """Register ``repro lint`` on the main CLI's subparser table."""
+    p = sub.add_parser(
+        "lint",
+        help="check project invariants (determinism, async hygiene, "
+        "resource guards, parity coverage)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories inside src/repro to lint "
+        "(default: the whole package)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    p.add_argument(
+        "--rule",
+        action="append",
+        metavar="REPxxx",
+        help="run only this rule (repeatable)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file (default <project>/{DEFAULT_BASELINE})",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current unsuppressed finding into the "
+        "baseline and exit 0",
+    )
+    p.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the report to FILE (CI artifact)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    p.add_argument(
+        "--root",
+        metavar="DIR",
+        help="project root (default: nearest pyproject.toml above cwd)",
+    )
+    p.set_defaults(handler=cmd_lint)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Handler behind ``repro lint`` (exit codes in the module docstring)."""
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule.rule_id}  [{scope}]  {rule.summary}")
+        return 0
+
+    project_root = (
+        Path(args.root).resolve() if args.root else find_project_root()
+    )
+    baseline_path = (
+        Path(args.baseline) if args.baseline else project_root / DEFAULT_BASELINE
+    )
+    baseline = Baseline.load(baseline_path)
+    rule_filter = set(args.rule) if args.rule else None
+    sources, test_sources, src_corpus = discover_project(
+        project_root, list(args.paths)
+    )
+    result = run_lint(
+        sources,
+        test_sources=test_sources,
+        baseline=baseline,
+        rule_filter=rule_filter,
+        src_corpus=src_corpus,
+    )
+
+    if args.write_baseline:
+        updated = Baseline()
+        for fingerprint, context in result.live_fingerprints.items():
+            updated.add(fingerprint, context["rule"], context["path"])
+        updated.save(baseline_path)
+        print(
+            f"wrote {baseline_path}: {len(updated)} grandfathered finding(s) "
+            f"({len(result.stale_baseline)} stale entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} dropped)"
+        )
+        return 0
+
+    report = (
+        render_json(result) if args.format == "json" else render_text(result)
+    )
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"report written to {args.output}", file=sys.stderr)
+    return 0 if result.clean else 1

@@ -1,0 +1,79 @@
+"""Render a :class:`~repro.analysis.engine.LintResult` as text or JSON.
+
+The text reporter is for humans at a terminal; the JSON reporter is the
+machine surface (CI uploads it as an artifact) with a stable schema::
+
+    {
+      "version": 1,
+      "clean": false,
+      "files_checked": 42,
+      "rules_run": ["REP001", ...],
+      "findings": [{"rule", "path", "line", "col", "message"}, ...],
+      "suppressed": [...same shape...],
+      "baselined": [...same shape...],
+      "stale_baseline": {"<fingerprint>": {"rule", "path"}, ...},
+      "counts": {"active": 3, "suppressed": 5, "baselined": 0, "stale": 0}
+    }
+
+Schema changes bump ``version``; ``tests/analysis/test_reporters.py``
+pins the shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+#: JSON report schema version.
+REPORT_VERSION = 1
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report (one JSON document)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "clean": result.clean,
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "findings": [finding.to_dict() for finding in result.active],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "stale_baseline": result.stale_baseline,
+        "counts": {
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "stale": len(result.stale_baseline),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_text(result: LintResult) -> str:
+    """The human-readable report."""
+    lines: list[str] = []
+    for finding in result.active:
+        lines.append(finding.render())
+    if result.stale_baseline:
+        if lines:
+            lines.append("")
+        lines.append("stale baseline entries (finding fixed; remove with --write-baseline):")
+        for fingerprint, context in sorted(result.stale_baseline.items()):
+            lines.append(
+                f"  {fingerprint}  {context.get('rule', '?')} in "
+                f"{context.get('path', '?')}"
+            )
+    summary = (
+        f"{result.files_checked} files, "
+        f"{len(result.rules_run)} rules: "
+        f"{len(result.active)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entr"
+        f"{'y' if len(result.stale_baseline) == 1 else 'ies'}"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)

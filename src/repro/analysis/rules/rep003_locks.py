@@ -1,0 +1,89 @@
+"""REP003 — a synchronous lock held across ``await``.
+
+``with some_lock:`` around an ``await`` is a deadlock engine: the
+coroutine parks at the await point *still holding the lock*, the event
+loop schedules another task, and if that task (or the executor thread
+completing the awaited future) needs the same lock, nothing ever
+progresses. The safe forms are ``async with asyncio.Lock()`` (released
+cooperatively) or restructuring so the lock never spans a suspension
+point. The rule flags sync ``with`` blocks whose context manager looks
+like a lock (``threading``/``multiprocessing`` lock constructors, or a
+name ending in ``lock``/``mutex``) and whose body awaits.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.asthelpers import (
+    async_functions,
+    terminal_name,
+    walk_same_scope,
+)
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import file_rule
+
+_LOCK_CONSTRUCTORS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Condition",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+    "multiprocessing.Semaphore",
+}
+
+
+def _looks_like_lock(ctx: FileContext, expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Call):
+        resolved = ctx.resolve_call(expr.func)
+        if resolved in _LOCK_CONSTRUCTORS:
+            return True
+        # `with self._lock.acquire():` style — judge the receiver.
+        if isinstance(expr.func, ast.Attribute) and expr.func.attr == "acquire":
+            expr = expr.func.value
+    name = terminal_name(expr)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return lowered.endswith(("lock", "mutex")) or lowered in ("sem", "semaphore")
+
+
+def _awaits_inside(with_node: ast.With) -> bool:
+    return any(
+        isinstance(node, ast.Await)
+        for stmt in with_node.body
+        for node in walk_same_scope(stmt)
+    )
+
+
+@file_rule(
+    "REP003",
+    "synchronous lock held across await (deadlock hazard)",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    """Flag sync ``with <lock>:`` blocks whose body awaits."""
+    for coroutine in async_functions(ctx.tree):
+        for node in walk_same_scope(coroutine):
+            if not isinstance(node, ast.With):
+                continue
+            lockish = [
+                item.context_expr
+                for item in node.items
+                if _looks_like_lock(ctx, item.context_expr)
+            ]
+            if not lockish or not _awaits_inside(node):
+                continue
+            held = terminal_name(lockish[0]) or "lock"
+            yield Finding(
+                ctx.relpath,
+                node.lineno,
+                node.col_offset + 1,
+                "REP003",
+                f"sync lock `{held}` held across await in `async def "
+                f"{coroutine.name}`; use `async with asyncio.Lock()` or "
+                "release before suspending",
+            )

@@ -1,0 +1,119 @@
+"""REP004 — executor/mmap creation without a release guard.
+
+PR 2-4 each shipped a leak of this shape before growing a guard: a
+``ProcessPoolExecutor``/``ThreadPoolExecutor`` or ``mmap`` created, used
+and abandoned keeps worker processes, threads, or file mappings alive
+until interpreter exit. Every creation site must be visibly paired with
+a release in its enclosing scope — one of:
+
+- the creation is a ``with`` context manager,
+- the enclosing scope calls ``.shutdown()``/``.close()``/``.terminate()``
+  (typically in ``try/finally`` or a ``close()`` method), or
+- the enclosing scope registers a ``weakref.finalize`` guard (the PR 3
+  pattern for objects whose lifetime is the GC's business).
+
+For ``self.<attr>`` assignments the enclosing *class* is the scope (the
+release conventionally lives in ``close()``); otherwise the enclosing
+function, else the module. The check is deliberately syntactic — it
+proves a release path is *written*, the lifecycle tests prove it runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.asthelpers import parent_map
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import file_rule
+
+_GUARDED_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+    "mmap.mmap",
+}
+
+_RELEASE_ATTRS = {"shutdown", "close", "terminate"}
+
+
+def _is_with_context(
+    node: ast.Call, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    parent = parents.get(node)
+    return isinstance(parent, ast.withitem) and parent.context_expr is node
+
+
+def _assigns_to_self(
+    node: ast.Call, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    parent = parents.get(node)
+    if not isinstance(parent, (ast.Assign, ast.AnnAssign)):
+        return False
+    targets = parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+    return any(
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+        for target in targets
+    )
+
+
+def _guard_scope(
+    node: ast.Call, parents: dict[ast.AST, ast.AST], tree: ast.AST, to_class: bool
+) -> ast.AST:
+    """Innermost enclosing function (or class, for self-attributes)."""
+    current = parents.get(node)
+    while current is not None:
+        if to_class and isinstance(current, ast.ClassDef):
+            return current
+        if not to_class and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return current
+        current = parents.get(current)
+    return tree
+
+
+def _has_release(ctx: FileContext, scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _RELEASE_ATTRS:
+            return True
+        if ctx.resolve_call(func) == "weakref.finalize":
+            return True
+    return False
+
+
+@file_rule(
+    "REP004",
+    "executor/mmap created without close()/context-manager/finalize guard",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    """Flag executor/mmap creations with no release in scope."""
+    parents = parent_map(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve_call(node.func)
+        if resolved not in _GUARDED_CONSTRUCTORS:
+            continue
+        if _is_with_context(node, parents):
+            continue
+        scope = _guard_scope(node, parents, ctx.tree, _assigns_to_self(node, parents))
+        if _has_release(ctx, scope):
+            continue
+        short = resolved.rsplit(".", maxsplit=1)[-1]
+        yield Finding(
+            ctx.relpath,
+            node.lineno,
+            node.col_offset + 1,
+            "REP004",
+            f"`{short}` created without a paired release in its enclosing "
+            "scope; use a `with` block, call shutdown()/close() in "
+            "try/finally or close(), or register weakref.finalize",
+        )

@@ -1,0 +1,116 @@
+"""REP005 — parity coverage of the compiled/vectorized fast paths.
+
+The fast paths earn their keep only while they stay bit-identical to
+the reference implementations, and that equivalence is only real while
+tests assert it. Every *public* symbol of ``training/vectorized.py``
+and ``runtime/compiled.py`` must therefore
+
+1. **name a reference twin** — an affix-stripped counterpart elsewhere
+   in the package (``derive_pattern_table_vectorized`` →
+   ``derive_pattern_table``), a base class defined outside the file
+   (``CompiledSegmenter(Segmenter)``), or an explicit
+   ``:func:`/:class:`/:meth:`` cross-reference in its docstring; and
+2. **be named by a test** under ``tests/`` — textual mention is the
+   bar: a fast-path symbol no test even names has no parity pin.
+
+This is a cross-file (project) rule: it reads the whole source tree and
+the test corpus, not one file at a time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import project_rule
+
+#: Files whose public surface must stay pinned to the reference.
+TARGETS = ("training/vectorized.py", "runtime/compiled.py")
+
+_FUNC_SUFFIXES = ("_vectorized", "_compiled", "_fast")
+_CLASS_PREFIXES = ("Compiled", "Vectorized")
+_DOC_XREF = re.compile(r":(?:func|class|meth):`[^`]+`")
+
+
+def _word_in(name: str, corpus: str) -> bool:
+    return re.search(rf"\b{re.escape(name)}\b", corpus) is not None
+
+
+def _twin_candidates(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef) -> list[str]:
+    name = node.name
+    candidates = []
+    if isinstance(node, ast.ClassDef):
+        for prefix in _CLASS_PREFIXES:
+            if name.startswith(prefix) and len(name) > len(prefix):
+                candidates.append(name[len(prefix):])
+    else:
+        for suffix in _FUNC_SUFFIXES:
+            if name.endswith(suffix) and len(name) > len(suffix):
+                candidates.append(name[: -len(suffix)])
+    return candidates
+
+
+def _has_twin(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef,
+    rest_of_src: str,
+) -> bool:
+    docstring = ast.get_docstring(node) or ""
+    if _DOC_XREF.search(docstring):
+        return True
+    for candidate in _twin_candidates(node):
+        if _word_in(candidate, rest_of_src):
+            return True
+    if isinstance(node, ast.ClassDef):
+        for base in node.bases:
+            base_name = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else None
+            )
+            if base_name and _word_in(base_name, rest_of_src):
+                return True
+    return False
+
+
+def _public_symbols(
+    ctx: FileContext,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef]:
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                yield node
+
+
+@project_rule(
+    "REP005",
+    "public fast-path symbol lacks a reference twin or a naming test",
+)
+def check(project: ProjectContext) -> Iterator[Finding]:
+    """Flag fast-path symbols missing a twin or a naming test."""
+    test_text = project.test_text()
+    for ctx in project.files:
+        if ctx.relpath not in TARGETS:
+            continue
+        rest_of_src = project.src_text_excluding(ctx.relpath)
+        for node in _public_symbols(ctx):
+            if not _has_twin(node, rest_of_src):
+                yield Finding(
+                    ctx.relpath,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "REP005",
+                    f"public fast-path symbol `{node.name}` names no "
+                    "reference twin (affix-stripped counterpart, reference "
+                    "base class, or :func:/:class: docstring cross-reference)",
+                )
+            if test_text and not _word_in(node.name, test_text):
+                yield Finding(
+                    ctx.relpath,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "REP005",
+                    f"public fast-path symbol `{node.name}` is not named by "
+                    "any test under tests/; add a parity test before "
+                    "trusting it",
+                )

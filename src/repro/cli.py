@@ -11,6 +11,7 @@ Exposes the full offline pipeline and the runtime detector::
     repro serve --snapshot model.hdms --port 8080
     repro evaluate --model model/ --log heldout.jsonl.gz
     repro patterns --model model/ --top 20
+    repro lint --format json
 
 Every command is deterministic given its ``--seed``.
 """
@@ -227,6 +228,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("query_a", metavar="QUERY_A")
     p.add_argument("query_b", metavar="QUERY_B")
     p.set_defaults(handler=_cmd_similar)
+
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     return parser
 

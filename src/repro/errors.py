@@ -54,3 +54,9 @@ class ServerOverloadedError(ServingError):
 
 class ServerClosedError(ServingError):
     """Raised when a request arrives after the server began shutdown."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static-analysis engine (:mod:`repro.analysis`) for
+    usage errors: unknown rule ids, unparseable sources, bad paths, or a
+    corrupt baseline file. The ``repro lint`` CLI maps it to exit 2."""

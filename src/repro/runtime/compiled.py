@@ -94,7 +94,8 @@ def _normalize_fast(text: str) -> str:
 
 
 class PatternMatrix:
-    """The flattened, interned pattern table.
+    """The flattened, interned twin of
+    :class:`repro.core.concept_patterns.PatternTable`.
 
     Weights live behind flat integer keys ``modifier_id * stride + head_id``
     where ``stride = len(interner) + 1``; the extra row/column is the
@@ -102,8 +103,9 @@ class PatternMatrix:
     contribute exactly the 0.0 the reference path's dict ``.get`` returns.
 
     Two weight views are kept because the reference path uses both:
-    ``raw`` (``PatternTable.weight``, context disambiguation) and
-    ``norm`` (``PatternTable.score`` = weight / max weight, head scoring).
+    ``raw`` (:meth:`repro.core.concept_patterns.PatternTable.weight`,
+    context disambiguation) and ``norm`` (``PatternTable.score`` =
+    weight / max weight, head scoring).
     """
 
     def __init__(
@@ -212,6 +214,9 @@ class PatternMatrix:
 class PhraseReading:
     """One phrase's concept readings: strings for display, ids for math.
 
+    The ``concepts`` tuple is exactly what the reference
+    :meth:`repro.core.conceptualizer.Conceptualizer.conceptualize`
+    returns for the phrase — the parity suite pins the two.
     ``ids``/``probs`` are contiguous array slices (the compiled storage
     format); ``mod_items``/``head_items`` are the same data prezipped
     into flat tuples for the scalar scoring loop — ``mod_items`` carries

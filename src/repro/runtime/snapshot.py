@@ -397,6 +397,9 @@ def load_snapshot(path: str | Path, verify: bool = True):
         )
 
     with open(path, "rb") as handle:
+        # repro: noqa[REP004] -- the mapping must outlive this function: the
+        # numpy views built below alias its pages, so it is released by GC
+        # when the last view dies, never by an eager close here.
         mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
     if verify:
         crc = zlib.crc32(

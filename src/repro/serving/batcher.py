@@ -122,6 +122,8 @@ class MicroBatcher(Generic[T, R]):
                     f"batch runner returned {len(outcomes)} outcomes "
                     f"for {len(items)} items"
                 )
+        # repro: noqa[REP006] -- fan-out boundary: the runner's exception is
+        # re-delivered to every awaiter via set_exception, never swallowed.
         except Exception as exc:
             for _, future in batch:
                 if not future.cancelled():

@@ -110,7 +110,9 @@ class DetectionHTTPServer:
     ) -> None:
         try:
             status, payload = await self._respond(reader)
-        except Exception as exc:  # never leak a traceback to the socket
+        # repro: noqa[REP006] -- protocol edge: anything escaping a request
+        # handler becomes a 500 response; a traceback must never hit the wire.
+        except Exception as exc:
             status, payload = 500, {"error": f"internal error: {exc}"}
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         headers = [

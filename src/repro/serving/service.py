@@ -263,11 +263,15 @@ def _detect_batch_attributed(detector, keys: list[str]) -> list:
     """
     try:
         return list(detector.detect_batch(keys))
+    # repro: noqa[REP006] -- batch-failure fallback: the batch is re-run
+    # key-by-key below so the real exception is re-attributed, not dropped.
     except Exception:
         outcomes: list = []
         for key in keys:
             try:
                 outcomes.append(detector.detect(key))
+            # repro: noqa[REP006] -- per-item attribution: the exception is
+            # returned as this key's outcome and re-raised to its awaiter.
             except Exception as exc:
                 outcomes.append(exc)
         return outcomes

@@ -21,7 +21,8 @@ reports are per-key-space, not per-process.
 
 from __future__ import annotations
 
-from typing import Generic, Hashable, Iterator, TypeVar
+from collections.abc import Hashable, Iterator
+from typing import Generic, TypeVar, cast
 from zlib import crc32
 
 
@@ -87,9 +88,10 @@ class LruCache(Generic[K, V]):
         if value is _MISSING:
             self._misses += 1
             return default
-        self._data[key] = value  # re-insert at the MRU end
+        hit = cast("V", value)
+        self._data[key] = hit  # re-insert at the MRU end
         self._hits += 1
-        return value
+        return hit
 
     def put(self, key: K, value: V) -> None:
         """Insert (or refresh) ``key``, evicting the LRU entry when full."""
@@ -102,7 +104,7 @@ class LruCache(Generic[K, V]):
         """Drop all entries (hit/miss counters are kept)."""
         self._data.clear()
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """Counters as one JSON-friendly dict (hit_rate over all gets)."""
         lookups = self._hits + self._misses
         return {
@@ -186,7 +188,7 @@ class ShardedLruCache(Generic[K, V]):
         for shard in self._shards:
             shard.clear()
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """Aggregate counters plus per-shard sizes."""
         lookups = self.hits + self.misses
         return {

@@ -1,0 +1,28 @@
+"""Shared helpers for the static-analysis suite: lint in-memory snippets
+without touching the filesystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SourceFile, run_lint
+
+
+@pytest.fixture
+def lint_one():
+    """Lint a single in-memory file; returns the LintResult."""
+
+    def _lint(relpath, source, **kwargs):
+        return run_lint([SourceFile(relpath, source)], **kwargs)
+
+    return _lint
+
+
+@pytest.fixture
+def rule_ids_of():
+    """Active finding rule ids of a LintResult, in report order."""
+
+    def _ids(result):
+        return [finding.rule for finding in result.active]
+
+    return _ids

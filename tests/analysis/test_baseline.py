@@ -1,0 +1,127 @@
+"""Baseline round-trips, stale detection, and fingerprint stability
+under unrelated edits (the property that makes baselines survivable)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, SourceFile, run_lint
+from repro.analysis.baseline import BASELINE_VERSION
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+OFFENDER = "import random\n\n\ndef f(items):\n    random.shuffle(items)\n"
+
+
+def lint(source_text, baseline=None):
+    return run_lint(
+        [SourceFile("training/x.py", source_text)], baseline=baseline
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_entries(self, tmp_path):
+        baseline = Baseline()
+        baseline.add("abc123", "REP001", "training/x.py")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert "abc123" in loaded
+        assert len(loaded) == 1
+        assert loaded.entries["abc123"] == {
+            "rule": "REP001",
+            "path": "training/x.py",
+        }
+
+    def test_file_shape(self, tmp_path):
+        baseline = Baseline()
+        baseline.add("abc123", "REP001", "training/x.py")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BASELINE_VERSION
+        assert set(payload) == {"version", "findings"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_corrupt_file_raises_analysis_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            Baseline.load(path)
+
+    def test_wrong_shape_raises_analysis_error(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(AnalysisError):
+            Baseline.load(path)
+
+
+class TestEngineIntegration:
+    def test_baselined_finding_does_not_gate(self):
+        first = lint(OFFENDER)
+        assert [f.rule for f in first.active] == ["REP001"]
+        baseline = Baseline()
+        for fingerprint, context in first.live_fingerprints.items():
+            baseline.add(fingerprint, context["rule"], context["path"])
+        second = lint(OFFENDER, baseline=baseline)
+        assert second.active == []
+        assert [f.rule for f in second.baselined] == ["REP001"]
+        assert second.clean
+
+    def test_fingerprint_survives_line_shift(self):
+        first = lint(OFFENDER)
+        baseline = Baseline()
+        for fingerprint, context in first.live_fingerprints.items():
+            baseline.add(fingerprint, context["rule"], context["path"])
+        # Unrelated edit above the offending line: a new helper function.
+        shifted = "import random\n\n\ndef unrelated():\n    pass\n\n\n" + (
+            "def f(items):\n    random.shuffle(items)\n"
+        )
+        second = lint(shifted, baseline=baseline)
+        assert second.active == []
+        assert [f.rule for f in second.baselined] == ["REP001"]
+
+    def test_editing_the_offending_line_resurfaces(self):
+        first = lint(OFFENDER)
+        baseline = Baseline()
+        for fingerprint, context in first.live_fingerprints.items():
+            baseline.add(fingerprint, context["rule"], context["path"])
+        edited = OFFENDER.replace(
+            "random.shuffle(items)", "random.shuffle(items[:10])"
+        )
+        second = lint(edited, baseline=baseline)
+        assert [f.rule for f in second.active] == ["REP001"]
+
+    def test_stale_entry_gates_the_run(self):
+        baseline = Baseline()
+        baseline.add("dead00dead00dead", "REP001", "training/x.py")
+        clean_source = "def f(items):\n    return sorted(items)\n"
+        result = lint(clean_source, baseline=baseline)
+        assert result.active == []
+        assert "dead00dead00dead" in result.stale_baseline
+        assert not result.clean
+
+    def test_suppressed_findings_not_written_to_baseline(self):
+        suppressed = (
+            "import random\n"
+            "random.shuffle([])  # repro: noqa[REP001] -- fixture\n"
+        )
+        result = lint(suppressed)
+        assert result.live_fingerprints == {}
+
+
+class TestFingerprint:
+    def test_independent_of_line_and_col(self):
+        a = Finding("p.py", 3, 1, "REP001", "m").fingerprint("  x = f()")
+        b = Finding("p.py", 99, 7, "REP001", "m").fingerprint("x = f()")
+        assert a == b
+
+    def test_sensitive_to_rule_path_and_text(self):
+        base = Finding("p.py", 1, 1, "REP001", "m").fingerprint("x = f()")
+        assert base != Finding("q.py", 1, 1, "REP001", "m").fingerprint("x = f()")
+        assert base != Finding("p.py", 1, 1, "REP002", "m").fingerprint("x = f()")
+        assert base != Finding("p.py", 1, 1, "REP001", "m").fingerprint("y = f()")

@@ -1,0 +1,93 @@
+"""The repo lints clean — and the acceptance canaries: injecting the
+exact regressions the rules exist to catch must flip the exit to 1."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, run_lint
+from repro.analysis.engine import discover_project, find_project_root
+
+PROJECT_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    sources, tests, src_corpus = discover_project(PROJECT_ROOT)
+    return sources, tests, src_corpus
+
+
+def test_find_project_root_from_here():
+    assert find_project_root(Path(__file__).parent) == PROJECT_ROOT
+
+
+def test_repo_is_clean_with_empty_baseline(corpus):
+    sources, tests, src_corpus = corpus
+    baseline = Baseline.load(PROJECT_ROOT / "lint-baseline.json")
+    assert len(baseline) == 0, "the baseline must stay empty — fix, don't grandfather"
+    result = run_lint(
+        sources, test_sources=tests, baseline=baseline, src_corpus=src_corpus
+    )
+    assert result.clean, "\n".join(f.render() for f in result.active)
+    assert result.active == []
+    assert result.stale_baseline == {}
+
+
+def _inject(corpus, relpath, transform):
+    """Rebuild the lint inputs with one file's text transformed."""
+    sources, tests, src_corpus = corpus
+    mutated = []
+    hit = False
+    for source in sources:
+        if source.relpath == relpath:
+            hit = True
+            source = type(source)(source.relpath, transform(source.text))
+        mutated.append(source)
+    assert hit, f"{relpath} not found in the lint corpus"
+    return mutated, tests, mutated
+
+
+def test_canary_blocking_sleep_in_http_handler(corpus):
+    """Acceptance check: ``time.sleep`` in serving/http.py → REP002."""
+
+    def transform(text):
+        needle = "status, payload = await self._respond(reader)"
+        assert needle in text
+        return text.replace(
+            needle,
+            "import time\n            time.sleep(0.5)\n            " + needle,
+            1,
+        )
+
+    sources, tests, src_corpus = _inject(corpus, "serving/http.py", transform)
+    result = run_lint(sources, test_sources=tests, src_corpus=src_corpus)
+    assert not result.clean
+    assert any(
+        f.rule == "REP002" and f.path == "serving/http.py" for f in result.active
+    )
+
+
+def test_canary_unseeded_shuffle_in_training(corpus):
+    """Acceptance check: unseeded shuffle in training/parallel.py → REP001."""
+
+    def transform(text):
+        return text + (
+            "\n\ndef _jumbled_shards(shards):\n"
+            "    import random\n"
+            "    random.shuffle(shards)\n"
+            "    return shards\n"
+        )
+
+    sources, tests, src_corpus = _inject(corpus, "training/parallel.py", transform)
+    result = run_lint(sources, test_sources=tests, src_corpus=src_corpus)
+    assert not result.clean
+    assert any(
+        f.rule == "REP001" and f.path == "training/parallel.py"
+        for f in result.active
+    )
+
+
+def test_py_typed_marker_ships():
+    assert (PROJECT_ROOT / "src" / "repro" / "py.typed").exists()

@@ -31,7 +31,7 @@ from repro.runtime import (
     save_snapshot,
     shard,
 )
-from repro.runtime.compiled import _normalize_fast
+from repro.runtime.compiled import PhraseReading, _normalize_fast
 from repro.runtime.intern import Interner
 from repro.text.normalizer import normalize
 
@@ -162,6 +162,36 @@ class TestSegmenterParity:
         assert CompiledSegmenter().segment("some new words") == Segmenter().segment(
             "some new words"
         )
+
+
+class TestPhraseReadings:
+    """The precompiled PhraseReading views must agree with each other and
+    with the reference conceptualizer they were flattened from."""
+
+    def test_views_are_consistent(self, compiled):
+        stride = compiled._matrix.stride
+        readings = list(compiled._compiled_readings.items())
+        assert readings, "compiled model precomputed no phrase readings"
+        for _, reading in readings[:200]:
+            assert isinstance(reading, PhraseReading)
+            ids = reading.ids.tolist()
+            probs = reading.probs.tolist()
+            assert [prob for _, prob in reading.concepts] == probs
+            assert reading.head_items == list(zip(ids, probs))
+            assert reading.mod_items == [
+                (id_ * stride, id_, prob) for id_, prob in zip(ids, probs)
+            ]
+
+    def test_concepts_match_reference_conceptualizer(self, compiled):
+        config = compiled._config
+        if config.hierarchy_discount > 0:
+            pytest.skip("readings are ancestor-expanded under a discount")
+        for phrase, reading in list(compiled._compiled_readings.items())[:200]:
+            assert reading.concepts == tuple(
+                compiled._conceptualizer.conceptualize(
+                    phrase, config.top_k_concepts
+                )
+            )
 
 
 class TestBatch:
