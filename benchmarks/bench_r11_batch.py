@@ -1,0 +1,194 @@
+"""R11 — Runtime: array-at-a-time batch detection vs per-query paths.
+
+The compiled runtime (R7) still walked one query at a time in Python, so
+a coalesced serving batch cost the same per query as singletons. The
+vectorized engine (:mod:`repro.runtime.vectorized`) runs segmentation
+and head scoring for the whole batch as NumPy array programs over
+interned token ids, bit-identical to per-query ``detect``.
+
+This bench sweeps batch size (1/16/64/256/1024) over the same query set
+and compares three paths: ``detect_batch`` through the vectorized
+engine, the per-query compiled loop, and the per-query reference
+detector. Amortizing the fixed NumPy dispatch cost needs real batches —
+the singleton row is *expected* to show no win (flagged
+``"regression": true`` honestly, like R7's sharding rows on a 1-CPU
+host). The checked-in claim: at batch ≥ 256, vectorized throughput is
+≥ 3x the single-query compiled rate recorded in ``BENCH_r7.json``.
+
+Writes ``benchmarks/results/BENCH_r11.json`` and the human-readable
+``r11_batch_detection.txt``.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, publish
+from repro.core import HeadModifierDetector, Segmenter
+from repro.core.conceptualizer import Conceptualizer
+from repro.eval import format_table
+from repro.runtime import CompiledDetector
+from repro.utils.timer import Timer
+
+BATCH_SIZES = (1, 16, 64, 256, 1024)
+SWEEP_QUERIES = 1024
+REPS = 5
+
+#: The acceptance bar: vectorized batches at ≥ this size must clear
+#: 3x the single-query compiled throughput recorded by R7.
+BAR_BATCH = 256
+BAR_SPEEDUP = 3.0
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _r7_single_query_qps() -> float | None:
+    """The compiled per-query rate R7 checked in, if present."""
+    path = RESULTS_DIR / "BENCH_r7.json"
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text())
+    return data["paths"]["compiled"]["queries_per_sec"]
+
+
+def _best_of(reps: int, run) -> float:
+    """Best wall-clock of ``reps`` runs (steady-state, noise-resistant)."""
+    best = None
+    for _ in range(reps):
+        with Timer() as timer:
+            run()
+        best = timer.elapsed if best is None else min(best, timer.elapsed)
+    return best
+
+
+@pytest.fixture(scope="module")
+def batch_comparison(model, taxonomy, eval_queries):
+    queries = eval_queries[:SWEEP_QUERIES]
+    compiled = CompiledDetector(
+        model.patterns, Conceptualizer(taxonomy), instance_pairs=model.pairs
+    )
+    reference = HeadModifierDetector(
+        model.patterns,
+        Conceptualizer(taxonomy),
+        instance_pairs=model.pairs,
+        segmenter=Segmenter(taxonomy),
+    )
+
+    # Bit-identity first: the throughput numbers are only meaningful if
+    # the batched output equals the per-query compiled path exactly.
+    assert compiled.vectorized_batch
+    mismatches = [
+        query
+        for query, batched in zip(eval_queries, compiled.detect_batch(eval_queries))
+        if batched != compiled.detect(query)
+    ]
+    assert mismatches == [], f"vectorized parity broke on {mismatches[:3]}"
+    reference.detect_batch(queries[:50])  # warm the reference caches
+
+    sweep = {}
+    for size in BATCH_SIZES:
+        chunks = [queries[i : i + size] for i in range(0, len(queries), size)]
+
+        def run_vectorized():
+            for chunk in chunks:
+                compiled.detect_batch(chunk)
+
+        def run_scalar():
+            for chunk in chunks:
+                for query in chunk:
+                    compiled.detect(query)
+
+        def run_reference():
+            for chunk in chunks:
+                for query in chunk:
+                    reference.detect(query)
+
+        vectorized_qps = len(queries) / _best_of(REPS, run_vectorized)
+        scalar_qps = len(queries) / _best_of(REPS, run_scalar)
+        reference_qps = len(queries) / _best_of(REPS, run_reference)
+        sweep[str(size)] = {
+            "vectorized_qps": vectorized_qps,
+            "compiled_per_query_qps": scalar_qps,
+            "reference_qps": reference_qps,
+            "speedup_vs_per_query": vectorized_qps / scalar_qps,
+            # Singletons cannot amortize array dispatch; say so honestly
+            # instead of hiding the row.
+            "regression": vectorized_qps < scalar_qps,
+        }
+
+    r7_qps = _r7_single_query_qps()
+    if r7_qps is not None:
+        for stats in sweep.values():
+            stats["speedup_vs_r7_single_query"] = stats["vectorized_qps"] / r7_qps
+
+    return {
+        "queries": len(queries),
+        "reps": REPS,
+        "hardware": {"cpu_count": os.cpu_count(), "usable_cpus": _usable_cpus()},
+        "r7_single_query_qps": r7_qps,
+        "batch_sizes": sweep,
+        "regression": any(s["regression"] for s in sweep.values()),
+    }
+
+
+def test_r11_batch_detection(batch_comparison):
+    r7_qps = batch_comparison["r7_single_query_qps"]
+    rows = []
+    for size, stats in batch_comparison["batch_sizes"].items():
+        rows.append(
+            [
+                size,
+                stats["vectorized_qps"],
+                stats["compiled_per_query_qps"],
+                stats["reference_qps"],
+                stats["speedup_vs_per_query"],
+                (
+                    stats["speedup_vs_r7_single_query"]
+                    if r7_qps is not None
+                    else float("nan")
+                ),
+                "yes" if stats["regression"] else "",
+            ]
+        )
+    publish(
+        "r11_batch_detection",
+        format_table(
+            [
+                "batch",
+                "vectorized q/s",
+                "per-query q/s",
+                "reference q/s",
+                "vs per-query",
+                "vs r7 single",
+                "regression",
+            ],
+            rows,
+            title="R11: vectorized batch detection vs per-query paths",
+        ),
+    )
+    if batch_comparison["regression"]:
+        hardware = batch_comparison["hardware"]
+        print(
+            "\nWARNING: some batch sizes do not beat the per-query compiled "
+            f"loop on this host ({hardware['usable_cpus']} usable CPU(s)); "
+            "array dispatch has a fixed per-batch cost that singleton "
+            "batches cannot amortize. See the per-size 'regression' flags "
+            "in BENCH_r11.json."
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_r11.json").write_text(
+        json.dumps(batch_comparison, indent=2) + "\n"
+    )
+    if r7_qps is not None:
+        for size, stats in batch_comparison["batch_sizes"].items():
+            if int(size) >= BAR_BATCH:
+                speedup = stats["speedup_vs_r7_single_query"]
+                assert speedup >= BAR_SPEEDUP, (
+                    f"vectorized batch={size} must be >= {BAR_SPEEDUP}x the "
+                    f"R7 single-query compiled rate, got {speedup:.2f}x"
+                )

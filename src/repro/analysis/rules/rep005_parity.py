@@ -2,8 +2,8 @@
 
 The fast paths earn their keep only while they stay bit-identical to
 the reference implementations, and that equivalence is only real while
-tests assert it. Every *public* symbol of ``training/vectorized.py``
-and ``runtime/compiled.py`` must therefore
+tests assert it. Every *public* symbol of ``training/vectorized.py``,
+``runtime/compiled.py``, and ``runtime/vectorized.py`` must therefore
 
 1. **name a reference twin** — an affix-stripped counterpart elsewhere
    in the package (``derive_pattern_table_vectorized`` →
@@ -28,7 +28,11 @@ from repro.analysis.findings import Finding
 from repro.analysis.registry import project_rule
 
 #: Files whose public surface must stay pinned to the reference.
-TARGETS = ("training/vectorized.py", "runtime/compiled.py")
+TARGETS = (
+    "training/vectorized.py",
+    "runtime/compiled.py",
+    "runtime/vectorized.py",
+)
 
 _FUNC_SUFFIXES = ("_vectorized", "_compiled", "_fast")
 _CLASS_PREFIXES = ("Compiled", "Vectorized")

@@ -133,6 +133,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="with --snapshot: shard the batch across N worker processes",
     )
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="answer all queries in one detect_batch call (array-at-a-time "
+        "vectorized detection; bit-identical to per-query results)",
+    )
     p.add_argument("queries", nargs="*", metavar="QUERY")
     p.add_argument(
         "--input",
@@ -366,6 +372,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             return 0
         if args.workers > 1:
             detections = detector.detect_batch(queries, workers=args.workers)
+        elif args.batch:
+            detections = detector.detect_batch(queries)
         else:
             detections = [detector.detect(query) for query in queries]
     finally:
@@ -411,6 +419,12 @@ class _PoolBackedDetector:
     def __init__(self, detector, workers: int) -> None:
         self._detector = detector
         self._workers = workers
+
+    @property
+    def vectorized_batch(self) -> bool:
+        """Whether pool workers answer chunks array-at-a-time (surfaced
+        in the service's ``/stats`` as ``vectorized``)."""
+        return bool(getattr(self._detector, "vectorized_batch", False))
 
     def detect(self, text):
         return self._detector.detect(text)

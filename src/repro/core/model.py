@@ -90,12 +90,15 @@ class HdmModel:
 
         Interns all phrases/concepts to integer ids and flattens the
         pattern table, typicality distributions, and pair supports into
-        contiguous arrays. The result detects identically to
-        :meth:`detector` (enforced by the runtime parity suite) at a
-        multiple of its throughput, and its ``detect_batch`` accepts
-        ``workers`` for persistent snapshot-backed process sharding. The
-        compiled detector snapshots the model — recompile after mutating
-        taxonomy/patterns/pairs.
+        contiguous arrays; taxonomy phrases additionally compile into a
+        flat-array segmentation automaton so ``detect_batch`` can run
+        whole batches array-at-a-time
+        (:class:`~repro.runtime.vectorized.VectorizedDetector`). The
+        result detects identically to :meth:`detector` (enforced by the
+        runtime parity suite) at a multiple of its throughput, and its
+        ``detect_batch`` accepts ``workers`` for persistent
+        snapshot-backed process sharding. The compiled detector snapshots
+        the model — recompile after mutating taxonomy/patterns/pairs.
 
         ``snapshot_path`` additionally writes the compiled state as a
         binary snapshot (:mod:`repro.runtime.snapshot`); later sessions

@@ -6,6 +6,12 @@ arrays, and returns a :class:`CompiledDetector` producing detections
 identical to the reference :class:`~repro.core.detector.HeadModifierDetector`
 at a multiple of its throughput.
 
+Batches additionally run **array-at-a-time**: ``detect_batch`` hands the
+whole (deduplicated) batch to :class:`VectorizedDetector`
+(:mod:`repro.runtime.vectorized`), which segments and head-scores every
+query simultaneously over interned token ids — bit-identical to
+per-query ``detect`` and several times its throughput at batch ≥ 256.
+
 For serving, the compiled state persists as a binary **snapshot**
 (:mod:`repro.runtime.snapshot`): a versioned flat-array file loaded with
 ``mmap`` so cold-start skips recompilation and concurrent workers share
@@ -30,6 +36,7 @@ from repro.runtime.snapshot import (
     read_snapshot_header,
     save_snapshot,
 )
+from repro.runtime.vectorized import SegmentationAutomaton, VectorizedDetector
 
 __all__ = [
     "CompiledDetector",
@@ -37,6 +44,8 @@ __all__ = [
     "DetectorPool",
     "PatternMatrix",
     "PhraseReading",
+    "SegmentationAutomaton",
+    "VectorizedDetector",
     "DENSE_LIMIT",
     "SNAPSHOT_VERSION",
     "Interner",

@@ -36,8 +36,19 @@ def _init_worker(detector) -> None:
 
 
 def _detect_shard(texts: list[str]) -> list[Detection]:
-    """Run one shard inside a worker process."""
+    """Run one shard inside a worker process.
+
+    Routed through ``detect_batch`` when the detector has one, so
+    compiled detectors answer the whole shard through the vectorized
+    engine (:class:`repro.runtime.vectorized.VectorizedDetector`)
+    instead of a per-text Python loop. Detectors exposing only
+    ``detect`` — this module accepts anything picklable — keep the
+    per-text loop.
+    """
     assert _WORKER_DETECTOR is not None, "worker initialized without a detector"
+    batch = getattr(_WORKER_DETECTOR, "detect_batch", None)
+    if batch is not None:
+        return batch(texts)
     return [_WORKER_DETECTOR.detect(text) for text in texts]
 
 

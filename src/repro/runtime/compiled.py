@@ -497,6 +497,12 @@ class CompiledDetector(HeadModifierDetector):
         # detect() can hand pre-split tokens straight to the compiled DP
         # only when the segmenter actually is the compiled one.
         self._fast_segmenter = isinstance(self._segmenter, CompiledSegmenter)
+        self._automaton = None
+        if self._fast_segmenter:
+            from repro.runtime.vectorized import SegmentationAutomaton
+
+            self._automaton = SegmentationAutomaton.build(self._segmenter)
+        self._engine = None
         self._init_serving_state(snapshot_path=None)
 
     def _init_serving_state(self, snapshot_path: str | None) -> None:
@@ -527,6 +533,7 @@ class CompiledDetector(HeadModifierDetector):
         readings: dict[str, PhraseReading],
         context_bases: dict[str, _ContextBase],
         snapshot_path: str | None,
+        automaton=None,
     ) -> "CompiledDetector":
         """Assemble a detector from already-compiled structures
         (:func:`repro.runtime.snapshot.load_snapshot`), skipping the
@@ -559,6 +566,11 @@ class CompiledDetector(HeadModifierDetector):
         self._compiled_readings = readings
         self._compiled_context = context_bases
         self._fast_segmenter = True
+        # Old snapshots carry no automaton sections; such detectors keep
+        # working through the per-query segmentation path (detect_batch
+        # simply cannot vectorize — see ``vectorized_batch``).
+        self._automaton = automaton
+        self._engine = None
         self._init_serving_state(snapshot_path=snapshot_path)
         return self
 
@@ -843,8 +855,31 @@ class CompiledDetector(HeadModifierDetector):
         (None until one is saved or :meth:`detect_batch` needs one)."""
         return self._snapshot_path
 
+    @property
+    def vectorized_batch(self) -> bool:
+        """True when :meth:`detect_batch` runs the array-at-a-time
+        :class:`~repro.runtime.vectorized.VectorizedDetector` engine
+        (a segmentation automaton is present and no speller is bound)."""
+        return self._automaton is not None and self._speller is None
+
+    def _vectorized_engine(self):
+        """The lazily built batch engine, or None when unavailable."""
+        if not self.vectorized_batch:
+            return None
+        engine = self._engine
+        if engine is None:
+            from repro.runtime.vectorized import VectorizedDetector
+
+            engine = self._engine = VectorizedDetector(self)
+        return engine
+
     def detect_batch(self, texts, workers: int | None = None):
         """Detect over ``texts`` in input order.
+
+        Single-process batches run through the vectorized engine
+        (:class:`~repro.runtime.vectorized.VectorizedDetector`) when one
+        is available — array-at-a-time segmentation and scoring,
+        bit-identical to per-query :meth:`detect`.
 
         With ``workers`` > 1 the (deduplicated) texts are dispatched in
         small chunks to a *persistent* :class:`~repro.runtime.pool.DetectorPool`
@@ -855,6 +890,9 @@ class CompiledDetector(HeadModifierDetector):
         texts = list(texts)
         if workers is not None and workers > 1 and len(texts) > 1:
             return self._pool_for(workers).detect_batch(texts)
+        engine = self._vectorized_engine()
+        if engine is not None and len(texts) > 1:
+            return engine.detect_batch(texts)
         return super().detect_batch(texts)
 
     def _pool_for(self, workers: int):
@@ -930,6 +968,9 @@ class CompiledDetector(HeadModifierDetector):
         # fresh ones if and when it spawns its own pools/snapshot.
         state["_pool_finalizer"] = None
         state["_snapshot_finalizer"] = None
+        # The batch engine is derived state (rebuilt lazily from the
+        # automaton on the first detect_batch in the new process).
+        state["_engine"] = None
         return state
 
 

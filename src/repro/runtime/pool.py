@@ -58,11 +58,18 @@ def _pool_initializer(snapshot_path: str) -> None:
 
 
 def _detect_chunk(texts: list[str]) -> list[Detection]:
-    """Detect one chunk inside a worker process."""
+    """Detect one chunk inside a worker process.
+
+    Chunks run through the worker detector's ``detect_batch`` so each
+    one is answered array-at-a-time by the vectorized engine
+    (:class:`repro.runtime.vectorized.VectorizedDetector`) when the
+    snapshot carries a segmentation automaton, instead of a per-text
+    Python loop.
+    """
     detector = _WORKER_DETECTOR
     if detector is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("pool worker was not initialized with a snapshot")
-    return [detector.detect(text) for text in texts]
+    return detector.detect_batch(texts)
 
 
 def _preview(texts: list[str], limit: int = 3) -> str:

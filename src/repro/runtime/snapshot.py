@@ -19,9 +19,13 @@ A snapshot is the compiled state laid out flat on disk::
 
 Every numeric structure (interner tables, the stride-indexed pattern
 weight matrix, precomputed typicality readings, context-disambiguation
-priors, instance-pair supports, taxonomy edges) is one contiguous
-``int64``/``float64`` section; strings live once in a shared vocabulary
-blob and are referenced by id. :func:`load_snapshot` maps the file with
+priors, instance-pair supports, taxonomy edges, and the flat-array
+segmentation automaton behind the vectorized batch path) is one
+contiguous ``int64``/``float64`` section; strings live once in a shared
+vocabulary blob and are referenced by id. The ``vseg_*`` automaton
+sections are optional: snapshots written before they existed still load
+(``has_automaton`` absent from the header), falling back to per-query
+segmentation. :func:`load_snapshot` maps the file with
 ``mmap`` and builds NumPy views directly over the mapping
 (``np.frombuffer``), so the array payload is never copied — worker
 processes that load the same snapshot share the read-only page-cache
@@ -248,6 +252,24 @@ def save_snapshot(detector, path: str | Path) -> dict:
     writer.add_array("domain_concepts", [c for c, _ in domains], _I64)
     writer.add_array("domain_labels", [d for _, d in domains], _I64)
 
+    # --- segmentation automaton (vectorized batch path) ----------------
+    # Optional sections: old snapshots predate them and keep loading;
+    # the reader falls back to per-query segmentation when absent. The
+    # trailing OOV slot is derived state and is not stored.
+    automaton = detector._automaton
+    if automaton is None:
+        from repro.runtime.vectorized import SegmentationAutomaton
+
+        # Detectors restored from pre-automaton snapshots rebuild theirs
+        # here, so a re-save upgrades the file in place.
+        automaton = SegmentationAutomaton.build(detector._segmenter)
+    writer.add_array("vseg_tokens", vocab.ids_of(automaton.tokens), _I64)
+    writer.add_array("vseg_token_scores", automaton.token_scores[:-1], _F64)
+    writer.add_array("vseg_token_kinds", automaton.token_kinds[:-1], _I64)
+    writer.add_array("vseg_edge_keys", automaton.edge_keys, _I64)
+    writer.add_array("vseg_edge_targets", automaton.edge_targets, _I64)
+    writer.add_array("vseg_terminal", automaton.terminal, _F64)
+
     # --- side tables as JSON blobs ------------------------------------
     lexicon = detector._lexicon
     writer.add_bytes(
@@ -295,6 +317,8 @@ def save_snapshot(detector, path: str | Path) -> dict:
         "has_classifier": classifier is not None,
         "has_stats": stats is not None,
         "has_speller": detector._speller is not None,
+        "has_automaton": True,
+        "vseg_max_span": automaton.max_span,
         "conceptualizer": {
             "smoothing": conceptualizer._scorer._smoothing,
             "max_backoff_tokens": conceptualizer._max_backoff_tokens,
@@ -316,6 +340,8 @@ def save_snapshot(detector, path: str | Path) -> dict:
             "phrases": len(phrases),
             "support": len(support),
             "edges": len(edge_counts),
+            "vseg_tokens": len(automaton.tokens),
+            "vseg_states": int(len(automaton.terminal)),
         },
         "payload_bytes": len(payload),
         "payload_crc32": zlib.crc32(payload),
@@ -558,6 +584,21 @@ def load_snapshot(path: str | Path, verify: bool = True):
 
         speller = SpellingNormalizer.from_taxonomy(taxonomy)
 
+    # --- segmentation automaton (absent in pre-automaton snapshots) ---
+    automaton = None
+    if header.get("has_automaton"):
+        from repro.runtime.vectorized import SegmentationAutomaton
+
+        automaton = SegmentationAutomaton(
+            [vocab[i] for i in array("vseg_tokens").tolist()],
+            array("vseg_token_scores"),
+            array("vseg_token_kinds"),
+            array("vseg_edge_keys"),
+            array("vseg_edge_targets"),
+            array("vseg_terminal"),
+            header["vseg_max_span"],
+        )
+
     config = DetectorConfig(**header["detector_config"])
     return CompiledDetector._restore(
         patterns=patterns,
@@ -572,4 +613,5 @@ def load_snapshot(path: str | Path, verify: bool = True):
         readings=readings,
         context_bases=contexts,
         snapshot_path=str(path),
+        automaton=automaton,
     )

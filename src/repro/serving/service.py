@@ -236,7 +236,10 @@ class DetectionService:
         ``cache.hits`` were answered from the result cache, ``coalesced``
         joined an identical in-flight query, ``detected`` ran through the
         detector, and ``rejected`` hit admission control. ``batch_sizes``
-        is the dispatch histogram (size → batches).
+        is the dispatch histogram (size → batches). ``vectorized`` says
+        whether coalesced batches run the array-at-a-time engine
+        (:class:`~repro.runtime.vectorized.VectorizedDetector`) rather
+        than a per-query loop.
         """
         return {
             "requests": self._requests,
@@ -245,6 +248,7 @@ class DetectionService:
             "rejected": self._rejected,
             "pending": len(self._inflight),
             "closed": self._closed,
+            "vectorized": bool(getattr(self._detector, "vectorized_batch", False)),
             "cache": self._cache.stats() if self._cache is not None else None,
             "batches": sum(self._batch_sizes.values()),
             "batch_sizes": {

@@ -83,6 +83,7 @@ class TestRoutes:
         assert status == 200
         assert payload["requests"] == 1
         assert payload["batches"] == 1
+        assert payload["vectorized"] is True
 
     def test_error_mapping(self, compiled):
         async def handler(server, port):

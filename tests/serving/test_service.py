@@ -82,6 +82,9 @@ class TestServingParity:
         assert all(
             int(size) <= config.max_batch_size for size in stats["batch_sizes"]
         )
+        # Coalesced batches run the array-at-a-time engine, and /stats
+        # says so (compiled detectors without a speller vectorize).
+        assert stats["vectorized"] is True
 
     def test_cache_hit_returns_identical_detection(self, compiled):
         query = "cheap hotels in rome"

@@ -1,0 +1,323 @@
+"""Parity suite for the array-at-a-time batch path.
+
+``VectorizedDetector`` re-implements segmentation and head scoring as
+whole-batch NumPy array programs; the contract is the same as every
+other fast path in this repo — *bit-identical output*, enforced here by
+full :class:`~repro.core.detector.Detection` equality against the
+per-query compiled twin over the evaluation set, random property
+batches, and the snapshot round trip. ``SegmentationAutomaton`` is
+additionally pinned against the span tables it was compiled from.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.runtime import (
+    SegmentationAutomaton,
+    VectorizedDetector,
+    detect_batch_sharded,
+    load_snapshot,
+)
+from repro.runtime.snapshot import _ALIGN, _PRELUDE
+
+EDGE_TEXTS = [
+    "",
+    "   ",
+    "best of the best",
+    "cases for iphone 5s",
+    "inc.",  # '.' routes through the scalar fallback
+    "a.b.c",
+    "café wi‑fi résumé",
+    "ünïcödé tökêns",
+    "zzqx glorp widget",  # fully out-of-vocabulary
+    "$ % '",
+    "x " * 60,  # beyond MAX_BATCH_TOKENS → scalar fallback
+]
+
+# Mixed pool: taxonomy-known tokens, connectors, OOV junk, unicode,
+# punctuation that exercises the fallback routing.
+_TOKENS = [
+    "iphone",
+    "5s",
+    "case",
+    "cheap",
+    "hotels",
+    "in",
+    "paris",
+    "for",
+    "best",
+    "of",
+    "travel",
+    "zzqx",
+    "glorp",
+    "café",
+    "wi‑fi",
+    "inc.",
+    "$",
+]
+
+_queries = st.lists(
+    st.sampled_from(_TOKENS), min_size=0, max_size=7
+).map(" ".join)
+_batches = st.lists(
+    st.one_of(_queries, st.sampled_from(EDGE_TEXTS)), min_size=1, max_size=24
+)
+
+
+@pytest.fixture(scope="module")
+def compiled(model):
+    return model.compile()
+
+
+@pytest.fixture(scope="module")
+def engine(compiled):
+    return VectorizedDetector(compiled)
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(compiled, tmp_path_factory):
+    path = tmp_path_factory.mktemp("vsnap") / "model.hdms"
+    compiled.save_snapshot(path)
+    return path
+
+
+class TestVectorizedDetectorParity:
+    """``VectorizedDetector.detect_batch`` vs per-query ``detect``."""
+
+    def test_engine_engaged(self, compiled):
+        assert compiled.vectorized_batch
+        assert compiled._vectorized_engine() is not None
+
+    def test_full_eval_set(self, compiled, engine, eval_examples):
+        queries = [example.query for example in eval_examples]
+        mismatches = [
+            query
+            for query, batched in zip(queries, engine.detect_batch(queries))
+            if batched != compiled.detect(query)
+        ]
+        assert mismatches == []
+
+    def test_edge_texts_elementwise(self, compiled, engine):
+        batch = engine.detect_batch(EDGE_TEXTS)
+        assert batch == [compiled.detect(text) for text in EDGE_TEXTS]
+
+    def test_detect_batch_routes_through_engine(self, compiled, eval_examples):
+        queries = [example.query for example in eval_examples[:40]]
+        assert compiled.detect_batch(queries) == [
+            compiled.detect(query) for query in queries
+        ]
+
+    def test_duplicates_share_one_detection(self, engine):
+        results = engine.detect_batch(
+            ["hotels in paris", "iphone 5s case", "hotels in paris"]
+        )
+        assert results[0] is results[2]
+
+    @settings(max_examples=60, deadline=None)
+    @given(batch=_batches)
+    def test_random_batches_elementwise_identical(self, compiled, batch):
+        assert compiled.detect_batch(batch) == [
+            compiled.detect(text) for text in batch
+        ]
+
+    def test_speller_detector_is_refused(self, model):
+        spelled = model.compile(correct_spelling=True)
+        try:
+            assert not spelled.vectorized_batch
+            with pytest.raises(ModelError, match="speller"):
+                VectorizedDetector(spelled)
+        finally:
+            spelled.close()
+
+
+class TestSegmentationAutomaton:
+    """The flat-array automaton vs the span tables it compiled from."""
+
+    def test_matches_every_multi_token_phrase(self, compiled):
+        automaton = compiled._automaton
+        segmenter = compiled._segmenter
+        assert isinstance(automaton, SegmentationAutomaton)
+        phrases = sorted(segmenter._multi)[:80]
+        assert phrases, "model has no multi-token taxonomy instances"
+        for phrase in phrases:
+            tokens = phrase.split()
+            ids = np.asarray(
+                [[automaton.token_ids[token] for token in tokens]]
+            )
+            spans = automaton.match_spans(ids)
+            assert spans[len(tokens)][0, 0] == segmenter._multi[phrase]
+
+    def test_oov_windows_never_match(self, compiled):
+        automaton = compiled._automaton
+        ids = np.full((2, 5), automaton.oov_id, dtype=np.int64)
+        for scores in automaton.match_spans(ids).values():
+            assert not np.isfinite(scores).any()
+
+    def test_single_token_table_matches_segmenter(self, compiled):
+        automaton = compiled._automaton
+        single = compiled._segmenter._single
+        for token, score in list(single.items())[:100]:
+            assert automaton.token_scores[automaton.token_ids[token]] == score
+
+    def test_rebuild_equals_original(self, compiled):
+        rebuilt = SegmentationAutomaton.build(compiled._segmenter)
+        original = compiled._automaton
+        assert rebuilt.tokens == original.tokens
+        assert np.array_equal(rebuilt.edge_keys, original.edge_keys)
+        assert np.array_equal(rebuilt.edge_targets, original.edge_targets)
+        assert np.array_equal(rebuilt.terminal, original.terminal)
+        assert rebuilt.max_span == original.max_span
+
+    def test_mismatched_arrays_are_rejected(self, compiled):
+        original = compiled._automaton
+        with pytest.raises(ModelError, match="token table"):
+            SegmentationAutomaton(
+                original.tokens,
+                original.token_scores,  # has the extra OOV slot → too long
+                original.token_kinds[:-1],
+                original.edge_keys,
+                original.edge_targets,
+                original.terminal,
+                original.max_span,
+            )
+        with pytest.raises(ModelError, match="edge arrays"):
+            SegmentationAutomaton(
+                original.tokens,
+                original.token_scores[:-1],
+                original.token_kinds[:-1],
+                original.edge_keys,
+                original.edge_targets[:-1],
+                original.terminal,
+                original.max_span,
+            )
+
+
+class TestShardedBatchDedup:
+    """``detect_batch_sharded`` dedups before dispatch: every duplicate
+    maps to one worker detection, shared across result indexes."""
+
+    def test_duplicates_share_results_across_shards(self, compiled, eval_examples):
+        base = [example.query for example in eval_examples[:8]]
+        texts = base + base[::-1]  # every text twice, order scrambled
+        results = detect_batch_sharded(compiled, texts, workers=2)
+        assert results == [compiled.detect(text) for text in texts]
+        for index in range(len(base)):
+            assert results[index] is results[len(texts) - 1 - index]
+
+
+class TestSnapshotAutomaton:
+    """Automaton sections round-trip; their absence degrades gracefully."""
+
+    def test_roundtrip_restores_vectorized_batch(self, compiled, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        try:
+            assert loaded.vectorized_batch
+            original = compiled._automaton
+            restored = loaded._automaton
+            assert restored.tokens == original.tokens
+            assert np.array_equal(restored.token_scores, original.token_scores)
+            assert np.array_equal(restored.token_kinds, original.token_kinds)
+            assert np.array_equal(restored.edge_keys, original.edge_keys)
+            assert np.array_equal(restored.edge_targets, original.edge_targets)
+            assert np.array_equal(restored.terminal, original.terminal)
+            assert restored.max_span == original.max_span
+        finally:
+            loaded.close()
+
+    def test_loaded_batch_matches_saved_batch(self, compiled, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        try:
+            assert loaded.detect_batch(EDGE_TEXTS) == compiled.detect_batch(
+                EDGE_TEXTS
+            )
+        finally:
+            loaded.close()
+
+    def test_old_snapshot_without_automaton_still_loads(
+        self, snapshot_path, tmp_path
+    ):
+        """Pre-automaton snapshots (no ``vseg_*`` sections, no
+        ``has_automaton`` header key) must load and detect per-query."""
+        old = _strip_automaton_sections(snapshot_path, tmp_path)
+        loaded = load_snapshot(old)
+        try:
+            assert loaded._automaton is None
+            assert not loaded.vectorized_batch
+            assert loaded._vectorized_engine() is None
+            # detect_batch falls back to the per-query reference loop.
+            texts = ["cases for iphone 5s", "hotels in paris"]
+            assert loaded.detect_batch(texts) == [
+                loaded.detect(text) for text in texts
+            ]
+        finally:
+            loaded.close()
+
+    def test_resave_of_old_snapshot_regrows_automaton(
+        self, snapshot_path, tmp_path
+    ):
+        old = _strip_automaton_sections(snapshot_path, tmp_path)
+        loaded = load_snapshot(old)
+        try:
+            upgraded_path = tmp_path / "upgraded.hdms"
+            header = loaded.save_snapshot(upgraded_path)
+            assert header["has_automaton"]
+            upgraded = load_snapshot(upgraded_path)
+            try:
+                assert upgraded.vectorized_batch
+            finally:
+                upgraded.close()
+        finally:
+            loaded.close()
+
+    def test_corrupted_automaton_section_fails_crc(
+        self, snapshot_path, tmp_path
+    ):
+        """A flipped byte inside ``vseg_edge_keys`` must raise the CRC
+        error, not silently fall back to per-query segmentation."""
+        from repro.runtime.snapshot import read_snapshot_header
+
+        header = read_snapshot_header(snapshot_path)
+        section = header["sections"]["vseg_edge_keys"]
+        offset = header["_payload_start"] + section["offset"]
+        data = bytearray(snapshot_path.read_bytes())
+        data[offset] ^= 0xFF
+        bad = tmp_path / "bad.hdms"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(ModelError, match="CRC"):
+            load_snapshot(bad)
+
+
+def _strip_automaton_sections(snapshot_path, tmp_path):
+    """Rewrite a snapshot as the pre-automaton format would have: drop
+    the ``vseg_*`` section table entries and header keys. The payload
+    bytes (and their CRC) are untouched — the orphaned automaton bytes
+    simply become unreferenced padding, exactly like a file written
+    before the sections existed."""
+    raw = snapshot_path.read_bytes()
+    magic, version, header_len = _PRELUDE.unpack(raw[: _PRELUDE.size])
+    header = json.loads(raw[_PRELUDE.size : _PRELUDE.size + header_len])
+    payload_start = (
+        _PRELUDE.size
+        + header_len
+        + ((-(_PRELUDE.size + header_len)) % _ALIGN)
+    )
+    payload = raw[payload_start:]
+    del header["has_automaton"]
+    del header["vseg_max_span"]
+    for name in [n for n in header["sections"] if n.startswith("vseg_")]:
+        del header["sections"][name]
+    for name in ("vseg_tokens", "vseg_states"):
+        header["counts"].pop(name, None)
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    prelude = _PRELUDE.pack(magic, version, len(header_bytes))
+    pad = (-(len(prelude) + len(header_bytes))) % _ALIGN
+    old = tmp_path / "old-format.hdms"
+    old.write_bytes(prelude + header_bytes + b"\x00" * pad + payload)
+    return old
