@@ -1,0 +1,25 @@
+"""Host-hardware probes shared by the benchmark suite.
+
+Every ``BENCH_*.json`` records the same ``hardware`` dict so results
+from different hosts are comparable at a glance — and so 1-CPU hosts
+can be flagged honestly where a benchmark's claim needs real
+parallelism (R7's sharding rows, R12's replica scaling).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware), not the
+    machine's total — containers and CI runners often pin benchmarks to
+    a subset of ``os.cpu_count()``."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def hardware_info() -> dict:
+    """The ``hardware`` dict every benchmark embeds in its JSON."""
+    return {"cpu_count": os.cpu_count(), "usable_cpus": usable_cpus()}

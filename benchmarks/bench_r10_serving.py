@@ -27,12 +27,12 @@ Writes ``benchmarks/results/BENCH_r10.json`` and ``r10_serving.txt``.
 
 import asyncio
 import json
-import os
 from time import perf_counter
 
 import numpy as np
 import pytest
 
+from benchmarks._hw import hardware_info
 from benchmarks.conftest import RESULTS_DIR, publish
 from repro.eval import format_table
 from repro.serving import DetectionService, ServingConfig
@@ -51,12 +51,6 @@ SERVING_CONFIG = ServingConfig(
     max_pending=NUM_REQUESTS,
     cache_size=50_000,
 )
-
-
-def _usable_cpus() -> int:
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def _zipf_workload(distinct: list[str]) -> list[str]:
@@ -164,7 +158,7 @@ def serving_comparison(model, eval_queries):
             levels[str(clients)] = entry
 
         return {
-            "hardware": {"cpu_count": os.cpu_count(), "usable_cpus": _usable_cpus()},
+            "hardware": hardware_info(),
             "workload": {
                 "distinct_queries": len(distinct),
                 "requests": NUM_REQUESTS,

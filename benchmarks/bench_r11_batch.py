@@ -12,23 +12,30 @@ engine, the per-query compiled loop, and the per-query reference
 detector. Amortizing the fixed NumPy dispatch cost needs real batches —
 the singleton row is *expected* to show no win (flagged
 ``"regression": true`` honestly, like R7's sharding rows on a 1-CPU
-host). The checked-in claim: at batch ≥ 256, vectorized throughput is
-≥ 3x the single-query compiled rate recorded in ``BENCH_r7.json``.
+host). Those measured small-batch regressions are why ``detect_batch``
+now routes batches below :data:`~repro.runtime.compiled.MIN_VECTORIZED_BATCH`
+through the scalar loop by default; the sweep pins the engine explicitly
+(``min_vectorized_batch=2``) so the regression rows stay measured
+instead of being hidden by the cutoff, and the ``routed`` field records
+which path a default call takes. The checked-in claim: at batch ≥ 256,
+vectorized throughput is ≥ 3x the single-query compiled rate recorded
+in ``BENCH_r7.json``.
 
 Writes ``benchmarks/results/BENCH_r11.json`` and the human-readable
 ``r11_batch_detection.txt``.
 """
 
 import json
-import os
 
 import pytest
 
+from benchmarks._hw import hardware_info
 from benchmarks.conftest import RESULTS_DIR, publish
 from repro.core import HeadModifierDetector, Segmenter
 from repro.core.conceptualizer import Conceptualizer
 from repro.eval import format_table
 from repro.runtime import CompiledDetector
+from repro.runtime.compiled import MIN_VECTORIZED_BATCH
 from repro.utils.timer import Timer
 
 BATCH_SIZES = (1, 16, 64, 256, 1024)
@@ -39,12 +46,6 @@ REPS = 5
 #: 3x the single-query compiled throughput recorded by R7.
 BAR_BATCH = 256
 BAR_SPEEDUP = 3.0
-
-
-def _usable_cpus() -> int:
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def _r7_single_query_qps() -> float | None:
@@ -95,8 +96,10 @@ def batch_comparison(model, taxonomy, eval_queries):
         chunks = [queries[i : i + size] for i in range(0, len(queries), size)]
 
         def run_vectorized():
+            # Pin the engine so sub-cutoff rows stay measured (a default
+            # call would route them scalar and hide the regression).
             for chunk in chunks:
-                compiled.detect_batch(chunk)
+                compiled.detect_batch(chunk, min_vectorized_batch=2)
 
         def run_scalar():
             for chunk in chunks:
@@ -119,6 +122,11 @@ def batch_comparison(model, taxonomy, eval_queries):
             # Singletons cannot amortize array dispatch; say so honestly
             # instead of hiding the row.
             "regression": vectorized_qps < scalar_qps,
+            # What a *default* detect_batch call does at this size now
+            # that sub-cutoff batches route scalar.
+            "routed": (
+                "vectorized" if size >= MIN_VECTORIZED_BATCH else "scalar"
+            ),
         }
 
     r7_qps = _r7_single_query_qps()
@@ -129,8 +137,9 @@ def batch_comparison(model, taxonomy, eval_queries):
     return {
         "queries": len(queries),
         "reps": REPS,
-        "hardware": {"cpu_count": os.cpu_count(), "usable_cpus": _usable_cpus()},
+        "hardware": hardware_info(),
         "r7_single_query_qps": r7_qps,
+        "min_vectorized_batch": MIN_VECTORIZED_BATCH,
         "batch_sizes": sweep,
         "regression": any(s["regression"] for s in sweep.values()),
     }
@@ -153,6 +162,7 @@ def test_r11_batch_detection(batch_comparison):
                     else float("nan")
                 ),
                 "yes" if stats["regression"] else "",
+                stats["routed"],
             ]
         )
     publish(
@@ -166,6 +176,7 @@ def test_r11_batch_detection(batch_comparison):
                 "vs per-query",
                 "vs r7 single",
                 "regression",
+                "default routes",
             ],
             rows,
             title="R11: vectorized batch detection vs per-query paths",
@@ -176,9 +187,10 @@ def test_r11_batch_detection(batch_comparison):
         print(
             "\nWARNING: some batch sizes do not beat the per-query compiled "
             f"loop on this host ({hardware['usable_cpus']} usable CPU(s)); "
-            "array dispatch has a fixed per-batch cost that singleton "
-            "batches cannot amortize. See the per-size 'regression' flags "
-            "in BENCH_r11.json."
+            "array dispatch has a fixed per-batch cost that small "
+            "batches cannot amortize. detect_batch therefore routes "
+            f"batches under {MIN_VECTORIZED_BATCH} texts through the "
+            "scalar loop by default (see the 'default routes' column)."
         )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_r11.json").write_text(

@@ -23,12 +23,12 @@ pool scaling) so CI and the driver can check the numbers in.
 """
 
 import json
-import os
 import pickle
 import time
 
 import pytest
 
+from benchmarks._hw import hardware_info
 from benchmarks.conftest import RESULTS_DIR, publish
 from repro.core import HeadModifierDetector, Segmenter
 from repro.core.conceptualizer import Conceptualizer
@@ -97,12 +97,6 @@ def measure_path(detector, queries, latencies=True):
         stats["p50_ms"] = ranked[len(ranked) // 2]
         stats["p99_ms"] = ranked[min(len(ranked) - 1, int(len(ranked) * 0.99))]
     return stats
-
-
-def _usable_cpus() -> int:
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -180,7 +174,7 @@ def runtime_comparison(model, taxonomy, eval_queries, tmp_path_factory):
 
     return {
         "queries": len(queries),
-        "hardware": {"cpu_count": os.cpu_count(), "usable_cpus": _usable_cpus()},
+        "hardware": hardware_info(),
         "snapshot": snapshot,
         "cold_start": cold_start,
         "paths": paths,

@@ -20,11 +20,11 @@ Writes ``benchmarks/results/BENCH_r9.json`` and ``r9_training.txt``.
 """
 
 import json
-import os
 
 import numpy as np
 import pytest
 
+from benchmarks._hw import hardware_info
 from benchmarks.conftest import RESULTS_DIR, TRAIN_SEED, publish
 from repro import LogConfig, TrainingConfig, generate_log, train_model
 from repro.core.analysis import compare_tables
@@ -37,12 +37,6 @@ SCALES = {"4k": 4000, "16k": 16000}
 WORKER_COUNTS = (1, 2, 4)
 STAGES = ("mine", "derive", "features", "classifier")
 MIN_VECTORIZED_SPEEDUP = 2.0
-
-
-def _usable_cpus() -> int:
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def _train_timed(log, taxonomy, **kwargs):
@@ -123,7 +117,7 @@ def training_comparison(taxonomy, train_log, model, eval_queries):
             }
 
     return {
-        "hardware": {"cpu_count": os.cpu_count(), "usable_cpus": _usable_cpus()},
+        "hardware": hardware_info(),
         "scales": scales,
         "parity": parity,
         "regression": regression,

@@ -3,7 +3,8 @@
 The fast paths earn their keep only while they stay bit-identical to
 the reference implementations, and that equivalence is only real while
 tests assert it. Every *public* symbol of ``training/vectorized.py``,
-``runtime/compiled.py``, and ``runtime/vectorized.py`` must therefore
+``runtime/compiled.py``, ``runtime/vectorized.py``,
+``serving/router.py``, and ``serving/metrics.py`` must therefore
 
 1. **name a reference twin** — an affix-stripped counterpart elsewhere
    in the package (``derive_pattern_table_vectorized`` →
@@ -32,6 +33,8 @@ TARGETS = (
     "training/vectorized.py",
     "runtime/compiled.py",
     "runtime/vectorized.py",
+    "serving/router.py",
+    "serving/metrics.py",
 )
 
 _FUNC_SUFFIXES = ("_vectorized", "_compiled", "_fast")

@@ -9,6 +9,9 @@ Exposes the full offline pipeline and the runtime detector::
     repro snapshot --model model/ --out model.hdms
     repro detect --snapshot model.hdms --workers 4 --input queries.txt
     repro serve --snapshot model.hdms --port 8080
+    repro serve --snapshot model.hdms --port 8080 --replicas 4
+    repro route --snapshot model.hdms --port 8080 --replicas 4
+    repro replica --snapshot model.hdms --port 0
     repro evaluate --model model/ --log heldout.jsonl.gz
     repro patterns --model model/ --top 20
     repro lint --format json
@@ -180,31 +183,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--spell", action="store_true", help="enable typo correction")
     p.add_argument(
-        "--max-batch-size",
+        "--replicas",
         type=int,
-        default=32,
-        help="flush a micro-batch at this many queries (default 32)",
+        default=1,
+        metavar="N",
+        help="with --snapshot: run N replica processes behind a "
+        "consistent-hash router (shorthand for `repro route`)",
+    )
+    _add_service_flags(p)
+    p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "route",
+        help="serve detection over HTTP through N replica processes "
+        "(consistent-hash routed, shared mmap'd snapshot)",
+    )
+    p.add_argument("--snapshot", required=True, metavar="FILE")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p.add_argument(
+        "--replicas", type=int, default=2, metavar="N",
+        help="replica processes to spawn (default 2)",
     )
     p.add_argument(
-        "--max-wait-us",
-        type=int,
-        default=500,
-        help="max microseconds a query waits for batch-mates (default 500)",
-    )
-    p.add_argument(
-        "--max-pending",
+        "--max-inflight",
         type=int,
         default=1024,
-        help="admission limit: distinct in-flight queries before 503 "
+        help="router admission limit: concurrent requests before 503 "
         "(default 1024)",
     )
-    p.add_argument(
-        "--cache-size",
-        type=int,
-        default=50_000,
-        help="normalized-query result cache entries; 0 disables (default 50000)",
+    _add_service_flags(p)
+    p.set_defaults(handler=_cmd_route)
+
+    p = sub.add_parser(
+        "replica",
+        help="run one serving replica on the router's socket protocol "
+        "(normally spawned by `repro route`, not by hand)",
     )
-    p.set_defaults(handler=_cmd_serve)
+    p.add_argument("--snapshot", required=True, metavar="FILE")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p.add_argument("--replica-id", type=int, default=0)
+    p.add_argument("--generation", type=int, default=1)
+    _add_service_flags(p)
+    p.set_defaults(handler=_cmd_replica)
 
     p = sub.add_parser("evaluate", help="evaluate a model on a labelled log")
     p.add_argument("--model", required=True)
@@ -240,6 +262,35 @@ def _build_parser() -> argparse.ArgumentParser:
     add_lint_parser(sub)
 
     return parser
+
+
+def _add_service_flags(p: argparse.ArgumentParser) -> None:
+    """Serving-policy flags shared by ``serve``, ``route``, ``replica``."""
+    p.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="flush a micro-batch at this many queries (default 32)",
+    )
+    p.add_argument(
+        "--max-wait-us",
+        type=int,
+        default=500,
+        help="max microseconds a query waits for batch-mates (default 500)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission limit: distinct in-flight queries before 503 "
+        "(default 1024)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=50_000,
+        help="normalized-query result cache entries; 0 disables (default 50000)",
+    )
 
 
 def _cmd_taxonomy_build(args: argparse.Namespace) -> int:
@@ -447,6 +498,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers > 1 and not args.snapshot:
         print("error: --workers needs --snapshot", file=sys.stderr)
         return 2
+    if args.replicas > 1:
+        if not args.snapshot:
+            print("error: --replicas needs --snapshot", file=sys.stderr)
+            return 2
+        if args.workers > 1:
+            print(
+                "error: --replicas already fans out across processes; "
+                "drop --workers",
+                file=sys.stderr,
+            )
+            return 2
+        if args.spell:
+            from repro.runtime import read_snapshot_header
+
+            if not read_snapshot_header(args.snapshot)["has_speller"]:
+                print(
+                    "error: snapshot was saved without a speller; rebuild it "
+                    "with `repro snapshot --spell`",
+                    file=sys.stderr,
+                )
+                return 2
+        return _run_router_cli(args)
     if args.snapshot:
         from repro.runtime import read_snapshot_header
         from repro.runtime.compiled import CompiledDetector
@@ -487,6 +560,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         detector.close()
     print("server drained and stopped", flush=True)
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    if args.replicas < 1:
+        print("error: need at least one replica", file=sys.stderr)
+        return 2
+    return _run_router_cli(args)
+
+
+def _run_router_cli(args: argparse.Namespace) -> int:
+    """Shared body of ``repro route`` and ``repro serve --replicas N``."""
+    import asyncio
+
+    from repro.serving.router import Router, RouterConfig, run_router
+
+    router = Router(
+        RouterConfig(max_inflight=getattr(args, "max_inflight", 1024))
+    )
+    router.spawn(
+        args.snapshot,
+        args.replicas,
+        extra_args=[
+            "--max-batch-size", str(args.max_batch_size),
+            "--max-wait-us", str(args.max_wait_us),
+            "--max-pending", str(args.max_pending),
+            "--cache-size", str(args.cache_size),
+        ],
+    )
+
+    def _ready(port: int) -> None:
+        print(
+            f"routing {args.replicas} replicas on http://{args.host}:{port}",
+            flush=True,
+        )
+
+    asyncio.run(run_router(router, host=args.host, port=args.port, ready=_ready))
+    print("router drained and stopped", flush=True)
+    return 0
+
+
+def _cmd_replica(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.compiled import CompiledDetector
+    from repro.serving import DetectionService, ServingConfig
+    from repro.serving.replica import run_replica
+
+    detector = CompiledDetector.load_snapshot(args.snapshot)
+    config = ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+    )
+
+    def _ready(port: int) -> None:
+        print(f"replica listening on {args.host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            run_replica(
+                DetectionService(detector, config),
+                host=args.host,
+                port=args.port,
+                replica_id=args.replica_id,
+                generation=args.generation,
+                ready=_ready,
+            )
+        )
+    finally:
+        detector.close()
+    print("replica drained and stopped", flush=True)
     return 0
 
 

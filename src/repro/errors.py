@@ -56,6 +56,22 @@ class ServerClosedError(ServingError):
     """Raised when a request arrives after the server began shutdown."""
 
 
+class ReplicaProtocolError(ServingError):
+    """Raised when the router↔replica socket protocol is violated: an
+    oversized or malformed frame, an unknown op, or a response that
+    cannot be matched to a pending request. Deterministic like the rest
+    of the serving errors — a protocol violation closes the connection
+    instead of leaving a reader wedged."""
+
+
+class ReplicaUnavailableError(ServingError):
+    """Raised when a request cannot reach its replica: the replica is
+    down, draining, or its connection died mid-request. The router maps
+    it to re-routing (another replica on the hash ring) or, when no
+    replica is up, to the same 503 surface as
+    :class:`ServerOverloadedError`."""
+
+
 class AnalysisError(ReproError):
     """Raised by the static-analysis engine (:mod:`repro.analysis`) for
     usage errors: unknown rule ids, unparseable sources, bad paths, or a

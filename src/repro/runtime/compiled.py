@@ -75,6 +75,16 @@ from repro.utils.mathx import normalize_distribution
 #: matrix at the limit; raw + normalized are stored separately).
 DENSE_LIMIT = 2_000_000
 
+#: Batches smaller than this take the scalar per-query loop instead of
+#: the vectorized engine: NumPy's fixed per-batch dispatch cost beats
+#: its per-query win below the crossover. Measured on the R11 sweep
+#: (1024 held-out queries): vectorized first wins at ~24-32 texts with
+#: cold memo caches and ~48 with warm ones, so 32 routes the serving
+#: path (cache-missed keys, effectively cold) correctly while staying
+#: honest for warm batch tooling. Override per call via
+#: ``detect_batch(..., min_vectorized_batch=N)``.
+MIN_VECTORIZED_BATCH = 32
+
 #: Characters :func:`repro.text.normalizer.normalize` passes through
 #: unchanged (ASCII, so NFKC and lowercasing are identities too).
 _CANONICAL_RE = re.compile(r"[a-z0-9$%.' ]*")
@@ -873,13 +883,23 @@ class CompiledDetector(HeadModifierDetector):
             engine = self._engine = VectorizedDetector(self)
         return engine
 
-    def detect_batch(self, texts, workers: int | None = None):
+    def detect_batch(
+        self,
+        texts,
+        workers: int | None = None,
+        min_vectorized_batch: int | None = None,
+    ):
         """Detect over ``texts`` in input order.
 
-        Single-process batches run through the vectorized engine
-        (:class:`~repro.runtime.vectorized.VectorizedDetector`) when one
-        is available — array-at-a-time segmentation and scoring,
-        bit-identical to per-query :meth:`detect`.
+        Single-process batches of at least ``min_vectorized_batch``
+        texts (default :data:`MIN_VECTORIZED_BATCH`) run through the
+        vectorized engine
+        (:class:`~repro.runtime.vectorized.VectorizedDetector`) —
+        array-at-a-time segmentation and scoring, bit-identical to
+        per-query :meth:`detect`. Smaller batches take the scalar loop:
+        below the cutoff the engine's fixed NumPy dispatch cost costs
+        more than it amortizes (the R11 batch sweep's small-batch
+        ``regression`` rows).
 
         With ``workers`` > 1 the (deduplicated) texts are dispatched in
         small chunks to a *persistent* :class:`~repro.runtime.pool.DetectorPool`
@@ -890,8 +910,13 @@ class CompiledDetector(HeadModifierDetector):
         texts = list(texts)
         if workers is not None and workers > 1 and len(texts) > 1:
             return self._pool_for(workers).detect_batch(texts)
+        cutoff = (
+            MIN_VECTORIZED_BATCH
+            if min_vectorized_batch is None
+            else min_vectorized_batch
+        )
         engine = self._vectorized_engine()
-        if engine is not None and len(texts) > 1:
+        if engine is not None and len(texts) >= max(cutoff, 2):
             return engine.detect_batch(texts)
         return super().detect_batch(texts)
 

@@ -18,22 +18,54 @@ a server for that shape:
 - :class:`DetectionHTTPServer` (:mod:`repro.serving.http`) — a small
   stdlib-only asyncio HTTP server (``POST /detect``, ``GET /stats``,
   ``GET /healthz``) behind ``repro serve``.
+- :class:`ServingMetrics` (:mod:`repro.serving.metrics`) — per-stage
+  latency histograms (mergeable fixed buckets), counters, and span
+  traces threaded batcher → service → replica → router and surfaced
+  on ``/stats``.
+- :class:`ReplicaServer` (:mod:`repro.serving.replica`) and
+  :class:`Router` (:mod:`repro.serving.router`) — multi-replica
+  serving: N replica processes share one mmap'd snapshot behind a
+  consistent-hash front door (``repro serve --replicas N``), with
+  per-replica health, restart-with-generation, and aggregated
+  fleet ``/stats``.
 
 Cached, deduped, and micro-batched responses are **bit-identical** to
 one-shot ``CompiledDetector.detect`` — enforced by
 ``tests/serving/test_service.py`` on the held-out eval set and measured
-by the R10 benchmark (``benchmarks/bench_r10_serving.py``).
+by the R10/R12 benchmarks (``benchmarks/bench_r10_serving.py``,
+``benchmarks/bench_r12_router.py``).
 """
 
 from repro.serving.batcher import MicroBatcher
 from repro.serving.http import DetectionHTTPServer, detection_payload, run_server
+from repro.serving.metrics import LatencyHistogram, ServingMetrics, StatCounter
+from repro.serving.replica import ReplicaServer, run_replica
+from repro.serving.router import (
+    ConsistentHashRing,
+    ReplicaClient,
+    Router,
+    RouterConfig,
+    RouterHTTPServer,
+    run_router,
+)
 from repro.serving.service import DetectionService, ServingConfig
 
 __all__ = [
+    "ConsistentHashRing",
     "DetectionHTTPServer",
     "DetectionService",
+    "LatencyHistogram",
     "MicroBatcher",
+    "ReplicaClient",
+    "ReplicaServer",
+    "Router",
+    "RouterConfig",
+    "RouterHTTPServer",
     "ServingConfig",
+    "ServingMetrics",
+    "StatCounter",
     "detection_payload",
+    "run_replica",
+    "run_router",
     "run_server",
 ]

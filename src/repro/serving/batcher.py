@@ -25,6 +25,7 @@ awaiter sees that exception).
 from __future__ import annotations
 
 import asyncio
+from time import perf_counter
 from typing import Awaitable, Callable, Generic, TypeVar
 
 T = TypeVar("T")
@@ -33,6 +34,13 @@ R = TypeVar("R")
 #: Runner contract: one outcome per item, in item order; an Exception
 #: outcome is delivered to that item's future via ``set_exception``.
 BatchRunner = Callable[[list[T]], Awaitable[list[R]]]
+
+#: Dispatch observer contract: called once per dispatched batch with
+#: ``(batch_size, oldest_wait_seconds)`` — how many items coalesced and
+#: how long the batch's first item sat in the forming queue. The serving
+#: layer wires this to a ``queue_wait`` stage histogram
+#: (:class:`~repro.serving.metrics.ServingMetrics`).
+DispatchObserver = Callable[[int, float], None]
 
 
 class MicroBatcher(Generic[T, R]):
@@ -49,6 +57,7 @@ class MicroBatcher(Generic[T, R]):
         runner: BatchRunner,
         max_batch_size: int = 32,
         max_wait_us: int = 500,
+        on_dispatch: DispatchObserver | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -57,7 +66,9 @@ class MicroBatcher(Generic[T, R]):
         self._runner = runner
         self._max_batch_size = max_batch_size
         self._max_wait = max_wait_us / 1_000_000
+        self._on_dispatch = on_dispatch
         self._pending: list[tuple[T, asyncio.Future]] = []
+        self._oldest_enqueued = 0.0
         self._timer: asyncio.TimerHandle | None = None
         self._tasks: set[asyncio.Task] = set()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -82,6 +93,8 @@ class MicroBatcher(Generic[T, R]):
         if self._loop is None:
             self._loop = loop
         future: asyncio.Future = loop.create_future()
+        if not self._pending:
+            self._oldest_enqueued = perf_counter()
         self._pending.append((item, future))
         if len(self._pending) >= self._max_batch_size:
             self.flush()
@@ -102,6 +115,10 @@ class MicroBatcher(Generic[T, R]):
         if not self._pending:
             return
         batch, self._pending = self._pending, []
+        if self._on_dispatch is not None:
+            self._on_dispatch(
+                len(batch), perf_counter() - self._oldest_enqueued
+            )
         assert self._loop is not None  # submit_nowait set it
         task = self._loop.create_task(self._run(batch))
         self._tasks.add(task)

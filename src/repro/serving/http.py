@@ -11,10 +11,18 @@ is deliberately tiny (HTTP/1.1, ``Connection: close``, JSON in/out):
 
 Admission-control rejections map to ``503`` with a ``Retry-After``
 header (deterministic backpressure all the way to the wire), malformed
-requests to ``400``, unknown routes to ``404``. Shutdown is graceful:
+requests to ``400``, oversized bodies to ``413``, unknown routes to
+``404``. A connection dropped mid-request is abandoned silently — there
+is no peer left to answer, and nothing downstream (batcher, service) is
+ever touched with a partial request. Shutdown is graceful:
 :meth:`DetectionHTTPServer.stop` stops accepting connections, drains the
 service (in-flight detections complete), then returns; ``run_server``
 wires that to SIGINT/SIGTERM.
+
+The request/response plumbing is module-level (:func:`read_http_request`,
+:func:`http_response`) so the multi-replica router front door
+(:mod:`repro.serving.router`) speaks byte-identical HTTP without a
+second parser.
 """
 
 from __future__ import annotations
@@ -35,9 +43,97 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Errors meaning "the client went away mid-exchange": the request can
+#: never be answered, so handlers abandon the connection silently.
+CLIENT_GONE = (asyncio.IncompleteReadError, ConnectionError, BrokenPipeError)
+
+
+class HttpRequestError(Exception):
+    """A malformed inbound HTTP request, carrying the deterministic
+    status code and JSON error payload to answer it with (the parsing
+    twin of :class:`~repro.errors.ServingError` — protocol errors map to
+    4xx responses, never tracebacks)."""
+
+    def __init__(self, status: int, error: str) -> None:
+        super().__init__(error)
+        self.status = status
+        self.payload = {"error": error}
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader, max_body_bytes: int = MAX_BODY_BYTES
+) -> tuple[str, str, bytes]:
+    """Read one HTTP/1.1 request and return ``(method, target, body)``.
+
+    Malformed input raises :class:`HttpRequestError` with the status to
+    answer (400 for a bad request line or Content-Length, 413 past
+    ``max_body_bytes``); a connection dropped mid-request surfaces as
+    ``asyncio.IncompleteReadError``/``ConnectionError`` for the caller
+    to abandon. Used by both :class:`DetectionHTTPServer` and the
+    router's front door (:class:`~repro.serving.router.RouterHTTPServer`).
+    """
+    request_line = await reader.readline()
+    try:
+        method, target, *_ = request_line.decode("ascii", "replace").split()
+    except ValueError:
+        raise HttpRequestError(400, "malformed request line") from None
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("ascii", "replace").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise HttpRequestError(400, "bad Content-Length") from None
+    if content_length < 0:
+        raise HttpRequestError(400, "bad Content-Length")
+    if content_length > max_body_bytes:
+        raise HttpRequestError(413, f"body exceeds {max_body_bytes} bytes")
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, target, body
+
+
+def http_response(status: int, payload: dict) -> bytes:
+    """Serialize one ``Connection: close`` JSON response.
+
+    The body is ``json.dumps(payload, sort_keys=True)`` — the same
+    deterministic serialization :func:`detection_payload` consumers
+    compare bit-for-bit. 503 responses carry ``Retry-After: 1`` so
+    admission-control rejections are honest backpressure on the wire.
+    """
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if status == 503:
+        headers.append("Retry-After: 1")
+    return "\r\n".join(headers).encode("ascii") + b"\r\n\r\n" + body
+
+
+async def finish_response(
+    writer: asyncio.StreamWriter, payload_bytes: bytes
+) -> None:
+    """Write ``payload_bytes``, flush, and close the connection, quietly
+    tolerating a peer that already disconnected (the twin of
+    :func:`http_response` on the write side)."""
+    try:
+        writer.write(payload_bytes)
+        await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+    except CLIENT_GONE:  # pragma: no cover - peer raced the close
+        pass
 
 
 def detection_payload(detection: Detection) -> dict:
@@ -109,49 +205,26 @@ class DetectionHTTPServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            status, payload = await self._respond(reader)
+            method, target, body = await read_http_request(reader)
+        except HttpRequestError as exc:
+            await finish_response(writer, http_response(exc.status, exc.payload))
+            return
+        except CLIENT_GONE:
+            # The client vanished mid-request: there is nobody to answer,
+            # and the batcher/service were never touched.
+            writer.close()
+            return
+        try:
+            status, payload = await self._respond(method, target, body)
         # repro: noqa[REP006] -- protocol edge: anything escaping a request
         # handler becomes a 500 response; a traceback must never hit the wire.
         except Exception as exc:
             status, payload = 500, {"error": f"internal error: {exc}"}
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        headers = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        if status == 503:
-            headers.append("Retry-After: 1")
-        writer.write("\r\n".join(headers).encode("ascii") + b"\r\n\r\n" + body)
-        try:
-            await writer.drain()
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):  # pragma: no cover
-            pass
+        await finish_response(writer, http_response(status, payload))
 
-    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
-        try:
-            request_line = await reader.readline()
-            method, target, *_ = request_line.decode("ascii", "replace").split()
-        except ValueError:
-            return 400, {"error": "malformed request line"}
-        content_length = 0
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("ascii", "replace").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    return 400, {"error": "bad Content-Length"}
-        if content_length > MAX_BODY_BYTES:
-            return 400, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
-        body = await reader.readexactly(content_length) if content_length else b""
-
+    async def _respond(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict]:
         if target == "/healthz" and method == "GET":
             return 200, {"status": "closed" if self._service.closed else "ok"}
         if target == "/stats" and method == "GET":

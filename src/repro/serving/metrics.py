@@ -1,0 +1,298 @@
+"""Serving observability: lock-free counters, latency histograms, spans.
+
+The serving path (PR 4) kept ad-hoc integer counters; a router in front
+of N replica processes (:mod:`repro.serving.router`) needs more: *where*
+time goes per stage (batch wait vs detect vs socket hop), *mergeable*
+across processes, and cheap enough for the hot path. This module is that
+substrate, deliberately stdlib-only and allocation-light:
+
+- :class:`StatCounter` — a monotonic event counter. "Lock-free" the way
+  the rest of the serving tier is: every increment happens on the single
+  event-loop thread (or under the GIL's atomic integer add), so there is
+  no lock to take and no torn read to fear.
+- :class:`LatencyHistogram` — fixed exponential buckets (a 1-2-5 series
+  in microseconds). Observations are one bucket increment; p50/p95/p99
+  are interpolated from bucket counts on demand; histograms from
+  different processes merge bucket-wise (:meth:`LatencyHistogram.merged`),
+  which is how the router aggregates replica `/stats`.
+- :class:`ServingMetrics` — the per-process registry: named counters,
+  per-stage histograms, and a bounded ring of recent span events.
+  ``with metrics.span("detect"): ...`` times a block, feeds the stage
+  histogram, and leaves a trace event behind — the hook threaded through
+  batcher → service → replica → router and surfaced on ``/stats``.
+
+Everything here reports through plain JSON-friendly dicts so the HTTP
+``/stats`` route and the replica socket protocol serialize them as-is.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Iterable, Iterator
+
+#: Histogram bucket upper bounds in microseconds: a 1-2-5 series from
+#: 1µs to 10s. Sub-microsecond events land in the first bucket;
+#: anything slower than 10s lands in the overflow bucket.
+BUCKET_BOUNDS_US: tuple[int, ...] = tuple(
+    mantissa * 10**exponent
+    for exponent in range(8)
+    for mantissa in (1, 2, 5)
+)
+
+#: How many recent span events :class:`ServingMetrics` retains.
+DEFAULT_TRACE_CAPACITY = 256
+
+
+class StatCounter:
+    """A monotonic event counter for the serving path.
+
+    The single-writer twin of the ad-hoc ``self._requests += 1`` integers
+    :class:`~repro.serving.service.DetectionService` started with: all
+    increments happen on one event-loop thread (or as one GIL-atomic
+    integer add), so no lock is needed and reads never tear.
+
+    >>> shed = StatCounter()
+    >>> shed.add()
+    >>> shed.add(2)
+    >>> shed.value
+    3
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def add(self, n: int = 1) -> None:
+        """Increment by ``n`` (defaults to one event)."""
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with interpolated percentiles.
+
+    Buckets are the module-level :data:`BUCKET_BOUNDS_US` (a 1-2-5
+    exponential series), so recording an observation is one list-index
+    increment — cheap enough for every request — and histograms from
+    different processes share bucket edges and merge bucket-wise
+    (:meth:`merged`), the property the router's aggregated ``/stats``
+    depends on. Percentiles interpolate linearly inside the winning
+    bucket, like :func:`numpy.percentile` over grouped data.
+
+    >>> hist = LatencyHistogram()
+    >>> hist.observe(0.001)             # 1000 µs
+    >>> hist.count
+    1
+    """
+
+    __slots__ = ("_counts", "_count", "_sum_us", "_max_us")
+
+    def __init__(self) -> None:
+        # One slot per bound plus the overflow bucket.
+        self._counts = [0] * (len(BUCKET_BOUNDS_US) + 1)
+        self._count = 0
+        self._sum_us = 0.0
+        self._max_us = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        return self._count
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation, given in seconds."""
+        self.observe_us(seconds * 1e6)
+
+    def observe_us(self, us: float) -> None:
+        """Record one latency observation, given in microseconds."""
+        self._counts[self._bucket_index(us)] += 1
+        self._count += 1
+        self._sum_us += us
+        if us > self._max_us:
+            self._max_us = us
+
+    @staticmethod
+    def _bucket_index(us: float) -> int:
+        low, high = 0, len(BUCKET_BOUNDS_US)
+        while low < high:  # first bound >= us (binary search, no deps)
+            mid = (low + high) // 2
+            if BUCKET_BOUNDS_US[mid] < us:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def percentile_us(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) in µs, interpolated within
+        the winning bucket; 0.0 when nothing was observed."""
+        if self._count == 0:
+            return 0.0
+        target = self._count * q / 100.0
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lower = 0 if index == 0 else BUCKET_BOUNDS_US[index - 1]
+                upper = (
+                    BUCKET_BOUNDS_US[index]
+                    if index < len(BUCKET_BOUNDS_US)
+                    else self._max_us
+                )
+                if upper < lower:  # overflow bucket, max inside last bound
+                    upper = lower
+                fraction = (target - previous) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self._max_us  # pragma: no cover - cumulative == count above
+
+    def stats(self) -> dict:
+        """Counters + percentiles as one JSON-friendly dict.
+
+        ``buckets`` maps bucket upper bound (µs, as a string key so JSON
+        round-trips losslessly) to its count, omitting empty buckets;
+        the overflow bucket reports under ``"inf"``.
+        """
+        buckets: dict[str, int] = {}
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            key = (
+                str(BUCKET_BOUNDS_US[index])
+                if index < len(BUCKET_BOUNDS_US)
+                else "inf"
+            )
+            buckets[key] = bucket_count
+        return {
+            "count": self._count,
+            "mean_us": self._sum_us / self._count if self._count else 0.0,
+            "max_us": self._max_us,
+            "p50_us": self.percentile_us(50),
+            "p95_us": self.percentile_us(95),
+            "p99_us": self.percentile_us(99),
+            "buckets": buckets,
+        }
+
+    @classmethod
+    def merged(cls, stats_dicts: Iterable[dict]) -> dict:
+        """Merge several :meth:`stats` dicts (e.g. one per replica) into
+        one, recomputing percentiles from the summed buckets.
+
+        Bucket edges are shared by construction, so the merge is exact
+        up to bucket resolution — the router's aggregated ``/stats``
+        reports fleet-wide p50/p95/p99 without shipping raw samples.
+        """
+        merged = cls()
+        for stats in stats_dicts:
+            count = stats.get("count", 0)
+            if not count:
+                continue
+            merged._count += count
+            merged._sum_us += stats.get("mean_us", 0.0) * count
+            merged._max_us = max(merged._max_us, stats.get("max_us", 0.0))
+            for key, bucket_count in stats.get("buckets", {}).items():
+                if key == "inf":
+                    index = len(BUCKET_BOUNDS_US)
+                else:
+                    index = cls._bucket_index(int(key))
+                merged._counts[index] += bucket_count
+        return merged.stats()
+
+
+class _Span:
+    """One timed block: records into a stage histogram on exit and
+    appends a trace event to the owning registry's ring."""
+
+    __slots__ = ("_metrics", "_stage", "_start")
+
+    def __init__(self, metrics: "ServingMetrics", stage: str) -> None:
+        self._metrics = metrics
+        self._stage = stage
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._metrics.observe(self._stage, perf_counter() - self._start)
+
+
+class ServingMetrics:
+    """Per-process metrics registry for the serving path.
+
+    Owns named :class:`StatCounter` counters, per-stage
+    :class:`LatencyHistogram` histograms, and a bounded ring of recent
+    span events. One registry is created per
+    :class:`~repro.serving.service.DetectionService` and shared down
+    into its :class:`~repro.serving.batcher.MicroBatcher` and up into
+    the HTTP/replica front ends, so one ``/stats`` response shows the
+    whole pipeline's timing.
+
+    >>> metrics = ServingMetrics()
+    >>> with metrics.span("detect"):
+    ...     pass
+    >>> metrics.stage("detect").count
+    1
+    """
+
+    __slots__ = ("_counters", "_stages", "_events", "_sequence")
+
+    def __init__(self, trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        self._counters: dict[str, StatCounter] = {}
+        self._stages: dict[str, LatencyHistogram] = {}
+        self._events: deque[dict] = deque(maxlen=max(trace_capacity, 1))
+        self._sequence = 0
+
+    def counter(self, name: str) -> StatCounter:
+        """The named counter, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = StatCounter()
+        return counter
+
+    def stage(self, name: str) -> LatencyHistogram:
+        """The named stage histogram, created on first use."""
+        histogram = self._stages.get(name)
+        if histogram is None:
+            histogram = self._stages[name] = LatencyHistogram()
+        return histogram
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record a latency for ``stage`` and append a trace event."""
+        us = seconds * 1e6
+        self.stage(stage).observe_us(us)
+        self._sequence += 1
+        self._events.append({"seq": self._sequence, "stage": stage, "us": us})
+
+    def span(self, stage: str) -> _Span:
+        """A context manager timing its block into ``stage``:
+        ``with metrics.span("route"): ...``."""
+        return _Span(self, stage)
+
+    def events(self) -> Iterator[dict]:
+        """Recent span events, oldest first (bounded ring)."""
+        return iter(tuple(self._events))
+
+    def stats(self) -> dict:
+        """The whole registry as one JSON-friendly dict: per-stage
+        histogram stats (see :meth:`LatencyHistogram.stats`), counter
+        values, and the recent span events."""
+        return {
+            "stages": {
+                name: histogram.stats()
+                for name, histogram in sorted(self._stages.items())
+            },
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "spans": list(self._events),
+        }

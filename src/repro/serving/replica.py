@@ -1,0 +1,303 @@
+"""One serving replica: a snapshot-backed detection process behind a
+length-prefixed asyncio socket protocol.
+
+The multi-replica architecture (:mod:`repro.serving.router`) runs N of
+these processes behind one front-door router. Each replica loads the
+*same* ``HDMSNAP1`` snapshot via ``mmap`` — resident model memory is
+shared page cache across the fleet, not N private copies — and serves
+its :class:`~repro.serving.service.DetectionService` (micro-batcher,
+result cache, admission control: the whole PR 4 request path) over a
+deliberately minimal inward-facing wire protocol:
+
+- **Framing** — every message is ``4-byte big-endian length`` +
+  ``JSON (sorted keys)``. One persistent connection carries many
+  concurrent requests: frames are multiplexed by an ``"id"`` the client
+  chooses and the replica echoes, so a slow detection never
+  head-of-line-blocks a health probe on the same socket.
+- **Ops** — ``detect`` (query → the ``repro detect --json`` payload),
+  ``health`` (status + replica id + generation + pid), ``stats`` (the
+  service's full counters/stages dict). Unknown ops get a structured
+  error frame; protocol violations (oversized frame, junk bytes) close
+  the connection with :class:`~repro.errors.ReplicaProtocolError`
+  semantics rather than wedging the reader.
+- **Errors** — per-request and structured: ``{"ok": false, "kind":
+  "overloaded" | "closed" | "bad_request" | "internal"}`` so the router
+  can re-route, shed with ``Retry-After``, or fail the one request
+  without guessing from strings.
+
+``repro replica`` runs :func:`run_replica` as a process entry point; it
+prints one machine-readable ready line (``replica listening on
+HOST:PORT``) so a parent router can spawn it with ``--port 0`` and learn
+the bound port, and drains gracefully on SIGTERM exactly like
+:func:`~repro.serving.http.run_server`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import struct
+
+from repro.errors import (
+    ReplicaProtocolError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serving.http import detection_payload
+from repro.serving.service import DetectionService
+
+#: Largest accepted frame; detection requests and stats payloads are
+#: small, so anything bigger is a protocol violation, not a workload.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one protocol frame: 4-byte big-endian length + JSON.
+
+    The JSON is ``sort_keys=True`` like :func:`~repro.serving.http.http_response`,
+    so identical payloads are identical bytes — the property the r12
+    bench's bit-identity check rides on.
+    """
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ReplicaProtocolError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`~repro.errors.ReplicaProtocolError` for oversized or
+    non-JSON frames (the encoding twin of :func:`encode_frame`) and lets
+    ``asyncio.IncompleteReadError`` surface for a peer that died
+    mid-frame — callers treat both as "this connection is done".
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ReplicaProtocolError(
+            f"incoming frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    body = await reader.readexactly(length)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ReplicaProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReplicaProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+class ReplicaServer:
+    """Serve a :class:`DetectionService` over the replica socket protocol.
+
+    The inward-facing twin of
+    :class:`~repro.serving.http.DetectionHTTPServer`: same service, same
+    graceful drain, but a persistent multiplexed connection instead of
+    HTTP ``Connection: close`` — the router keeps one socket per replica
+    and pipelines every request over it.
+
+    >>> server = ReplicaServer(service, port=0)        # doctest: +SKIP
+    >>> await server.start()      # server.port is the bound port
+    >>> await server.stop()       # drains in-flight detections
+    """
+
+    def __init__(
+        self,
+        service: DetectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replica_id: int = 0,
+        generation: int = 1,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._replica_id = replica_id
+        self._generation = generation
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def service(self) -> DetectionService:
+        """The detection service behind this replica."""
+        return self._service
+
+    @property
+    def replica_id(self) -> int:
+        """This replica's stable index in the fleet (hash-ring node id)."""
+        return self._replica_id
+
+    @property
+    def generation(self) -> int:
+        """Spawn generation: 1 for the first launch, +1 per restart."""
+        return self._generation
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is not None:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until the server is stopped."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain the service."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await self._service.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        tasks: set[asyncio.Task] = set()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except (
+                    ReplicaProtocolError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    break  # poisoned or dying connection: stop reading
+                if request is None:
+                    break
+                task = asyncio.create_task(
+                    self._answer(request, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            # Let in-flight answers finish (drain), then drop the socket.
+            if tasks:
+                await asyncio.gather(*tuple(tasks), return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer raced close
+                pass
+
+    async def _answer(
+        self, request: dict, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        response = await self._respond(request)
+        async with write_lock:  # frames must not interleave mid-write
+            try:
+                writer.write(encode_frame(response))
+                await writer.drain()
+            except ConnectionError:  # pragma: no cover - peer went away
+                pass
+
+    async def _respond(self, request: dict) -> dict:
+        request_id = request.get("id")
+        base = {"id": request_id}
+        op = request.get("op")
+        if op == "detect":
+            query = request.get("query")
+            if not isinstance(query, str):
+                return {
+                    **base,
+                    "ok": False,
+                    "kind": "bad_request",
+                    "error": "detect needs a string 'query'",
+                }
+            try:
+                detection = await self._service.detect(query)
+            except ServerOverloadedError as exc:
+                return {**base, "ok": False, "kind": "overloaded", "error": str(exc)}
+            except ServerClosedError as exc:
+                return {**base, "ok": False, "kind": "closed", "error": str(exc)}
+            # repro: noqa[REP006] -- fan-out boundary: the failure is
+            # returned as this one request's structured error frame, so the
+            # router re-raises it for exactly one caller, never the fleet.
+            except Exception as exc:
+                return {**base, "ok": False, "kind": "internal", "error": str(exc)}
+            return {**base, "ok": True, "result": detection_payload(detection)}
+        if op == "health":
+            return {
+                **base,
+                "ok": True,
+                "status": "closed" if self._service.closed else "ok",
+                "replica": self._replica_id,
+                "generation": self._generation,
+                "pid": os.getpid(),
+            }
+        if op == "stats":
+            stats = self._service.stats()
+            stats["replica"] = self._replica_id
+            stats["generation"] = self._generation
+            stats["pid"] = os.getpid()
+            return {**base, "ok": True, "stats": stats}
+        return {
+            **base,
+            "ok": False,
+            "kind": "bad_request",
+            "error": f"unknown op {op!r}",
+        }
+
+
+async def run_replica(
+    service: DetectionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    replica_id: int = 0,
+    generation: int = 1,
+    ready=None,
+) -> None:
+    """Run one replica until SIGINT/SIGTERM, then drain and return.
+
+    The process entry behind ``repro replica`` — the socket-protocol
+    twin of :func:`~repro.serving.http.run_server`. ``ready`` (optional)
+    is called with the bound port once the replica accepts traffic; the
+    CLI uses it to print the ``replica listening on HOST:PORT`` line the
+    router parses to learn ephemeral ports.
+    """
+    server = ReplicaServer(
+        service, host, port, replica_id=replica_id, generation=generation
+    )
+    await server.start()
+    if ready is not None:
+        ready(server.port)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or platform without signal support
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass

@@ -1,0 +1,1013 @@
+"""Multi-replica serving: a consistent-hash front door over N replicas.
+
+One :class:`Router` process owns the outward HTTP surface
+(:class:`RouterHTTPServer` — the same ``POST /detect`` / ``GET /healthz``
+/ ``GET /stats`` routes as the single-process
+:class:`~repro.serving.http.DetectionHTTPServer`) and forwards each
+query inward over the length-prefixed socket protocol
+(:mod:`repro.serving.replica`) to one of N replica processes. Three
+design decisions carry the architecture:
+
+- **Consistent hashing for cache affinity.** Queries are normalized with
+  the same ``_normalize_fast`` the service uses as its cache key, then
+  placed on a :class:`ConsistentHashRing` (crc32, virtual nodes). The
+  same query always lands on the same replica, so each replica's
+  :class:`~repro.utils.lru.ShardedLruCache` sees a stable slice of the
+  query distribution and stays hot — N replicas give ~N disjoint caches,
+  not N copies of the same cold one. When a replica dies, only its arc
+  of the ring re-routes (ring order, next live node); the others keep
+  their hit rates.
+- **One mmap'd snapshot, shared pages.** Every replica loads the *same*
+  ``HDMSNAP1`` file via :meth:`CompiledDetector.load_snapshot`; the
+  kernel shares the read-only pages across processes, so fleet memory is
+  ~one model plus per-replica caches.
+- **Tiered load shedding.** Tier 1: router admission (``max_inflight``
+  concurrent requests, then :class:`~repro.errors.ServerOverloadedError`
+  → 503 + ``Retry-After`` without touching any replica). Tier 2: the
+  chosen replica's own admission control (its ``overloaded`` frame is
+  surfaced as the same 503 — deliberately *not* retried elsewhere, which
+  would stampede the next replica's cold cache). Tier 3: no live
+  replica → 503. Backpressure is deterministic at every tier.
+
+Health is actively managed: a background loop probes each replica over
+its multiplexed connection, marks non-responders ``down`` (their ring
+arc re-routes), restarts managed subprocesses with ``generation + 1``
+(up to ``max_restarts``), and reattaches externally-managed replicas
+when they come back. ``GET /stats`` aggregates the fleet: per-stage
+latency histograms merge bucket-wise
+(:meth:`~repro.serving.metrics.LatencyHistogram.merged`), cache and
+batch counters sum, and every replica reports its generation and health.
+
+``repro route`` runs :func:`run_router`; ``repro serve --replicas N``
+is sugar for it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import signal
+import sys
+from bisect import bisect_right
+from collections import Counter
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+from zlib import crc32
+
+from repro.errors import (
+    ReplicaProtocolError,
+    ReplicaUnavailableError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.runtime.compiled import _normalize_fast
+from repro.serving.http import (
+    CLIENT_GONE,
+    HttpRequestError,
+    finish_response,
+    http_response,
+    read_http_request,
+)
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.replica import encode_frame, read_frame
+
+#: The ready line a spawned replica prints; the router parses it to
+#: learn the ephemeral port a ``--port 0`` replica bound.
+READY_LINE = re.compile(rb"replica listening on ([0-9.]+):(\d+)")
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router policy knobs (the fleet-level twin of
+    :class:`~repro.serving.service.ServingConfig`).
+
+    - ``vnodes``: virtual nodes per replica on the hash ring — more
+      vnodes, smoother key distribution.
+    - ``max_inflight``: tier-1 admission — concurrent requests the
+      router accepts before shedding with 503.
+    - ``request_timeout_s``: how long one forwarded detect may take
+      before its replica is declared unavailable.
+    - ``health_interval_s`` / ``health_timeout_s``: background probe
+      cadence and per-probe deadline.
+    - ``spawn_timeout_s``: how long a spawned replica may take to print
+      its ready line.
+    - ``max_restarts``: restarts per managed replica before it is
+      declared ``failed`` and left out of the ring for good.
+    """
+
+    vnodes: int = 64
+    max_inflight: int = 1024
+    request_timeout_s: float = 30.0
+    health_interval_s: float = 1.0
+    health_timeout_s: float = 5.0
+    spawn_timeout_s: float = 120.0
+    max_restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.vnodes < 1:
+            raise ServingError(f"vnodes must be positive, got {self.vnodes}")
+        if self.max_inflight < 1:
+            raise ServingError(
+                f"max_inflight must be positive, got {self.max_inflight}"
+            )
+        if self.max_restarts < 0:
+            raise ServingError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+
+
+class ConsistentHashRing:
+    """A crc32 consistent-hash ring with virtual nodes.
+
+    The fleet-level twin of :func:`~repro.utils.lru.shard_of` (same
+    hash family, same determinism goal): a key maps to the first node
+    point at or after ``crc32(key)`` on the ring, so the mapping is
+    stable across processes and across restarts, and adding/removing
+    one node only remaps that node's arcs. ``vnodes`` points per node
+    smooth the arc sizes.
+
+    >>> ring = ConsistentHashRing(["r0", "r1"])
+    >>> ring.node_for("cheap hotels in rome") in {"r0", "r1"}
+    True
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ServingError(f"vnodes must be positive, got {vnodes}")
+        self._vnodes = vnodes
+        self._points: list[tuple[int, str]] = []
+        self._hashes: list[int] = []
+        self._nodes: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """The nodes on the ring, in insertion order."""
+        return tuple(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Place ``node`` on the ring (``vnodes`` points)."""
+        if node in self._nodes:
+            raise ServingError(f"node {node!r} is already on the ring")
+        self._nodes.append(node)
+        for vnode in range(self._vnodes):
+            point = crc32(f"{node}#{vnode}".encode("utf-8"))
+            self._points.append((point, node))
+        self._points.sort()
+        self._hashes = [point for point, _ in self._points]
+
+    def node_for(self, key: str, up: Sequence[str] | None = None) -> str | None:
+        """The node owning ``key`` — the first (ring-order) node whose
+        point is at or after ``crc32(key)``, restricted to ``up`` when
+        given. ``None`` when the ring (or ``up``) is empty."""
+        for node in self.nodes_for(key, up):
+            return node
+        return None
+
+    def nodes_for(self, key: str, up: Sequence[str] | None = None):
+        """Distinct candidate nodes for ``key`` in ring order (the
+        failover sequence: the first entry is :meth:`node_for`; each
+        later entry is the next arc a dying replica's keys spill onto).
+        Yields nothing when the ring (or ``up``) is empty."""
+        if not self._points:
+            return
+        allowed = None if up is None else set(up)
+        start = bisect_right(self._hashes, crc32(key.encode("utf-8")))
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            _, node = self._points[(start + offset) % len(self._points)]
+            if node in seen:
+                continue
+            seen.add(node)
+            if allowed is None or node in allowed:
+                yield node
+
+
+class ReplicaClient:
+    """A multiplexing client for one replica's socket protocol.
+
+    The client half of :class:`~repro.serving.replica.ReplicaServer`:
+    one persistent connection carries many concurrent requests, matched
+    by an ``"id"`` this client assigns and the replica echoes. A reader
+    task resolves pending futures as response frames arrive; when the
+    connection dies (EOF, reset, protocol violation), every pending
+    request fails with :class:`~repro.errors.ReplicaUnavailableError`
+    so the router can re-route — no caller is left hanging.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[str, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._next_id = 0
+        self._connected = False
+
+    @property
+    def connected(self) -> bool:
+        """True while the connection is believed usable."""
+        return self._connected
+
+    async def connect(self) -> None:
+        """Open the connection and start the response reader."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._connected = True
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def request(self, payload: dict, timeout: float | None = None) -> dict:
+        """Send one frame and await its matched response frame.
+
+        Raises :class:`~repro.errors.ReplicaUnavailableError` when the
+        connection is down, dies mid-request, or ``timeout`` elapses —
+        the caller's cue to re-route or answer 503.
+        """
+        if not self._connected or self._writer is None:
+            raise ReplicaUnavailableError(
+                f"replica {self._host}:{self._port} is not connected"
+            )
+        self._next_id += 1
+        request_id = str(self._next_id)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        frame = encode_frame({**payload, "id": request_id})
+        try:
+            async with self._write_lock:  # frames must not interleave
+                self._writer.write(frame)
+                await self._writer.drain()
+        except ConnectionError as exc:
+            self._fail_pending(
+                ReplicaUnavailableError(
+                    f"replica {self._host}:{self._port} connection died: {exc}"
+                )
+            )
+            raise ReplicaUnavailableError(
+                f"replica {self._host}:{self._port} connection died: {exc}"
+            ) from exc
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise ReplicaUnavailableError(
+                f"replica {self._host}:{self._port} did not answer "
+                f"within {timeout}s"
+            ) from None
+
+    async def close(self) -> None:
+        """Drop the connection; pending requests fail as unavailable."""
+        self._connected = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer raced close
+                pass
+        self._fail_pending(
+            ReplicaUnavailableError(
+                f"replica {self._host}:{self._port} connection closed"
+            )
+        )
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        failure: Exception | None = None
+        try:
+            while True:
+                try:
+                    response = await read_frame(self._reader)
+                except (
+                    ReplicaProtocolError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ) as exc:
+                    failure = exc
+                    break
+                if response is None:
+                    break
+                future = self._pending.pop(str(response.get("id")), None)
+                if future is None:
+                    # A response nothing waits for: the protocol is out
+                    # of sync; poison the connection rather than guess.
+                    failure = ReplicaProtocolError(
+                        f"replica {self._host}:{self._port} answered "
+                        f"unknown request id {response.get('id')!r}"
+                    )
+                    break
+                if not future.cancelled():
+                    future.set_result(response)
+        finally:
+            self._connected = False
+            self._fail_pending(
+                ReplicaUnavailableError(
+                    f"replica {self._host}:{self._port} connection lost"
+                    + (f": {failure}" if failure else "")
+                )
+            )
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+
+class ReplicaHandle:
+    """One replica slot as the router sees it: address, connection,
+    process (when router-spawned), and lifecycle state.
+
+    The fleet-side record of one
+    :class:`~repro.serving.replica.ReplicaServer`. States: ``starting``
+    (spawned, not yet serving) → ``up`` (on the ring) ⇄ ``down``
+    (probe failed or process exited; its ring arc re-routes while the
+    health loop restarts or reattaches it) → ``failed`` (managed
+    replica out of restart budget; left out of the ring for good).
+    """
+
+    def __init__(self, name: str, replica_id: int) -> None:
+        self.name = name
+        self.replica_id = replica_id
+        self.host: str = "127.0.0.1"
+        self.port: int = 0
+        self.generation = 0
+        self.state = "starting"
+        self.restarts = 0
+        self.managed = False
+        self.last_error = ""
+        self.client: ReplicaClient | None = None
+        self.process: asyncio.subprocess.Process | None = None
+        self._drain_task: asyncio.Task | None = None
+
+    def describe(self) -> dict:
+        """This slot's health record for ``/healthz`` and ``/stats``."""
+        return {
+            "state": self.state,
+            "generation": self.generation,
+            "restarts": self.restarts,
+            "managed": self.managed,
+            "address": f"{self.host}:{self.port}",
+            "last_error": self.last_error,
+        }
+
+
+class Router:
+    """The consistent-hash front door over a fleet of replicas.
+
+    The multi-process counterpart of
+    :class:`~repro.serving.service.DetectionService`: the same
+    ``await router.detect(text)`` contract (and the same
+    :class:`~repro.errors.ServerOverloadedError` /
+    :class:`~repro.errors.ServerClosedError` semantics), but each query
+    is forwarded to the replica that owns its normalized form on the
+    hash ring. See the module docstring for the architecture.
+
+    Replicas are populated either by :meth:`spawn` (subprocesses the
+    router manages and restarts) or :meth:`attach` (addresses of
+    externally-run ``repro replica`` processes); then :meth:`start`
+    connects the fleet and begins health probing.
+    """
+
+    def __init__(
+        self,
+        config: RouterConfig | None = None,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        self._config = config or RouterConfig()
+        self._metrics = metrics or ServingMetrics()
+        self._replicas: dict[str, ReplicaHandle] = {}
+        self._ring = ConsistentHashRing(vnodes=self._config.vnodes)
+        self._spawn_command: list[str] | None = None
+        self._inflight = 0
+        self._closed = False
+        self._started = False
+        self._health_task: asyncio.Task | None = None
+        self._restart_lock = asyncio.Lock()
+
+    @property
+    def config(self) -> RouterConfig:
+        """The policy this router was built with."""
+        return self._config
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        """The router's own metrics registry (stages ``request`` /
+        ``forward``, counters ``shed`` / ``reroutes`` / ``restarts``)."""
+        return self._metrics
+
+    @property
+    def closed(self) -> bool:
+        """True once shutdown has begun (routers don't reopen)."""
+        return self._closed
+
+    @property
+    def replicas(self) -> tuple[ReplicaHandle, ...]:
+        """The fleet's replica handles, in ring insertion order."""
+        return tuple(self._replicas.values())
+
+    # ------------------------------------------------------------------
+    # fleet population
+    # ------------------------------------------------------------------
+    def attach(self, host: str, port: int, name: str | None = None) -> ReplicaHandle:
+        """Register an externally-managed replica at ``host:port``.
+
+        The router connects and health-checks it but never restarts it;
+        when it dies its ring arc re-routes until it comes back and the
+        health loop reattaches. Call before :meth:`start`."""
+        handle = self._new_handle(name)
+        handle.host = host
+        handle.port = port
+        handle.managed = False
+        return handle
+
+    def spawn(
+        self,
+        snapshot_path: str,
+        count: int,
+        host: str = "127.0.0.1",
+        extra_args: Sequence[str] = (),
+    ) -> list[ReplicaHandle]:
+        """Register ``count`` router-managed replica slots, each to be
+        spawned as ``python -m repro.cli replica --snapshot ... --port 0``
+        (plus ``extra_args``, e.g. serving knobs) by :meth:`start`.
+
+        Every subprocess mmaps the *same* snapshot file, so the model's
+        pages are shared kernel page cache, not ``count`` copies."""
+        if count < 1:
+            raise ServingError(f"need at least one replica, got {count}")
+        self._spawn_command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "replica",
+            "--snapshot",
+            snapshot_path,
+            "--host",
+            host,
+            "--port",
+            "0",
+            *extra_args,
+        ]
+        handles = []
+        for _ in range(count):
+            handle = self._new_handle(None)
+            handle.host = host
+            handle.managed = True
+            handles.append(handle)
+        return handles
+
+    def _new_handle(self, name: str | None) -> ReplicaHandle:
+        if self._started:
+            raise ServingError("cannot add replicas after start()")
+        replica_id = len(self._replicas)
+        handle = ReplicaHandle(name or f"r{replica_id}", replica_id)
+        if handle.name in self._replicas:
+            raise ServingError(f"duplicate replica name {handle.name!r}")
+        self._replicas[handle.name] = handle
+        self._ring.add(handle.name)
+        return handle
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bring the fleet up: spawn/connect every replica, then start
+        the background health loop. Raises
+        :class:`~repro.errors.ServingError` when no replica comes up."""
+        if not self._replicas:
+            raise ServingError("router has no replicas; spawn() or attach() first")
+        self._started = True
+        for handle in self._replicas.values():
+            try:
+                if handle.managed:
+                    await self._spawn_one(handle)
+                else:
+                    await self._connect_one(handle)
+            except (ReplicaUnavailableError, OSError) as exc:
+                handle.state = "down"
+                handle.last_error = str(exc)
+        if not any(h.state == "up" for h in self._replicas.values()):
+            await self.close()
+            raise ServingError(
+                "no replica came up: "
+                + "; ".join(
+                    f"{h.name}: {h.last_error}" for h in self._replicas.values()
+                )
+            )
+        self._health_task = asyncio.create_task(self._health_loop())
+
+    async def close(self) -> None:
+        """Drain and shut the fleet down: stop health probing, close
+        every connection, SIGTERM managed subprocesses (their replica
+        drain handles in-flight work), and reap them. Idempotent."""
+        if self._closed and self._health_task is None:
+            return
+        self._closed = True
+        health_task, self._health_task = self._health_task, None
+        if health_task is not None:
+            health_task.cancel()
+            try:
+                await health_task
+            except asyncio.CancelledError:
+                pass
+        for handle in self._replicas.values():
+            client, handle.client = handle.client, None
+            if client is not None:
+                await client.close()
+            if handle._drain_task is not None:
+                handle._drain_task.cancel()
+                handle._drain_task = None
+            process, handle.process = handle.process, None
+            if process is not None and process.returncode is None:
+                process.terminate()
+                try:
+                    await asyncio.wait_for(process.wait(), 10.0)
+                except asyncio.TimeoutError:  # pragma: no cover - hung child
+                    process.kill()
+                    await process.wait()
+            if handle.state not in ("failed",):
+                handle.state = "down"
+
+    async def __aenter__(self) -> "Router":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    async def detect(self, text: str) -> dict:
+        """Route ``text`` to its replica; return the detection payload
+        (the ``repro detect --json`` shape, bit-identical to a local
+        ``detector.detect``).
+
+        Raises :class:`~repro.errors.ServerOverloadedError` at any shed
+        tier (router admission, replica admission, no live replica) and
+        :class:`~repro.errors.ServerClosedError` after shutdown began.
+        """
+        if self._closed:
+            raise ServerClosedError("router is closed")
+        if self._inflight >= self._config.max_inflight:
+            self._metrics.counter("shed").add()
+            raise ServerOverloadedError(
+                f"router is at capacity ({self._config.max_inflight} requests "
+                "in flight); shed load or retry with backoff"
+            )
+        self._inflight += 1
+        start = perf_counter()
+        try:
+            return await self._forward(text)
+        finally:
+            self._inflight -= 1
+            self._metrics.observe("request", perf_counter() - start)
+
+    async def _forward(self, text: str) -> dict:
+        key = _normalize_fast(text)
+        tried: list[str] = []
+        rerouted = False
+        for name in self._ring.nodes_for(key):
+            handle = self._replicas[name]
+            if handle.state != "up" or handle.client is None:
+                continue
+            if rerouted:
+                self._metrics.counter("reroutes").add()
+            try:
+                with self._metrics.span("forward"):
+                    response = await handle.client.request(
+                        {"op": "detect", "query": text},
+                        timeout=self._config.request_timeout_s,
+                    )
+            except ReplicaUnavailableError as exc:
+                self._mark_down(handle, str(exc))
+                tried.append(name)
+                rerouted = True
+                continue
+            if response.get("ok"):
+                result = response.get("result")
+                if not isinstance(result, dict):  # pragma: no cover
+                    raise ReplicaProtocolError(
+                        f"replica {name} returned a malformed result"
+                    )
+                return result
+            kind = response.get("kind")
+            error = str(response.get("error", "replica error"))
+            if kind == "overloaded":
+                # Tier-2 shed: the owning replica is saturated. Honor
+                # its backpressure instead of stampeding a neighbour's
+                # cold cache with this key's traffic.
+                self._metrics.counter("shed").add()
+                raise ServerOverloadedError(error)
+            if kind == "closed":
+                self._mark_down(handle, error)
+                tried.append(name)
+                rerouted = True
+                continue
+            raise ServingError(f"replica {name}: {error}")
+        self._metrics.counter("unrouted").add()
+        detail = f" (tried {', '.join(tried)})" if tried else ""
+        raise ServerOverloadedError(f"no replica available{detail}")
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """The router's local view of fleet health (no replica I/O):
+        ``ok`` when every replica is up, ``degraded`` when some are,
+        ``down`` when none is."""
+        states = {name: h.state for name, h in self._replicas.items()}
+        up = sum(1 for state in states.values() if state == "up")
+        if self._closed:
+            status = "closed"
+        elif up == len(states):
+            status = "ok"
+        elif up:
+            status = "degraded"
+        else:
+            status = "down"
+        return {"status": status, "up": up, "replicas": states}
+
+    async def check_health(self) -> None:
+        """Probe every replica once: mark non-responders down, restart
+        managed subprocesses (``generation + 1``, bounded by
+        ``max_restarts``), reconnect attached replicas that came back.
+        The health loop calls this every ``health_interval_s``; tests
+        call it directly for determinism."""
+        async with self._restart_lock:
+            for handle in self._replicas.values():
+                await self._check_one(handle)
+
+    async def _check_one(self, handle: ReplicaHandle) -> None:
+        if handle.state == "failed" or self._closed:
+            return
+        process = handle.process
+        if process is not None and process.returncode is not None:
+            self._mark_down(
+                handle, f"process exited with code {process.returncode}"
+            )
+            handle.process = None
+        if handle.state == "up" and handle.client is not None:
+            try:
+                response = await handle.client.request(
+                    {"op": "health"}, timeout=self._config.health_timeout_s
+                )
+            except ReplicaUnavailableError as exc:
+                self._mark_down(handle, str(exc))
+            else:
+                status = response.get("status")
+                if status != "ok":
+                    self._mark_down(handle, f"replica reports {status!r}")
+        if handle.state != "down":
+            return
+        if handle.managed:
+            if handle.restarts >= self._config.max_restarts:
+                handle.state = "failed"
+                return
+            handle.restarts += 1
+            self._metrics.counter("restarts").add()
+            try:
+                await self._spawn_one(handle)
+            except (ReplicaUnavailableError, OSError) as exc:
+                handle.state = "down"
+                handle.last_error = str(exc)
+        else:
+            try:
+                await self._connect_one(handle)
+            except (ReplicaUnavailableError, OSError) as exc:
+                handle.last_error = str(exc)
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._config.health_interval_s)
+            await self.check_health()
+
+    def _mark_down(self, handle: ReplicaHandle, reason: str) -> None:
+        handle.state = "down"
+        handle.last_error = reason
+        client, handle.client = handle.client, None
+        if client is not None:
+            # Fire-and-forget: close() only fails pending futures and
+            # drops the socket; nothing awaits the outcome.
+            asyncio.create_task(client.close())
+
+    # ------------------------------------------------------------------
+    # spawning / connecting
+    # ------------------------------------------------------------------
+    async def _spawn_one(self, handle: ReplicaHandle) -> None:
+        assert self._spawn_command is not None, "spawn() builds the command"
+        handle.generation += 1
+        handle.state = "starting"
+        if handle._drain_task is not None:
+            handle._drain_task.cancel()
+            handle._drain_task = None
+        command = self._spawn_command + [
+            "--replica-id",
+            str(handle.replica_id),
+            "--generation",
+            str(handle.generation),
+        ]
+        process = await asyncio.create_subprocess_exec(
+            *command, stdout=asyncio.subprocess.PIPE
+        )
+        handle.process = process
+        try:
+            handle.host, handle.port = await asyncio.wait_for(
+                _await_ready_line(process), self._config.spawn_timeout_s
+            )
+        except (asyncio.TimeoutError, ReplicaUnavailableError) as exc:
+            if process.returncode is None:
+                process.terminate()
+                await process.wait()
+            handle.process = None
+            raise ReplicaUnavailableError(
+                f"replica {handle.name} (gen {handle.generation}) never "
+                f"became ready: {exc}"
+            ) from exc
+        # Keep the child's stdout drained so it can never block on a
+        # full pipe; the task dies with the stream at process exit.
+        handle._drain_task = asyncio.create_task(_drain_stream(process.stdout))
+        await self._connect_one(handle)
+
+    async def _connect_one(self, handle: ReplicaHandle) -> None:
+        client = ReplicaClient(handle.host, handle.port)
+        await client.connect()
+        response = await client.request(
+            {"op": "health"}, timeout=self._config.health_timeout_s
+        )
+        if response.get("status") != "ok":
+            await client.close()
+            raise ReplicaUnavailableError(
+                f"replica {handle.name} reports {response.get('status')!r}"
+            )
+        generation = response.get("generation")
+        if isinstance(generation, int):
+            handle.generation = generation
+        handle.client = client
+        handle.state = "up"
+        handle.last_error = ""
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    async def stats(self) -> dict:
+        """The aggregated fleet picture for ``GET /stats``:
+
+        - ``router`` — this process: replica/up counts, in-flight,
+          its own stage histograms (``request``, ``forward``) and
+          counters (``shed``, ``reroutes``, ``restarts``, ``unrouted``).
+        - ``replicas`` — per replica: state, generation, restarts,
+          address, last error, and (when up) its full service stats.
+        - ``fleet`` — the replicas merged: summed request/cache/batch
+          counters, overall cache hit rate, bucket-wise merged stage
+          histograms (fleet-wide p50/p95/p99 via
+          :meth:`~repro.serving.metrics.LatencyHistogram.merged`).
+        """
+        replicas: dict[str, dict] = {}
+        fleet_inputs: list[dict] = []
+        for name, handle in self._replicas.items():
+            entry = handle.describe()
+            if handle.state == "up" and handle.client is not None:
+                try:
+                    response = await handle.client.request(
+                        {"op": "stats"}, timeout=self._config.health_timeout_s
+                    )
+                except ReplicaUnavailableError as exc:
+                    self._mark_down(handle, str(exc))
+                    entry = handle.describe()
+                else:
+                    stats = response.get("stats")
+                    if isinstance(stats, dict):
+                        entry["stats"] = stats
+                        fleet_inputs.append(stats)
+            replicas[name] = entry
+        local = self._metrics.stats()
+        up = sum(1 for h in self._replicas.values() if h.state == "up")
+        return {
+            "router": {
+                "replicas": len(self._replicas),
+                "up": up,
+                "inflight": self._inflight,
+                "closed": self._closed,
+                "stages": local["stages"],
+                "counters": local["counters"],
+            },
+            "replicas": replicas,
+            "fleet": _merge_fleet_stats(fleet_inputs),
+        }
+
+
+def _merge_fleet_stats(stats_list: list[dict]) -> dict:
+    """Fold per-replica service stats into one fleet dict (counters
+    sum, hit rate recomputes, stage histograms merge bucket-wise)."""
+    fleet: dict = {
+        "requests": 0,
+        "detected": 0,
+        "coalesced": 0,
+        "rejected": 0,
+        "batches": 0,
+    }
+    hits = misses = 0
+    batch_sizes: Counter[int] = Counter()
+    stages: dict[str, list[dict]] = {}
+    for stats in stats_list:
+        for key in ("requests", "detected", "coalesced", "rejected", "batches"):
+            fleet[key] += stats.get(key, 0)
+        cache = stats.get("cache") or {}
+        hits += cache.get("hits", 0)
+        misses += cache.get("misses", 0)
+        for size, count in (stats.get("batch_sizes") or {}).items():
+            batch_sizes[int(size)] += count
+        for stage, histogram in (stats.get("stages") or {}).items():
+            stages.setdefault(stage, []).append(histogram)
+    lookups = hits + misses
+    fleet["cache"] = {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+    fleet["batch_sizes"] = {
+        str(size): count for size, count in sorted(batch_sizes.items())
+    }
+    fleet["stages"] = {
+        stage: LatencyHistogram.merged(histograms)
+        for stage, histograms in sorted(stages.items())
+    }
+    return fleet
+
+
+async def _await_ready_line(
+    process: asyncio.subprocess.Process,
+) -> tuple[str, int]:
+    """Read the child's stdout until its ready line; return (host, port)."""
+    assert process.stdout is not None
+    while True:
+        line = await process.stdout.readline()
+        if not line:
+            raise ReplicaUnavailableError(
+                f"replica process exited (code {process.returncode}) "
+                "before becoming ready"
+            )
+        match = READY_LINE.search(line)
+        if match:
+            return match.group(1).decode("ascii"), int(match.group(2))
+
+
+async def _drain_stream(stream: asyncio.StreamReader | None) -> None:
+    if stream is None:  # pragma: no cover - spawned with stdout=PIPE
+        return
+    while await stream.read(4096):
+        pass
+
+
+class RouterHTTPServer:
+    """The router's outward HTTP face — byte-compatible with the
+    single-process :class:`~repro.serving.http.DetectionHTTPServer`
+    (same routes, same deterministic JSON, same 503 + ``Retry-After``
+    backpressure), built from the same module-level request plumbing
+    (:func:`~repro.serving.http.read_http_request` /
+    :func:`~repro.serving.http.http_response`). Clients cannot tell one
+    replica from a fleet, which is what makes the r12 bit-identity
+    bench meaningful.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        self._router = router
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def router(self) -> Router:
+        """The router behind this server."""
+        return self._router
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is not None:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until the server is stopped."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close the fleet."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await self._router.close()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, target, body = await read_http_request(reader)
+        except HttpRequestError as exc:
+            await finish_response(writer, http_response(exc.status, exc.payload))
+            return
+        except CLIENT_GONE:
+            writer.close()
+            return
+        try:
+            status, payload = await self._respond(method, target, body)
+        # repro: noqa[REP006] -- protocol edge: anything escaping a request
+        # handler becomes a 500 response; a traceback must never hit the wire.
+        except Exception as exc:
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        await finish_response(writer, http_response(status, payload))
+
+    async def _respond(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict]:
+        if target == "/healthz" and method == "GET":
+            health = self._router.healthz()
+            return (200 if health["up"] else 503), health
+        if target == "/stats" and method == "GET":
+            return 200, await self._router.stats()
+        if target == "/detect":
+            if method != "POST":
+                return 405, {"error": "use POST /detect"}
+            try:
+                request = json.loads(body.decode("utf-8"))
+                query = request["query"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError):
+                return 400, {"error": 'body must be JSON: {"query": "..."}'}
+            if not isinstance(query, str):
+                return 400, {"error": "query must be a string"}
+            try:
+                return 200, await self._router.detect(query)
+            except (ServerOverloadedError, ServerClosedError) as exc:
+                return 503, {"error": str(exc)}
+            except ServingError as exc:
+                return 500, {"error": str(exc)}
+        return 404, {"error": f"no route {method} {target}"}
+
+
+async def run_router(
+    router: Router,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    ready=None,
+) -> None:
+    """Run the front door until SIGINT/SIGTERM, then drain and return.
+
+    The fleet entry point behind ``repro route`` — the multi-replica
+    twin of :func:`~repro.serving.http.run_server`: starts the router
+    (spawning/connecting its replicas), serves HTTP, and on signal
+    closes the fleet (replicas drain in-flight work before exiting).
+    ``ready`` (optional) is called with the bound port once accepting.
+    """
+    await router.start()
+    server = RouterHTTPServer(router, host, port)
+    try:
+        await server.start()
+    except OSError:
+        await router.close()
+        raise
+    if ready is not None:
+        ready(server.port)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or platform without signal support
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass

@@ -43,11 +43,13 @@ import weakref
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.detector import Detection
 from repro.errors import ServerClosedError, ServerOverloadedError, ServingError
 from repro.runtime.compiled import _normalize_fast
 from repro.serving.batcher import MicroBatcher
+from repro.serving.metrics import ServingMetrics
 from repro.utils.lru import ShardedLruCache
 
 _MISS = object()
@@ -93,13 +95,19 @@ class DetectionService:
         self,
         detector,
         config: ServingConfig | None = None,
+        metrics: ServingMetrics | None = None,
     ) -> None:
         self._detector = detector
         self._config = config or ServingConfig()
+        # One registry for the whole pipeline: the batcher reports queue
+        # waits into it, this service reports request/detect latencies,
+        # and the HTTP/replica front ends layer their own stages on top.
+        self._metrics = metrics or ServingMetrics()
         self._batcher: MicroBatcher[str, Detection] = MicroBatcher(
             self._run_batch,
             max_batch_size=self._config.max_batch_size,
             max_wait_us=self._config.max_wait_us,
+            on_dispatch=self._observe_dispatch,
         )
         self._cache: ShardedLruCache[str, Detection] | None = None
         if self._config.cache_size > 0:
@@ -142,6 +150,12 @@ class DetectionService:
         """Distinct queries currently in flight (admission counter)."""
         return len(self._inflight)
 
+    @property
+    def metrics(self) -> ServingMetrics:
+        """The per-stage metrics registry this service reports into
+        (shared with its batcher and any front end layered on top)."""
+        return self._metrics
+
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
@@ -152,6 +166,15 @@ class DetectionService:
         admission queue is full and :class:`~repro.errors.ServerClosedError`
         after shutdown has begun.
         """
+        start = perf_counter()
+        try:
+            return await self._detect_admitted(text)
+        finally:
+            self._metrics.observe("request", perf_counter() - start)
+
+    async def _detect_admitted(self, text: str) -> Detection:
+        """The pre-metrics request path (cache → dedup → admission →
+        batch); see :meth:`detect` for the caller contract."""
         if self._closed:
             raise ServerClosedError("detection service is closed")
         self._requests += 1
@@ -168,6 +191,7 @@ class DetectionService:
             return await asyncio.shield(inflight)
         if len(self._inflight) >= self._config.max_pending:
             self._rejected += 1
+            self._metrics.counter("shed").add()
             raise ServerOverloadedError(
                 f"serving queue is full ({self._config.max_pending} queries "
                 "in flight); shed load or retry with backoff"
@@ -189,6 +213,11 @@ class DetectionService:
 
         return _reap
 
+    def _observe_dispatch(self, batch_size: int, waited: float) -> None:
+        """Batcher dispatch hook: record how long the oldest item of the
+        just-dispatched batch sat waiting for batch-mates."""
+        self._metrics.observe("queue_wait", waited)
+
     async def _run_batch(self, keys: list[str]) -> list:
         """Batch runner: detect on the worker thread, fill the cache.
 
@@ -197,9 +226,10 @@ class DetectionService:
         Exception outcome to exactly that waiter).
         """
         loop = asyncio.get_running_loop()
-        outcomes = await loop.run_in_executor(
-            self._executor, _detect_batch_attributed, self._detector, keys
-        )
+        with self._metrics.span("detect"):
+            outcomes = await loop.run_in_executor(
+                self._executor, _detect_batch_attributed, self._detector, keys
+            )
         self._batch_sizes[len(keys)] += 1
         self._detected += len(keys)
         if self._cache is not None:
@@ -239,8 +269,12 @@ class DetectionService:
         is the dispatch histogram (size → batches). ``vectorized`` says
         whether coalesced batches run the array-at-a-time engine
         (:class:`~repro.runtime.vectorized.VectorizedDetector`) rather
-        than a per-query loop.
+        than a per-query loop. ``stages`` carries the per-stage latency
+        histograms (``request``/``queue_wait``/``detect``, p50/p95/p99
+        and bucket counts) from the shared
+        :class:`~repro.serving.metrics.ServingMetrics` registry.
         """
+        metrics = self._metrics.stats()
         return {
             "requests": self._requests,
             "detected": self._detected,
@@ -255,6 +289,8 @@ class DetectionService:
                 str(size): count
                 for size, count in sorted(self._batch_sizes.items())
             },
+            "stages": metrics["stages"],
+            "counters": metrics["counters"],
         }
 
 

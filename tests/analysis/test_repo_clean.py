@@ -53,7 +53,7 @@ def test_canary_blocking_sleep_in_http_handler(corpus):
     """Acceptance check: ``time.sleep`` in serving/http.py → REP002."""
 
     def transform(text):
-        needle = "status, payload = await self._respond(reader)"
+        needle = "status, payload = await self._respond(method, target, body)"
         assert needle in text
         return text.replace(
             needle,

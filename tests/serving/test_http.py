@@ -121,6 +121,106 @@ class TestRoutes:
         assert "full" in payload["error"]
 
 
+async def _raw_exchange(port: int, payload: bytes, close_early: bool = False):
+    """Speak raw bytes to the server; return the response (b"" if the
+    connection was abandoned). ``close_early`` drops the connection
+    after writing ``payload`` without finishing the request."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    if close_early:
+        writer.close()
+        await writer.wait_closed()
+        return b""
+    response = await asyncio.wait_for(reader.read(-1), timeout=10)
+    writer.close()
+    await writer.wait_closed()
+    return response
+
+
+class TestProtocolEdges:
+    """Malformed and hostile inputs get deterministic status codes and
+    never wedge the batcher behind the server."""
+
+    def test_oversized_body_is_413(self, compiled):
+        async def handler(server, port):
+            huge = b'{"query": "' + b"x" * (65 * 1024) + b'"}'
+            request = (
+                b"POST /detect HTTP/1.1\r\nContent-Length: "
+                + str(len(huge)).encode()
+                + b"\r\n\r\n"
+            )
+            return await _raw_exchange(port, request + huge)
+
+        response = asyncio.run(serve(handler)(compiled))
+        assert response.startswith(b"HTTP/1.1 413 ")
+        assert b"exceeds" in response
+
+    def test_malformed_request_line_is_400(self, compiled):
+        async def handler(server, port):
+            return await _raw_exchange(port, b"\r\n\r\n")
+
+        response = asyncio.run(serve(handler)(compiled))
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_bad_content_length_is_400(self, compiled):
+        async def handler(server, port):
+            return await _raw_exchange(
+                port, b"POST /detect HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+            )
+
+        response = asyncio.run(serve(handler)(compiled))
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_503_carries_retry_after(self, compiled):
+        async def handler(server, port):
+            async def overloaded(text):
+                raise ServerOverloadedError("full")
+
+            server.service.detect = overloaded
+            body = json.dumps({"query": "q"}).encode()
+            request = (
+                b"POST /detect HTTP/1.1\r\nContent-Length: "
+                + str(len(body)).encode()
+                + b"\r\n\r\n"
+                + body
+            )
+            return await _raw_exchange(port, request)
+
+        response = asyncio.run(serve(handler)(compiled))
+        assert response.startswith(b"HTTP/1.1 503 ")
+        assert b"Retry-After: 1" in response
+
+    def test_dropped_connection_mid_request_never_wedges(self, compiled):
+        """A client that vanishes mid-request is abandoned silently: the
+        batcher is never touched with the partial request, and the very
+        next well-formed request is served normally."""
+
+        async def handler(server, port):
+            # Headers promise a body that never arrives.
+            await _raw_exchange(
+                port,
+                b"POST /detect HTTP/1.1\r\nContent-Length: 64\r\n\r\ntrunc",
+                close_early=True,
+            )
+            # Drop mid-headers too.
+            await _raw_exchange(
+                port, b"POST /detect HT", close_early=True
+            )
+            await asyncio.sleep(0)  # let the server observe both EOFs
+            body = json.dumps({"query": "cheap hotels in rome"}).encode()
+            status, payload = await _exchange(port, "/detect", body)
+            stats = server.service.stats()
+            return status, payload, stats
+
+        status, payload, stats = asyncio.run(serve(handler)(compiled))
+        assert status == 200
+        assert payload["head"] == "hotels"
+        # Only the completed request reached the service/batcher.
+        assert stats["requests"] == 1
+        assert stats["batches"] == 1
+
+
 class TestShutdown:
     def test_stop_drains_service(self, compiled):
         async def main():

@@ -1,0 +1,125 @@
+"""Serving metrics: counters, mergeable histograms, span traces."""
+
+from __future__ import annotations
+
+from repro.serving.metrics import (
+    BUCKET_BOUNDS_US,
+    DEFAULT_TRACE_CAPACITY,
+    LatencyHistogram,
+    ServingMetrics,
+    StatCounter,
+)
+
+
+class TestStatCounter:
+    def test_counts(self):
+        counter = StatCounter()
+        assert counter.value == 0
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+
+class TestLatencyHistogram:
+    def test_bucket_bounds_are_sorted_and_unique(self):
+        assert list(BUCKET_BOUNDS_US) == sorted(set(BUCKET_BOUNDS_US))
+        assert BUCKET_BOUNDS_US[0] == 1  # 1 µs floor
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        stats = hist.stats()
+        assert stats["count"] == 0
+        assert stats["p50_us"] == 0.0
+        assert stats["p99_us"] == 0.0
+        assert stats["buckets"] == {}
+
+    def test_observe_and_percentiles_are_bucket_bounded(self):
+        hist = LatencyHistogram()
+        for us in (3, 30, 300, 3000):
+            hist.observe_us(us)
+        stats = hist.stats()
+        assert stats["count"] == 4
+        assert stats["max_us"] == 3000
+        assert stats["mean_us"] == (3 + 30 + 300 + 3000) / 4
+        # Each observation lands in the bucket whose bound is next above.
+        assert stats["buckets"] == {"5": 1, "50": 1, "500": 1, "5000": 1}
+        # A percentile can never leave its winning bucket.
+        assert stats["p50_us"] <= 500
+        assert stats["p99_us"] <= 5000
+
+    def test_observe_seconds_converts_to_us(self):
+        hist = LatencyHistogram()
+        hist.observe(0.001)
+        assert hist.stats()["max_us"] == 1000.0
+
+    def test_overflow_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe_us(10**9)  # slower than the largest bound
+        assert hist.stats()["buckets"] == {"inf": 1}
+        assert hist.stats()["p99_us"] <= 10**9
+
+    def test_merged_equals_single_histogram_of_all_observations(self):
+        """Merging per-replica stats gives exactly the histogram one
+        process would have recorded — the router aggregation property."""
+        observations_a = [5, 40, 900, 12_000]
+        observations_b = [7, 55, 100_000]
+        part_a, part_b, whole = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        for us in observations_a:
+            part_a.observe_us(us)
+            whole.observe_us(us)
+        for us in observations_b:
+            part_b.observe_us(us)
+            whole.observe_us(us)
+        merged = LatencyHistogram.merged([part_a.stats(), part_b.stats()])
+        assert merged == whole.stats()
+
+    def test_merged_skips_empty_inputs(self):
+        hist = LatencyHistogram()
+        hist.observe_us(10)
+        merged = LatencyHistogram.merged(
+            [LatencyHistogram().stats(), hist.stats()]
+        )
+        assert merged["count"] == 1
+        assert LatencyHistogram.merged([])["count"] == 0
+
+
+class TestServingMetrics:
+    def test_counters_and_stages_create_on_first_use(self):
+        metrics = ServingMetrics()
+        metrics.counter("shed").add()
+        metrics.observe("detect", 0.002)
+        stats = metrics.stats()
+        assert stats["counters"] == {"shed": 1}
+        assert stats["stages"]["detect"]["count"] == 1
+
+    def test_span_times_its_block(self):
+        metrics = ServingMetrics()
+        with metrics.span("route"):
+            pass
+        assert metrics.stage("route").count == 1
+        events = list(metrics.events())
+        assert len(events) == 1
+        assert events[0]["stage"] == "route"
+        assert events[0]["seq"] == 1
+
+    def test_trace_ring_is_bounded(self):
+        metrics = ServingMetrics(trace_capacity=4)
+        for index in range(10):
+            metrics.observe("request", index / 1e6)
+        events = list(metrics.events())
+        assert len(events) == 4
+        assert [event["seq"] for event in events] == [7, 8, 9, 10]
+        assert DEFAULT_TRACE_CAPACITY >= 4
+
+    def test_stats_is_json_friendly(self):
+        import json
+
+        metrics = ServingMetrics()
+        with metrics.span("detect"):
+            pass
+        metrics.counter("reroutes").add(2)
+        assert json.loads(json.dumps(metrics.stats()))

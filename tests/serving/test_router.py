@@ -1,0 +1,459 @@
+"""Router: hash-ring affinity, failover, shedding, aggregated stats.
+
+Replicas here are in-process :class:`ReplicaServer` instances attached
+by address (no subprocesses), so every fleet behaviour — affinity,
+re-route on death, reattach, overload propagation — is tested
+deterministically and fast. The subprocess spawn path is exercised by
+the CI router smoke test and the R12 benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+
+import pytest
+
+from repro.errors import (
+    ReplicaUnavailableError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.runtime.compiled import _normalize_fast
+from repro.serving import DetectionService, detection_payload
+from repro.serving.replica import ReplicaServer
+from repro.serving.router import (
+    ConsistentHashRing,
+    ReplicaClient,
+    ReplicaHandle,
+    Router,
+    RouterConfig,
+    RouterHTTPServer,
+    run_router,
+)
+
+QUERIES = [
+    "cheap hotels in rome",
+    "iphone 5s case",
+    "toyota camry 2012 price",
+    "best pizza new york",
+    "laptop backpack",
+    "michael jackson songs",
+    "flights to tokyo",
+    "running shoes for women",
+]
+
+
+@pytest.fixture(scope="module")
+def compiled(model):
+    return model.compile()
+
+
+class TestConsistentHashRing:
+    def test_mapping_is_deterministic_and_total(self):
+        ring = ConsistentHashRing(["r0", "r1", "r2"])
+        for query in QUERIES:
+            assert ring.node_for(query) == ring.node_for(query)
+            assert ring.node_for(query) in {"r0", "r1", "r2"}
+
+    def test_all_nodes_receive_keys(self):
+        ring = ConsistentHashRing(["r0", "r1", "r2"])
+        owners = {ring.node_for(f"query number {i}") for i in range(500)}
+        assert owners == {"r0", "r1", "r2"}
+
+    def test_removing_a_node_only_remaps_its_keys(self):
+        """The consistent-hashing contract: keys owned by surviving
+        nodes keep their owner when one node leaves the `up` set."""
+        ring = ConsistentHashRing(["r0", "r1", "r2"])
+        keys = [f"query number {i}" for i in range(500)]
+        before = {key: ring.node_for(key) for key in keys}
+        after = {key: ring.node_for(key, up=["r0", "r2"]) for key in keys}
+        for key in keys:
+            if before[key] != "r1":
+                assert after[key] == before[key]
+            else:
+                assert after[key] in {"r0", "r2"}
+
+    def test_nodes_for_yields_distinct_failover_order(self):
+        ring = ConsistentHashRing(["r0", "r1", "r2"], vnodes=8)
+        order = list(ring.nodes_for("cheap hotels in rome"))
+        assert sorted(order) == ["r0", "r1", "r2"]
+        assert order[0] == ring.node_for("cheap hotels in rome")
+
+    def test_empty_ring_and_empty_up_set(self):
+        assert ConsistentHashRing().node_for("x") is None
+        ring = ConsistentHashRing(["r0"])
+        assert ring.node_for("x", up=[]) is None
+
+    def test_duplicate_node_is_refused(self):
+        ring = ConsistentHashRing(["r0"])
+        with pytest.raises(ServingError, match="already"):
+            ring.add("r0")
+
+
+class TestRouterConfig:
+    def test_validation(self):
+        with pytest.raises(ServingError, match="vnodes"):
+            RouterConfig(vnodes=0)
+        with pytest.raises(ServingError, match="max_inflight"):
+            RouterConfig(max_inflight=0)
+        with pytest.raises(ServingError, match="max_restarts"):
+            RouterConfig(max_restarts=-1)
+
+
+def _fleet(compiled, count, config=None):
+    """An async context manager: a router attached to ``count``
+    in-process replica servers."""
+
+    class _Fleet:
+        async def __aenter__(self):
+            self.servers = []
+            for replica_id in range(count):
+                server = ReplicaServer(
+                    DetectionService(compiled),
+                    port=0,
+                    replica_id=replica_id,
+                    generation=1,
+                )
+                await server.start()
+                self.servers.append(server)
+            self.router = Router(config or RouterConfig(health_interval_s=30.0))
+            for server in self.servers:
+                self.router.attach("127.0.0.1", server.port)
+            await self.router.start()
+            return self.router, self.servers
+
+        async def __aexit__(self, *exc_info):
+            await self.router.close()
+            for server in self.servers:
+                await server.stop()
+
+    return _Fleet()
+
+
+class TestRouterRequestPath:
+    def test_detect_is_bit_identical_to_local(self, compiled):
+        async def main():
+            async with _fleet(compiled, 3) as (router, _servers):
+                return {q: await router.detect(q) for q in QUERIES}
+
+        results = asyncio.run(main())
+        for query, payload in results.items():
+            expected = detection_payload(compiled.detect(query))
+            assert json.dumps(payload, sort_keys=True) == json.dumps(
+                expected, sort_keys=True
+            )
+
+    def test_same_query_sticks_to_one_replica(self, compiled):
+        """Cache affinity: repeats of a query always hit the replica
+        owning its normalized form on the ring."""
+
+        async def main():
+            async with _fleet(compiled, 3) as (router, servers):
+                for _ in range(6):
+                    for query in QUERIES:
+                        await router.detect(query)
+                per_replica = [
+                    server.service.stats()["requests"] for server in servers
+                ]
+                owners = {
+                    router._ring.node_for(_normalize_fast(q)) for q in QUERIES
+                }
+                return per_replica, owners
+
+        per_replica, owners = asyncio.run(main())
+        # Every repeat goes to the owner: totals are multiples of 6.
+        assert sum(per_replica) == 6 * len(QUERIES)
+        assert all(count % 6 == 0 for count in per_replica)
+        assert len(owners) > 1  # the queries actually spread
+
+    def test_dead_replica_reroutes_without_dropping_requests(self, compiled):
+        """Kill one replica mid-load: its arc re-routes to live nodes,
+        every request is still answered, and healthz degrades."""
+
+        async def main():
+            async with _fleet(compiled, 3) as (router, servers):
+                for query in QUERIES:
+                    await router.detect(query)
+                await servers[0].stop()  # replica dies abruptly
+                results = {}
+                for query in QUERIES + ["brand new query after death"]:
+                    results[query] = await router.detect(query)
+                return results, router.healthz()
+
+        results, health = asyncio.run(main())
+        assert len(results) == len(QUERIES) + 1
+        for query, payload in results.items():
+            assert payload["query"] == _normalize_fast(query)
+        assert health["status"] == "degraded"
+        assert health["up"] == 2
+
+    def test_all_replicas_down_is_503_semantics(self, compiled):
+        async def main():
+            async with _fleet(compiled, 2) as (router, servers):
+                for server in servers:
+                    await server.stop()
+                with pytest.raises(ServerOverloadedError, match="no replica"):
+                    for _ in range(3):  # first calls may consume marks
+                        await router.detect("cheap hotels in rome")
+
+        asyncio.run(main())
+
+    def test_router_admission_sheds_at_max_inflight(self, compiled):
+        async def main():
+            config = RouterConfig(max_inflight=1, health_interval_s=30.0)
+            async with _fleet(compiled, 2, config) as (router, _servers):
+                router._inflight = 1  # simulate a stuck in-flight request
+                with pytest.raises(ServerOverloadedError, match="capacity"):
+                    await router.detect("x")
+                router._inflight = 0
+                assert (await router.detect("cheap hotels in rome"))["head"]
+                return router.metrics.stats()["counters"]
+
+        counters = asyncio.run(main())
+        assert counters["shed"] == 1
+
+    def test_replica_overload_propagates_as_shed(self, compiled):
+        """Tier-2 shedding: the owning replica's admission rejection is
+        surfaced to the caller, not retried onto another replica."""
+
+        class _ShedService:
+            closed = False
+
+            async def detect(self, text):
+                raise ServerOverloadedError("replica queue full")
+
+            async def close(self):
+                pass
+
+        async def main():
+            server = ReplicaServer(_ShedService(), port=0)
+            await server.start()
+            router = Router(RouterConfig(health_interval_s=30.0))
+            router.attach("127.0.0.1", server.port)
+            await router.start()
+            try:
+                with pytest.raises(ServerOverloadedError, match="queue full"):
+                    await router.detect("x")
+            finally:
+                await router.close()
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_closed_router_refuses_requests(self, compiled):
+        async def main():
+            async with _fleet(compiled, 1) as (router, _servers):
+                await router.close()
+                with pytest.raises(ServerClosedError):
+                    await router.detect("x")
+
+        asyncio.run(main())
+
+
+class TestRouterHealth:
+    def test_check_health_marks_down_and_reattaches(self, compiled):
+        async def main():
+            async with _fleet(compiled, 2) as (router, servers):
+                victim = router.replicas[0]
+                port = victim.port
+                await servers[0].stop()
+                await router.check_health()
+                assert victim.state == "down"
+                assert router.healthz()["status"] == "degraded"
+                # The replica comes back on the same address; the next
+                # health pass reattaches it.
+                revived = ReplicaServer(DetectionService(compiled), port=port)
+                await revived.start()
+                try:
+                    await router.check_health()
+                    assert victim.state == "up"
+                    assert router.healthz()["status"] == "ok"
+                finally:
+                    await revived.stop()
+
+        asyncio.run(main())
+
+    def test_replica_handle_describe(self):
+        handle = ReplicaHandle("r7", 7)
+        handle.generation = 3
+        record = handle.describe()
+        assert record["state"] == "starting"
+        assert record["generation"] == 3
+        assert record["managed"] is False
+
+    def test_start_without_replicas_is_an_error(self):
+        async def main():
+            with pytest.raises(ServingError, match="no replicas"):
+                await Router().start()
+
+        asyncio.run(main())
+
+    def test_start_with_all_replicas_dead_raises(self, compiled):
+        async def main():
+            router = Router(RouterConfig(health_interval_s=30.0))
+            router.attach("127.0.0.1", 1)  # nothing listens there
+            with pytest.raises(ServingError, match="no replica came up"):
+                await router.start()
+
+        asyncio.run(main())
+
+
+class TestReplicaClient:
+    def test_request_against_dead_port_is_unavailable(self):
+        async def main():
+            client = ReplicaClient("127.0.0.1", 1)
+            with pytest.raises((ReplicaUnavailableError, OSError)):
+                await client.connect()
+            with pytest.raises(ReplicaUnavailableError, match="not connected"):
+                await client.request({"op": "health"})
+
+        asyncio.run(main())
+
+    def test_connection_death_fails_pending_requests(self):
+        """A server that hangs up without answering fails the in-flight
+        request with ReplicaUnavailableError instead of hanging it."""
+
+        async def main():
+            async def hang_up(reader, writer):
+                await reader.read(64)  # swallow the request, answer nothing
+                writer.close()
+
+            server = await asyncio.start_server(hang_up, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ReplicaClient("127.0.0.1", port)
+            await client.connect()
+            with pytest.raises(ReplicaUnavailableError):
+                await client.request({"op": "health"}, timeout=10)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
+
+
+class TestRouterStats:
+    def test_aggregated_stats_merge_the_fleet(self, compiled):
+        async def main():
+            async with _fleet(compiled, 2) as (router, _servers):
+                for _ in range(2):
+                    for query in QUERIES:
+                        await router.detect(query)
+                return await router.stats()
+
+        stats = asyncio.run(main())
+        total = 2 * len(QUERIES)
+        assert stats["router"]["replicas"] == 2
+        assert stats["router"]["up"] == 2
+        assert stats["router"]["stages"]["request"]["count"] == total
+        assert stats["router"]["stages"]["forward"]["count"] == total
+        fleet = stats["fleet"]
+        assert fleet["requests"] == total
+        # Second pass is answered by replica result caches.
+        assert fleet["cache"]["hits"] == len(QUERIES)
+        assert 0.0 < fleet["cache"]["hit_rate"] <= 1.0
+        # Stage histograms merged bucket-wise across replicas.
+        assert fleet["stages"]["request"]["count"] == total
+        assert fleet["stages"]["detect"]["count"] >= 1
+        assert "p99_us" in fleet["stages"]["request"]
+        for name, entry in stats["replicas"].items():
+            assert entry["state"] == "up"
+            assert entry["stats"]["requests"] >= 1, name
+
+    def test_stats_is_json_serializable(self, compiled):
+        async def main():
+            async with _fleet(compiled, 2) as (router, _servers):
+                await router.detect("cheap hotels in rome")
+                return await router.stats()
+
+        assert json.loads(json.dumps(asyncio.run(main())))
+
+
+class TestRouterHTTP:
+    def test_http_front_door_routes(self, compiled):
+        async def main():
+            async with _fleet(compiled, 2) as (router, servers):
+                server = RouterHTTPServer(router, port=0)
+                await server.start()
+                try:
+                    port = server.port
+                    detect = await _http(
+                        port,
+                        "POST",
+                        "/detect",
+                        json.dumps({"query": "cheap hotels in rome"}),
+                    )
+                    health = await _http(port, "GET", "/healthz")
+                    stats = await _http(port, "GET", "/stats")
+                    bad = await _http(port, "POST", "/detect", "not json")
+                    missing = await _http(port, "GET", "/nope")
+                    for replica_server in servers:
+                        await replica_server.stop()
+                    await router.check_health()  # observe the deaths
+                    down = await _http(port, "GET", "/healthz")
+                    return detect, health, stats, bad, missing, down
+                finally:
+                    await server.stop()  # also closes the fleet
+
+        detect, health, stats, bad, missing, down = asyncio.run(main())
+        assert detect[0] == 200
+        assert detect[1]["head"] == "hotels"
+        assert health == (200, {"status": "ok", "up": 2,
+                                "replicas": {"r0": "up", "r1": "up"}})
+        assert stats[0] == 200
+        assert stats[1]["router"]["replicas"] == 2
+        assert bad[0] == 400
+        assert missing[0] == 404
+        assert down[0] == 503  # no replica up -> healthz is 503
+
+    def test_run_router_serves_and_drains_on_sigterm(self, compiled):
+        """The process entry point: comes up, answers, drains cleanly
+        when run_router receives SIGTERM."""
+
+        async def main():
+            server = ReplicaServer(DetectionService(compiled), port=0)
+            await server.start()
+            router = Router(RouterConfig(health_interval_s=30.0))
+            router.attach("127.0.0.1", server.port)
+            ready = asyncio.Event()
+            bound = {}
+
+            def on_ready(port):
+                bound["port"] = port
+                ready.set()
+
+            task = asyncio.create_task(
+                run_router(router, port=0, ready=on_ready)
+            )
+            await asyncio.wait_for(ready.wait(), timeout=30)
+            status, payload = await _http(
+                bound["port"],
+                "POST",
+                "/detect",
+                json.dumps({"query": "cheap hotels in rome"}),
+            )
+            assert status == 200
+            os.kill(os.getpid(), signal.SIGTERM)
+            await asyncio.wait_for(task, timeout=30)
+            assert router.closed
+            await server.stop()
+
+        asyncio.run(main())
+
+
+async def _http(port: int, method: str, path: str, body: str | None = None):
+    """Minimal HTTP exchange; returns (status, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = (body or "").encode("utf-8")
+    head = f"{method} {path} HTTP/1.1\r\nContent-Length: {len(payload)}\r\n\r\n"
+    writer.write(head.encode("ascii") + payload)
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(-1), timeout=10)
+    writer.close()
+    await writer.wait_closed()
+    header, _, content = raw.partition(b"\r\n\r\n")
+    status = int(header.split()[1])
+    return status, json.loads(content)
