@@ -5,8 +5,12 @@ Exposes the full offline pipeline and the runtime detector::
     repro taxonomy-build --out taxonomy.tsv.gz
     repro log-generate --taxonomy taxonomy.tsv.gz --out log.jsonl.gz --intents 4000
     repro train --log log.jsonl.gz --taxonomy taxonomy.tsv.gz --out model/
+    repro train --log log.jsonl.gz --taxonomy t.tsv.gz --out model/ --state state.hdmt
+    repro train --append delta.jsonl.gz --base state.hdmt --out model/ --emit-snapshot g2.hdms
     repro detect --model model/ "popular iphone 5s smart cover"
     repro snapshot --model model/ --out model.hdms
+    repro snapshot --info model.hdms
+    repro reload --url http://127.0.0.1:8080 --snapshot g2.hdms
     repro detect --snapshot model.hdms --workers 4 --input queries.txt
     repro serve --snapshot model.hdms --port 8080
     repro serve --snapshot model.hdms --port 8080 --replicas 4
@@ -89,9 +93,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_log_generate)
 
     p = sub.add_parser("train", help="train a model from a log + taxonomy")
-    p.add_argument("--log", required=True)
-    p.add_argument("--taxonomy", required=True)
-    p.add_argument("--out", required=True, help="output model directory")
+    p.add_argument("--log", help="training log (full build)")
+    p.add_argument("--taxonomy", help="isA taxonomy TSV (full build)")
+    p.add_argument("--out", help="output model directory")
     p.add_argument("--pattern-mass", type=float, default=0.99)
     p.add_argument("--max-patterns", type=int, default=None)
     p.add_argument("--no-classifier", action="store_true")
@@ -107,17 +111,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the pure-Python reference pipeline instead of the "
         "vectorized one (identical output, slower; for cross-checking)",
     )
+    p.add_argument(
+        "--state",
+        metavar="FILE",
+        help="persist the incremental training state (.hdmt) so later "
+        "deltas fold in at O(delta) via --append",
+    )
+    p.add_argument(
+        "--append",
+        metavar="DELTA",
+        help="fold a delta log into an existing training state "
+        "(needs --base; bit-identical to retraining on the "
+        "concatenated log, at O(delta) cost)",
+    )
+    p.add_argument(
+        "--base",
+        metavar="STATE",
+        help="with --append: the .hdmt training state to fold into "
+        "(re-saved in place unless --state names a new file)",
+    )
+    p.add_argument(
+        "--emit-snapshot",
+        metavar="FILE",
+        help="also compile the trained model into a runtime snapshot "
+        "carrying a lineage header (generation, record count)",
+    )
+    p.add_argument(
+        "--parent-snapshot",
+        metavar="FILE",
+        help="with --emit-snapshot: the previous generation's snapshot, "
+        "recorded as the lineage parent",
+    )
     p.set_defaults(handler=_cmd_train)
 
     p = sub.add_parser(
         "snapshot", help="compile a model into a binary runtime snapshot"
     )
-    p.add_argument("--model", required=True, help="model bundle directory")
-    p.add_argument("--out", required=True, help="output snapshot file (.hdms)")
+    p.add_argument("--model", help="model bundle directory")
+    p.add_argument("--out", help="output snapshot file (.hdms)")
     p.add_argument(
         "--spell",
         action="store_true",
         help="bake the typo-correcting speller into the snapshot",
+    )
+    p.add_argument(
+        "--info",
+        metavar="FILE",
+        help="print an existing snapshot's header (format, counts, "
+        "lineage) without loading the model",
     )
     p.set_defaults(handler=_cmd_snapshot)
 
@@ -228,6 +269,20 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_service_flags(p)
     p.set_defaults(handler=_cmd_replica)
 
+    p = sub.add_parser(
+        "reload",
+        help="hot-swap a running server or router fleet onto a new "
+        "snapshot (zero downtime; POST /reload)",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the running `repro serve` / `repro route` "
+        "front door (default http://127.0.0.1:8080)",
+    )
+    p.add_argument("--snapshot", required=True, metavar="FILE")
+    p.set_defaults(handler=_cmd_reload)
+
     p = sub.add_parser("evaluate", help="evaluate a model on a labelled log")
     p.add_argument("--model", required=True)
     p.add_argument("--log", required=True, help="held-out log with gold labels")
@@ -319,6 +374,21 @@ def _cmd_log_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.append:
+        return _cmd_train_append(args)
+    if not args.log or not args.taxonomy or not args.out:
+        print(
+            "error: train needs --log, --taxonomy, and --out "
+            "(or --append DELTA --base STATE)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.state and args.reference:
+        print(
+            "error: --state folds are vectorized; drop --reference",
+            file=sys.stderr,
+        )
+        return 2
     taxonomy = load_taxonomy_tsv(args.taxonomy)
     log = load_query_log(args.log, include_gold=False)
     config = TrainingConfig(
@@ -327,14 +397,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
         train_classifier=not args.no_classifier,
     )
     timings: dict[str, float] = {}
-    model = train_model(
-        log,
-        taxonomy,
-        config,
-        workers=args.workers,
-        vectorized=not args.reference,
-        timings=timings,
-    )
+    if args.state:
+        from repro.training.incremental import IncrementalTrainer
+
+        trainer = IncrementalTrainer(log, taxonomy, config, timings=timings)
+        model = trainer.model
+        trainer.save(args.state)
+    else:
+        trainer = None
+        model = train_model(
+            log,
+            taxonomy,
+            config,
+            workers=args.workers,
+            vectorized=not args.reference,
+            timings=timings,
+        )
     save_model(model, args.out)
     classifier = "yes" if model.classifier is not None else "no"
     print(
@@ -348,10 +426,100 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     path = "reference" if args.reference else "vectorized"
     print(f"training path: {path}, workers: {args.workers}, {stages}")
+    if trainer is not None:
+        print(
+            f"wrote {args.state}: training state, generation "
+            f"{trainer.generation}, {trainer.log.num_queries} records"
+        )
+    if args.emit_snapshot:
+        _emit_versioned_snapshot(
+            model,
+            args.emit_snapshot,
+            generation=trainer.generation if trainer is not None else 1,
+            record_count=log.num_queries,
+            parent=args.parent_snapshot,
+        )
     return 0
 
 
+def _cmd_train_append(args: argparse.Namespace) -> int:
+    from repro.training.incremental import IncrementalTrainer
+
+    if not args.base:
+        print("error: --append needs --base STATE", file=sys.stderr)
+        return 2
+    if not args.out and not args.emit_snapshot:
+        print(
+            "error: --append needs --out and/or --emit-snapshot "
+            "(the refolded model must go somewhere)",
+            file=sys.stderr,
+        )
+        return 2
+    trainer = IncrementalTrainer.load(args.base)
+    delta = load_query_log(args.append, include_gold=False)
+    timings: dict[str, float] = {}
+    model = trainer.fold(delta, timings=timings)
+    if args.out:
+        save_model(model, args.out)
+        classifier = "yes" if model.classifier is not None else "no"
+        print(
+            f"wrote {args.out}: {len(model.pairs)} mined pairs, "
+            f"{len(model.patterns)} concept patterns, classifier: {classifier}"
+        )
+    state_out = args.state or args.base
+    trainer.save(state_out)
+    stages = " ".join(
+        f"{stage}={timings[stage]:.2f}s"
+        for stage in ("mine", "derive", "features", "classifier", "total")
+        if stage in timings
+    )
+    dirty = int(timings.get("dirty_records", 0))
+    print(
+        f"folded {args.append}: generation {trainer.generation}, "
+        f"{dirty} dirty of {trainer.log.num_queries} records, {stages}"
+    )
+    print(f"wrote {state_out}: training state")
+    if args.emit_snapshot:
+        _emit_versioned_snapshot(
+            model,
+            args.emit_snapshot,
+            generation=trainer.generation,
+            record_count=trainer.log.num_queries,
+            parent=args.parent_snapshot,
+        )
+    return 0
+
+
+def _emit_versioned_snapshot(
+    model, path, *, generation: int, record_count: int, parent
+) -> None:
+    from repro.runtime.lineage import save_versioned_snapshot
+
+    compiled = model.compile()
+    try:
+        save_versioned_snapshot(
+            compiled,
+            path,
+            generation=generation,
+            record_count=record_count,
+            parent=parent,
+        )
+    finally:
+        compiled.close()
+    lineage = f"generation {generation}, {record_count} records"
+    lineage += f", parent {parent}" if parent else ", no parent"
+    print(f"wrote {path}: versioned snapshot ({lineage})")
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if args.info:
+        return _cmd_snapshot_info(args.info)
+    if not args.model or not args.out:
+        print(
+            "error: snapshot needs --model and --out (or --info FILE)",
+            file=sys.stderr,
+        )
+        return 2
     model = load_model(args.model)
     compiled = model.compile(correct_spelling=args.spell)
     header = compiled.save_snapshot(args.out)
@@ -367,6 +535,89 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         f"speller: {speller}"
     )
     return 0
+
+
+def _cmd_snapshot_info(path: str) -> int:
+    """Header-only snapshot inspection: no model load, no payload read
+    past the CRC field — works the same on pre-lineage snapshots."""
+    from pathlib import Path
+
+    from repro.runtime import read_snapshot_header
+    from repro.runtime.lineage import SnapshotLineage
+
+    header = read_snapshot_header(path)
+    counts = header["counts"]
+    size = Path(path).stat().st_size
+    print(f"{path}: {size} bytes, HDMSNAP format v{header['version']}")
+    print(
+        f"  counts: {counts['phrases']} phrases, {counts['patterns']} "
+        f"patterns, {counts['support']} support pairs, "
+        f"vocab {counts['vocab']}"
+    )
+    print(f"  speller: {'yes' if header['has_speller'] else 'no'}")
+    print(f"  payload crc32: {header['payload_crc32']}")
+    lineage = SnapshotLineage.from_header(header)
+    if lineage is None:
+        print("  lineage: none (pre-lineage snapshot; generation 1)")
+    else:
+        parent = (
+            f"parent crc32 {lineage.parent_crc32}"
+            if lineage.parent_crc32 is not None
+            else "no parent (base build)"
+        )
+        print(
+            f"  lineage: generation {lineage.generation}, "
+            f"{lineage.record_count} records, {parent}"
+        )
+    return 0
+
+
+def _cmd_reload(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+    from pathlib import Path
+
+    # Resolve client-side: router and replicas run on this host (the
+    # shared-mmap design), so the path must be absolute for *their* cwd.
+    snapshot = str(Path(args.snapshot).resolve())
+    body = json.dumps({"snapshot": snapshot}).encode("utf-8")
+    request = urllib.request.Request(
+        args.url.rstrip("/") + "/reload",
+        data=body,
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            detail = {}
+        message = detail.get("error") or detail.get("replicas") or exc.reason
+        print(f"error: reload failed ({exc.code}): {message}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    replicas = payload.get("replicas")
+    if replicas is None:
+        # Single-process `repro serve`: one service swapped in place.
+        print(
+            f"reloaded {payload.get('snapshot', snapshot)}: "
+            f"model generation {payload.get('model_generation')}"
+        )
+        return 0
+    for name, entry in sorted(replicas.items()):
+        if entry.get("ok"):
+            print(f"  {name}: model generation {entry['model_generation']}")
+        else:
+            print(f"  {name}: FAILED ({entry.get('error')})")
+    total = len(replicas)
+    reloaded = payload.get("reloaded", 0)
+    print(f"reloaded {reloaded}/{total} replicas onto {snapshot}")
+    return 0 if reloaded == total else 1
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:

@@ -135,6 +135,15 @@ class QueryLog:
         """Record for an exact (normalized) query string, if present."""
         return self._records.get(normalize(query))
 
+    def lookup_exact(self, key: str) -> QueryRecord | None:
+        """Record stored under an *already-normalized* key.
+
+        Hot-path variant of :meth:`lookup` for callers that have paid the
+        normalization cost themselves (the incremental trainer's probe
+        tracking resolves thousands of keys per fold).
+        """
+        return self._records.get(key)
+
     def records(self) -> Iterator[QueryRecord]:
         """Iterate over all query records."""
         yield from self._records.values()

@@ -73,6 +73,25 @@ class LogStatistics:
                 self._term_volume[term] += record.frequency
         self._num_queries = log.num_queries
 
+    def absorb(self, record, *, new_query: bool) -> None:
+        """Fold one record's delta contribution into the counters.
+
+        ``record`` carries the *delta* frequency and the query's tokens;
+        ``new_query`` says whether the surface string was previously
+        unseen in the log (document frequencies count distinct queries,
+        so merges into an existing query leave them untouched). All
+        counters are integers, so the result is exactly — not
+        approximately — what a from-scratch construction over the merged
+        log would compute, regardless of fold order.
+        """
+        self._total_volume += record.frequency
+        if new_query:
+            for term in set(record.tokens):
+                self._term_query_freq[term] += 1
+            self._num_queries += 1
+        for term in record.tokens:
+            self._term_volume[term] += record.frequency
+
     @property
     def log(self) -> QueryLog:
         """The underlying query log."""

@@ -841,12 +841,14 @@ class CompiledDetector(HeadModifierDetector):
     # ------------------------------------------------------------------
     # snapshots & batch API
     # ------------------------------------------------------------------
-    def save_snapshot(self, path) -> dict:
+    def save_snapshot(self, path, *, lineage: dict | None = None) -> dict:
         """Write this detector as a binary snapshot (see
-        :mod:`repro.runtime.snapshot`) and return the written header."""
+        :mod:`repro.runtime.snapshot`) and return the written header.
+        ``lineage`` is embedded as the optional lineage header key
+        (see :mod:`repro.runtime.lineage`)."""
         from repro.runtime.snapshot import save_snapshot
 
-        header = save_snapshot(self, path)
+        header = save_snapshot(self, path, lineage=lineage)
         if not self._owns_snapshot:
             self._snapshot_path = str(path)
         return header

@@ -148,6 +148,30 @@ class DetectorPool:
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
 
+    def swap_snapshot(self, snapshot_path) -> None:
+        """Hot-swap the pool onto the snapshot at ``snapshot_path``.
+
+        The handover loses no work: a ``detect_batch`` already running
+        holds its own executor reference, so its chunks finish on the
+        *old* workers (their old-snapshot mmaps stay valid until they
+        exit); batches submitted after this call lazily spawn fresh
+        workers whose initializer maps the new file. The old executor is
+        released without blocking (``shutdown(wait=False)`` — submitted
+        chunks still complete), mirroring
+        :meth:`~repro.serving.service.DetectionService.swap_snapshot`
+        one layer down. A bad file is refused up front and leaves the
+        pool serving the old snapshot.
+        """
+        if self._closed:
+            raise ShardError("detector pool is closed")
+        from repro.runtime.snapshot import read_snapshot_header
+
+        read_snapshot_header(snapshot_path)
+        executor, self._executor = self._executor, None
+        self._snapshot_path = str(snapshot_path)
+        if executor is not None:
+            executor.shutdown(wait=False)
+
     def __enter__(self) -> "DetectorPool":
         return self
 

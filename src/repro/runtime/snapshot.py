@@ -149,9 +149,14 @@ class _Vocab:
         return [self.id_of(s) for s in strings]
 
 
-def save_snapshot(detector, path: str | Path) -> dict:
+def save_snapshot(detector, path: str | Path, *, lineage: dict | None = None) -> dict:
     """Serialize a :class:`~repro.runtime.compiled.CompiledDetector` to
     ``path`` and return the written header (for logging/inspection).
+
+    ``lineage``, when given, is embedded verbatim as the optional
+    ``lineage`` header key (see :mod:`repro.runtime.lineage`); readers
+    that predate it ignore unknown header keys, so lineage-bearing
+    snapshots stay loadable everywhere.
 
     The write is atomic (temp file + rename). Raises
     :class:`~repro.errors.ModelError` for detectors the format cannot
@@ -347,6 +352,8 @@ def save_snapshot(detector, path: str | Path) -> dict:
         "payload_crc32": zlib.crc32(payload),
         "sections": writer.table,
     }
+    if lineage is not None:
+        header["lineage"] = dict(lineage)
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     prelude = _PRELUDE.pack(MAGIC, SNAPSHOT_VERSION, len(header_bytes))
     pad = (-(len(prelude) + len(header_bytes))) % _ALIGN

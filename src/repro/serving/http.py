@@ -32,7 +32,7 @@ import json
 import signal
 
 from repro.core.detector import Detection
-from repro.errors import ServerClosedError, ServerOverloadedError
+from repro.errors import ModelError, ServerClosedError, ServerOverloadedError
 from repro.serving.service import DetectionService
 
 #: Largest accepted request body; detection inputs are short texts.
@@ -246,6 +246,30 @@ class DetectionHTTPServer:
             except ServerClosedError as exc:
                 return 503, {"error": str(exc)}
             return 200, detection_payload(detection)
+        if target == "/reload":
+            if method != "POST":
+                return 405, {"error": "use POST /reload"}
+            try:
+                request = json.loads(body.decode("utf-8"))
+                snapshot = request["snapshot"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError):
+                return 400, {"error": 'body must be JSON: {"snapshot": "..."}'}
+            if not isinstance(snapshot, str):
+                return 400, {"error": "snapshot must be a path string"}
+            swap = getattr(self._service, "swap_snapshot", None)
+            if swap is None:
+                return 400, {"error": "this service does not support hot swap"}
+            try:
+                model_generation = swap(snapshot)
+            except ServerClosedError as exc:
+                return 503, {"error": str(exc)}
+            except (ModelError, OSError) as exc:
+                return 400, {"error": f"snapshot rejected: {exc}"}
+            return 200, {
+                "reloaded": 1,
+                "snapshot": snapshot,
+                "model_generation": model_generation,
+            }
         return 404, {"error": f"no route {method} {target}"}
 
 

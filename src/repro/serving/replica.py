@@ -15,8 +15,12 @@ deliberately minimal inward-facing wire protocol:
   chooses and the replica echoes, so a slow detection never
   head-of-line-blocks a health probe on the same socket.
 - **Ops** — ``detect`` (query → the ``repro detect --json`` payload),
-  ``health`` (status + replica id + generation + pid), ``stats`` (the
-  service's full counters/stages dict). Unknown ops get a structured
+  ``health`` (status + replica id + generation + model generation +
+  pid), ``stats`` (the service's full counters/stages dict), and
+  ``reload`` (hot-swap the serving snapshot in place via
+  :meth:`~repro.serving.service.DetectionService.swap_snapshot` —
+  in-flight detections finish on the old model, the swap drops
+  nothing). Unknown ops get a structured
   error frame; protocol violations (oversized frame, junk bytes) close
   the connection with :class:`~repro.errors.ReplicaProtocolError`
   semantics rather than wedging the reader.
@@ -41,6 +45,7 @@ import signal
 import struct
 
 from repro.errors import (
+    ModelError,
     ReplicaProtocolError,
     ServerClosedError,
     ServerOverloadedError,
@@ -247,6 +252,9 @@ class ReplicaServer:
                 "status": "closed" if self._service.closed else "ok",
                 "replica": self._replica_id,
                 "generation": self._generation,
+                # getattr: stand-in services in tests may not version
+                # their model; an unversioned service is generation 1.
+                "model_generation": getattr(self._service, "model_generation", 1),
                 "pid": os.getpid(),
             }
         if op == "stats":
@@ -255,6 +263,37 @@ class ReplicaServer:
             stats["generation"] = self._generation
             stats["pid"] = os.getpid()
             return {**base, "ok": True, "stats": stats}
+        if op == "reload":
+            snapshot = request.get("snapshot")
+            if not isinstance(snapshot, str):
+                return {
+                    **base,
+                    "ok": False,
+                    "kind": "bad_request",
+                    "error": "reload needs a string 'snapshot' path",
+                }
+            swap = getattr(self._service, "swap_snapshot", None)
+            if swap is None:
+                return {
+                    **base,
+                    "ok": False,
+                    "kind": "bad_request",
+                    "error": "this service does not support hot swap",
+                }
+            try:
+                model_generation = swap(snapshot)
+            except ServerClosedError as exc:
+                return {**base, "ok": False, "kind": "closed", "error": str(exc)}
+            except (ModelError, OSError) as exc:
+                # Bad or missing snapshot file: the old model keeps
+                # serving; the caller learns why the swap was refused.
+                return {**base, "ok": False, "kind": "bad_request", "error": str(exc)}
+            return {
+                **base,
+                "ok": True,
+                "model_generation": model_generation,
+                "replica": self._replica_id,
+            }
         return {
             **base,
             "ok": False,

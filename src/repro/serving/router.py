@@ -36,7 +36,14 @@ arc re-routes), restarts managed subprocesses with ``generation + 1``
 when they come back. ``GET /stats`` aggregates the fleet: per-stage
 latency histograms merge bucket-wise
 (:meth:`~repro.serving.metrics.LatencyHistogram.merged`), cache and
-batch counters sum, and every replica reports its generation and health.
+batch counters sum, and every replica reports its generation, *model*
+generation, and health.
+
+Deploys are zero-downtime: ``POST /reload`` (:meth:`Router.reload`)
+rolls the fleet onto a new snapshot one replica at a time — each
+replica hot-swaps in place (in-flight detections finish on its old
+model) before the next is touched, so the fleet never drops below N-1
+serving replicas, and restarts spawned afterwards load the new file.
 
 ``repro route`` runs :func:`run_router`; ``repro serve --replicas N``
 is sugar for it.
@@ -57,6 +64,7 @@ from typing import Sequence
 from zlib import crc32
 
 from repro.errors import (
+    ModelError,
     ReplicaProtocolError,
     ReplicaUnavailableError,
     ServerClosedError,
@@ -64,6 +72,7 @@ from repro.errors import (
     ServingError,
 )
 from repro.runtime.compiled import _normalize_fast
+from repro.runtime.snapshot import read_snapshot_header
 from repro.serving.http import (
     CLIENT_GONE,
     HttpRequestError,
@@ -345,6 +354,7 @@ class ReplicaHandle:
         self.host: str = "127.0.0.1"
         self.port: int = 0
         self.generation = 0
+        self.model_generation = 0
         self.state = "starting"
         self.restarts = 0
         self.managed = False
@@ -358,6 +368,7 @@ class ReplicaHandle:
         return {
             "state": self.state,
             "generation": self.generation,
+            "model_generation": self.model_generation,
             "restarts": self.restarts,
             "managed": self.managed,
             "address": f"{self.host}:{self.port}",
@@ -623,6 +634,68 @@ class Router:
         raise ServerOverloadedError(f"no replica available{detail}")
 
     # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    async def reload(self, snapshot_path: str) -> dict:
+        """Roll the fleet onto the snapshot at ``snapshot_path``, one
+        replica at a time (zero-downtime deploy).
+
+        The rolling order is the guarantee: each replica hot-swaps via
+        its ``reload`` op (in-flight detections finish on its old model)
+        and answers before the next one is touched, so the fleet is
+        never below N-1 serving replicas, and no request is dropped. The
+        snapshot header is validated locally first — a bad file is
+        refused before any replica is disturbed — and the spawn command
+        is repointed so replicas restarted later come up on the *new*
+        snapshot, not the old one.
+
+        Returns ``{"snapshot", "reloaded", "replicas": {name: {...}}}``;
+        a replica that is down (or refuses the swap) is reported, not
+        retried — the health loop owns bringing it back, and when it is
+        managed its restart now loads the new snapshot anyway.
+        """
+        if self._closed:
+            raise ServerClosedError("router is closed")
+        read_snapshot_header(snapshot_path)  # refuse bad files up front
+        path = str(snapshot_path)
+        async with self._restart_lock:  # don't race health-loop restarts
+            if self._spawn_command is not None:
+                anchor = self._spawn_command.index("--snapshot")
+                self._spawn_command[anchor + 1] = path
+            results: dict[str, dict] = {}
+            for name, handle in self._replicas.items():
+                if handle.state != "up" or handle.client is None:
+                    results[name] = {
+                        "ok": False,
+                        "error": f"replica is {handle.state}",
+                    }
+                    continue
+                try:
+                    response = await handle.client.request(
+                        {"op": "reload", "snapshot": path},
+                        timeout=self._config.request_timeout_s,
+                    )
+                except ReplicaUnavailableError as exc:
+                    self._mark_down(handle, str(exc))
+                    results[name] = {"ok": False, "error": str(exc)}
+                    continue
+                if response.get("ok"):
+                    model_generation = response.get("model_generation")
+                    if isinstance(model_generation, int):
+                        handle.model_generation = model_generation
+                    results[name] = {
+                        "ok": True,
+                        "model_generation": handle.model_generation,
+                    }
+                else:
+                    results[name] = {
+                        "ok": False,
+                        "error": str(response.get("error", "replica error")),
+                    }
+        reloaded = sum(1 for entry in results.values() if entry["ok"])
+        return {"snapshot": path, "reloaded": reloaded, "replicas": results}
+
+    # ------------------------------------------------------------------
     # health
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
@@ -756,6 +829,9 @@ class Router:
         generation = response.get("generation")
         if isinstance(generation, int):
             handle.generation = generation
+        model_generation = response.get("model_generation")
+        if isinstance(model_generation, int):
+            handle.model_generation = model_generation
         handle.client = client
         handle.state = "up"
         handle.last_error = ""
@@ -823,6 +899,17 @@ def _merge_fleet_stats(stats_list: list[dict]) -> dict:
     hits = misses = 0
     batch_sizes: Counter[int] = Counter()
     stages: dict[str, list[dict]] = {}
+    generations = [
+        stats.get("model_generation", 0)
+        for stats in stats_list
+        if isinstance(stats.get("model_generation"), int)
+    ]
+    # min == max means every reporting replica serves the same model;
+    # they diverge transiently mid-rolling-reload.
+    fleet["model_generation"] = {
+        "min": min(generations, default=0),
+        "max": max(generations, default=0),
+    }
     for stats in stats_list:
         for key in ("requests", "detected", "coalesced", "rejected", "batches"):
             fleet[key] += stats.get(key, 0)
@@ -969,6 +1056,24 @@ class RouterHTTPServer:
                 return 503, {"error": str(exc)}
             except ServingError as exc:
                 return 500, {"error": str(exc)}
+        if target == "/reload":
+            if method != "POST":
+                return 405, {"error": "use POST /reload"}
+            try:
+                request = json.loads(body.decode("utf-8"))
+                snapshot = request["snapshot"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError):
+                return 400, {"error": 'body must be JSON: {"snapshot": "..."}'}
+            if not isinstance(snapshot, str):
+                return 400, {"error": "snapshot must be a path string"}
+            try:
+                result = await self._router.reload(snapshot)
+            except ServerClosedError as exc:
+                return 503, {"error": str(exc)}
+            except (ModelError, OSError) as exc:
+                return 400, {"error": f"snapshot rejected: {exc}"}
+            status = 200 if result["reloaded"] else 502
+            return status, result
         return 404, {"error": f"no route {method} {target}"}
 
 

@@ -34,6 +34,18 @@ Shutdown mirrors the runtime pools: ``await close()`` stops admission
 and drains in-flight batches, then releases the worker thread. An
 abandoned service is finalize-guarded (``weakref.finalize``) so garbage
 collection also releases the thread — the PR 3 pattern.
+
+**Hot swap.** :meth:`DetectionService.swap_snapshot` atomically replaces
+the live detector with one loaded from a new snapshot, without dropping
+a request: the currently running batch keeps the old detector (its
+reference was resolved at dispatch), the old detector's teardown is
+queued *behind* it on the same single worker thread, and batches
+dispatched after the swap see the new model. The result cache is
+invalidated at swap, and an internal model epoch guards against a
+late-finishing old-model batch re-filling the fresh cache — so no
+response ever mixes generations and no stale result outlives a swap.
+``stats()`` reports the serving ``model_generation`` (taken from the
+snapshot's lineage header when present).
 """
 
 from __future__ import annotations
@@ -45,9 +57,18 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from time import perf_counter
 
+from pathlib import Path
+
 from repro.core.detector import Detection
-from repro.errors import ServerClosedError, ServerOverloadedError, ServingError
+from repro.errors import (
+    ModelError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
 from repro.runtime.compiled import _normalize_fast
+from repro.runtime.lineage import model_generation_of
+from repro.runtime.snapshot import load_snapshot
 from repro.serving.batcher import MicroBatcher
 from repro.serving.metrics import ServingMetrics
 from repro.utils.lru import ShardedLruCache
@@ -134,6 +155,15 @@ class DetectionService:
         self._rejected = 0
         self._detected = 0
         self._batch_sizes: Counter[int] = Counter()
+        # The caller owns the detector it handed us; detectors loaded by
+        # swap_snapshot are ours to close. The epoch is an internal,
+        # strictly monotonic swap counter (cache-fill guard); the
+        # generation is the *reported* model version, taken from snapshot
+        # lineage when available.
+        self._owns_detector = False
+        self._model_epoch = 0
+        self._model_generation = _lineage_generation(detector)
+        self._swaps = 0
 
     @property
     def config(self) -> ServingConfig:
@@ -223,20 +253,81 @@ class DetectionService:
 
         Outcomes are per-key: a failing batch is retried key-by-key so
         only the offending request errors (the MicroBatcher delivers an
-        Exception outcome to exactly that waiter).
+        Exception outcome to exactly that waiter). The detector reference
+        and model epoch are captured at dispatch: a swap that lands while
+        this batch is on the worker thread lets it *finish on the old
+        model*, but the epoch mismatch keeps its results out of the
+        post-swap cache.
         """
+        detector = self._detector
+        epoch = self._model_epoch
         loop = asyncio.get_running_loop()
         with self._metrics.span("detect"):
             outcomes = await loop.run_in_executor(
-                self._executor, _detect_batch_attributed, self._detector, keys
+                self._executor, _detect_batch_attributed, detector, keys
             )
         self._batch_sizes[len(keys)] += 1
         self._detected += len(keys)
-        if self._cache is not None:
+        if self._cache is not None and epoch == self._model_epoch:
             for key, outcome in zip(keys, outcomes):
                 if not isinstance(outcome, Exception):
                     self._cache.put(key, outcome)
         return outcomes
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    @property
+    def model_generation(self) -> int:
+        """The generation of the model currently answering requests."""
+        return self._model_generation
+
+    def swap_snapshot(self, path: str | Path) -> int:
+        """Hot-swap the live detector for the snapshot at ``path``;
+        returns the new model generation. Zero requests are dropped:
+
+        - the batch currently on the worker thread captured the old
+          detector at dispatch and finishes on it;
+        - the old detector's ``close`` is queued *behind* that batch on
+          the same single worker thread, so its mmap stays valid until
+          the last old-model batch returns;
+        - batches dispatched after this call resolve ``self._detector``
+          to the new model;
+        - the result cache is cleared, and the model-epoch guard in
+          :meth:`_run_batch` keeps any still-running old-model batch
+          from re-filling it.
+
+        Must be called on the event loop thread (like every other
+        service method); the swap itself is synchronous and O(1) past
+        the snapshot load. The new generation comes from the snapshot's
+        lineage header; a pre-lineage snapshot bumps the current
+        generation by one.
+        """
+        if self._closed:
+            raise ServerClosedError("detection service is closed")
+        detector = load_snapshot(path)
+        try:
+            generation = model_generation_of(path)
+        except (ModelError, OSError):
+            generation = self._model_generation + 1
+        if generation <= self._model_generation:
+            # Rollbacks and pre-lineage snapshots still move the serving
+            # generation forward — it tracks *swaps seen by this
+            # service*, monotonic so fleet health checks can compare.
+            generation = self._model_generation + 1
+        old, old_owned = self._detector, self._owns_detector
+        self._detector = detector
+        self._owns_detector = True
+        self._model_epoch += 1
+        self._model_generation = generation
+        self._swaps += 1
+        if self._cache is not None:
+            self._cache.clear()
+        if old_owned:
+            # Behind every already-submitted batch on the 1-thread
+            # executor: runs only after the last old-model batch.
+            self._executor.submit(old.close)
+        return generation
 
     # ------------------------------------------------------------------
     # lifecycle & stats
@@ -249,6 +340,13 @@ class DetectionService:
             return
         self._closed = True
         await self._batcher.join()
+        if self._owns_detector:
+            # Swapped-in detectors are ours. The batcher has drained, so
+            # no batch holds the detector — a direct close is safe (the
+            # executor shutdown below may cancel queued work, so this
+            # must not ride the worker thread).
+            self._detector.close()
+            self._owns_detector = False
         finalizer, self._finalizer = self._finalizer, None
         if finalizer is not None:
             finalizer()  # shuts the executor down exactly once
@@ -282,6 +380,8 @@ class DetectionService:
             "rejected": self._rejected,
             "pending": len(self._inflight),
             "closed": self._closed,
+            "model_generation": self._model_generation,
+            "swaps": self._swaps,
             "vectorized": bool(getattr(self._detector, "vectorized_batch", False)),
             "cache": self._cache.stats() if self._cache is not None else None,
             "batches": sum(self._batch_sizes.values()),
@@ -315,6 +415,18 @@ def _detect_batch_attributed(detector, keys: list[str]) -> list:
             except Exception as exc:
                 outcomes.append(exc)
         return outcomes
+
+
+def _lineage_generation(detector) -> int:
+    """Generation of the snapshot ``detector`` was loaded from; 1 for
+    detectors with no backing snapshot (or a pre-lineage one)."""
+    path = getattr(detector, "snapshot_path", None)
+    if path is None:
+        return 1
+    try:
+        return model_generation_of(path)
+    except (ModelError, OSError):
+        return 1
 
 
 def _shutdown_executor(executor: ThreadPoolExecutor) -> None:

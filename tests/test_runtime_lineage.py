@@ -1,0 +1,100 @@
+"""Snapshot lineage: optional header, old-file compatibility, chains.
+
+The compatibility contract mirrors the ``vseg_*`` automaton sections:
+pre-lineage snapshots load unchanged and report no lineage; re-saving
+one through the versioned writer upgrades the file in place; children
+embed their parent's payload CRC so a chain verifies file-by-file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.runtime.lineage import (
+    SnapshotLineage,
+    lineage_of,
+    model_generation_of,
+    save_versioned_snapshot,
+    snapshot_identity,
+)
+from repro.runtime.snapshot import load_snapshot, read_snapshot_header
+
+QUERIES = ["cheap iphone 5s case", "hotels in rome", "iphone"]
+
+
+@pytest.fixture(scope="module")
+def compiled(model):
+    return model.compile()
+
+
+@pytest.fixture(scope="module")
+def plain_path(compiled, tmp_path_factory):
+    path = tmp_path_factory.mktemp("lineage") / "plain.hdms"
+    compiled.save_snapshot(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def versioned_path(compiled, tmp_path_factory):
+    path = tmp_path_factory.mktemp("lineage") / "base.hdms"
+    save_versioned_snapshot(compiled, path, generation=1, record_count=1500)
+    return path
+
+
+def test_plain_snapshot_has_no_lineage(plain_path):
+    assert lineage_of(plain_path) is None
+    assert model_generation_of(plain_path) == 1
+
+
+def test_versioned_snapshot_round_trips(versioned_path):
+    lineage = lineage_of(versioned_path)
+    assert lineage == SnapshotLineage(
+        generation=1, record_count=1500, parent_crc32=None
+    )
+    assert model_generation_of(versioned_path) == 1
+    detector = load_snapshot(versioned_path)
+    assert detector.detect(QUERIES[0]) is not None
+    detector.close()
+
+
+def test_child_embeds_parent_identity(compiled, versioned_path, tmp_path):
+    child = tmp_path / "gen2.hdms"
+    save_versioned_snapshot(
+        compiled, child, generation=2, record_count=1600, parent=versioned_path
+    )
+    lineage = lineage_of(child)
+    assert lineage is not None
+    assert lineage.generation == 2
+    assert lineage.record_count == 1600
+    assert lineage.parent_crc32 == snapshot_identity(versioned_path)
+    assert model_generation_of(child) == 2
+
+
+def test_resave_upgrades_old_snapshot_in_place(plain_path, tmp_path):
+    detector = load_snapshot(plain_path)
+    upgraded = tmp_path / "upgraded.hdms"
+    save_versioned_snapshot(
+        detector, upgraded, generation=1, record_count=1500
+    )
+    assert lineage_of(upgraded) is not None
+    reloaded = load_snapshot(upgraded)
+    assert [reloaded.detect(q) for q in QUERIES] == [
+        detector.detect(q) for q in QUERIES
+    ]
+    reloaded.close()
+    detector.close()
+
+
+def test_lineage_survives_header_round_trip(versioned_path):
+    header = read_snapshot_header(versioned_path)
+    assert SnapshotLineage.from_header(header) == lineage_of(versioned_path)
+
+
+def test_malformed_lineage_rejected():
+    with pytest.raises(ModelError, match="malformed lineage"):
+        SnapshotLineage.from_header({"lineage": {"generation": "x"}})
+    with pytest.raises(ModelError, match="generation must be"):
+        SnapshotLineage(generation=0, record_count=1)
+    with pytest.raises(ModelError, match="record_count must be"):
+        SnapshotLineage(generation=1, record_count=-1)

@@ -112,6 +112,59 @@ class TestDetectorPool:
         pool.close()
 
 
+class TestDetectorPoolHotSwap:
+    """swap_snapshot lifecycle: a running batch finishes on the old
+    snapshot's workers; batches after the swap spawn fresh workers on
+    the new file; a bad file never disturbs the serving pool."""
+
+    @pytest.fixture()
+    def second_snapshot(self, snapshot_path, tmp_path):
+        # A byte-copy, not save_snapshot(): re-saving through the shared
+        # `compiled` fixture would silently repoint its snapshot_path.
+        path = tmp_path / "next.hdms"
+        path.write_bytes(snapshot_path.read_bytes())
+        return path
+
+    def test_swap_points_new_batches_at_new_snapshot(
+        self, snapshot_path, second_snapshot, compiled, queries
+    ):
+        with DetectorPool(snapshot_path, workers=2) as pool:
+            before = pool.detect_batch(queries[:6])
+            old_executor = pool._executor
+            pool.swap_snapshot(second_snapshot)
+            assert pool.snapshot_path == str(second_snapshot)
+            assert pool._executor is None  # next batch spawns on the new file
+            after = pool.detect_batch(queries[:6])
+            assert pool._executor is not old_executor
+        assert before == after == [compiled.detect(q) for q in queries[:6]]
+
+    def test_swap_before_first_batch_is_cheap(
+        self, snapshot_path, second_snapshot
+    ):
+        pool = DetectorPool(snapshot_path, workers=2)
+        pool.swap_snapshot(second_snapshot)  # no executor to retire yet
+        assert pool.detect_batch(["iphone 5s"])[0].query == "iphone 5s"
+        pool.close()
+
+    def test_bad_swap_leaves_pool_serving(self, snapshot_path, tmp_path):
+        bad = tmp_path / "bad.hdms"
+        bad.write_bytes(b"not a snapshot")
+        with DetectorPool(snapshot_path, workers=2) as pool:
+            pool.detect_batch(["hotel paris"])
+            executor = pool._executor
+            with pytest.raises(ModelError):
+                pool.swap_snapshot(bad)
+            assert pool.snapshot_path == str(snapshot_path)
+            assert pool._executor is executor  # untouched by the refusal
+            assert pool.detect_batch(["hotel paris"])[0].query == "hotel paris"
+
+    def test_swap_on_closed_pool_raises(self, snapshot_path, second_snapshot):
+        pool = DetectorPool(snapshot_path, workers=2)
+        pool.close()
+        with pytest.raises(ShardError, match="closed"):
+            pool.swap_snapshot(second_snapshot)
+
+
 class TestCompiledDetectorServing:
     def test_workers_route_through_pool_and_match(self, model, queries):
         # a never-saved detector writes its own temp snapshot on demand

@@ -1,0 +1,192 @@
+"""Bit-identity of the incremental trainer against full retraining.
+
+The contract is the strongest the repo knows: folding a delta into the
+persisted state must reproduce ``train_model(merged_log,
+vectorized=True)`` exactly — same pair supports in the same insertion
+order, same pattern table, same classifier weights, same detections —
+not approximately, because the serving parity tests downstream compare
+detections by equality. Hypothesis drives the fold algebra
+(fold(fold(A,B),C) == train(A+B+C)) over adversarial little logs where
+delta queries collide with base queries and with each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LogConfig, TrainingConfig, generate_log, train_model
+from repro.errors import ModelError
+from repro.mining.pairs import MiningConfig
+from repro.querylog.models import QueryLog
+from repro.training.incremental import IncrementalTrainer
+
+EDGE_CASES = [
+    "",
+    "iphone",
+    "cheap iphone 5s case",
+    "best hotels in rome 2013",
+    "frobnicate zzz",
+    "for in for",
+]
+
+
+def _log_from(records) -> QueryLog:
+    log = QueryLog()
+    for record in records:
+        log.add_record(record.query, record.frequency, record.clicks)
+    return log
+
+
+def _concat(*logs: QueryLog) -> QueryLog:
+    merged = QueryLog()
+    for log in logs:
+        for record in log.records():
+            merged.add_record(record.query, record.frequency, record.clicks)
+    return merged
+
+
+def _assert_models_identical(folded, reference) -> None:
+    assert folded.pairs.support_map() == reference.pairs.support_map()
+    assert list(folded.pairs.support_map()) == list(reference.pairs.support_map())
+    assert dict(folded.patterns.items()) == dict(reference.patterns.items())
+    assert [p for p, _ in folded.patterns.items()] == [
+        p for p, _ in reference.patterns.items()
+    ]
+    assert (folded.classifier is None) == (reference.classifier is None)
+    if reference.classifier is not None:
+        assert np.array_equal(
+            folded.classifier.model.weights, reference.classifier.model.weights
+        )
+        assert folded.classifier.model.bias == reference.classifier.model.bias
+        assert (
+            folded.classifier.extractor.droppability.concept
+            == reference.classifier.extractor.droppability.concept
+        )
+        assert (
+            folded.classifier.extractor.droppability.instance
+            == reference.classifier.extractor.droppability.instance
+        )
+
+
+@pytest.fixture(scope="module")
+def split_logs(taxonomy):
+    full = generate_log(taxonomy, LogConfig(seed=11, num_intents=900))
+    records = list(full.records())
+    return records[:700], records[700:]
+
+
+@pytest.fixture(scope="module")
+def reference_model(split_logs, taxonomy):
+    base, delta = split_logs
+    merged = _log_from(base + delta)
+    return train_model(merged, taxonomy, TrainingConfig(), vectorized=True)
+
+
+@pytest.fixture(scope="module")
+def folded_state(split_logs, taxonomy):
+    base, delta = split_logs
+    trainer = IncrementalTrainer(_log_from(base), taxonomy, TrainingConfig())
+    timings: dict[str, float] = {}
+    model = trainer.fold(_log_from(delta), timings=timings)
+    return trainer, model, timings
+
+
+def test_fold_matches_full_retrain(folded_state, reference_model):
+    _, model, _ = folded_state
+    _assert_models_identical(model, reference_model)
+
+
+def test_fold_touches_fewer_records_than_full_pass(folded_state, split_logs):
+    _, _, timings = folded_state
+    base, delta = split_logs
+    assert timings["dirty_records"] < len(base) + len(delta)
+    assert timings["dirty_records"] >= len(delta)
+
+
+def test_detections_bit_identical(folded_state, reference_model, split_logs):
+    _, model, _ = folded_state
+    _, delta = split_logs
+    queries = [record.query for record in delta[:50]] + EDGE_CASES
+    reference = reference_model.detector().detect_batch(queries)
+    folded = model.detector().detect_batch(queries)
+    assert reference == folded
+
+
+def test_generation_counts_folds(folded_state):
+    trainer, _, _ = folded_state
+    assert trainer.generation == 2
+
+
+def test_state_round_trip(tmp_path, split_logs, taxonomy, reference_model):
+    base, delta = split_logs
+    trainer = IncrementalTrainer(_log_from(base), taxonomy, TrainingConfig())
+    state_path = tmp_path / "trainer.state"
+    trainer.save(state_path)
+
+    loaded = IncrementalTrainer.load(state_path)
+    with pytest.raises(ModelError, match="no model built yet"):
+        _ = loaded.model
+    model = loaded.fold(_log_from(delta))
+    _assert_models_identical(model, reference_model)
+    assert loaded.generation == 2
+
+
+def test_corrupt_state_rejected(tmp_path, split_logs, taxonomy):
+    base, _ = split_logs
+    trainer = IncrementalTrainer(_log_from(base[:50]), taxonomy, TrainingConfig())
+    state_path = tmp_path / "trainer.state"
+    trainer.save(state_path)
+    raw = bytearray(state_path.read_bytes())
+    raw[-1] ^= 0xFF
+    state_path.write_bytes(bytes(raw))
+    with pytest.raises(ModelError, match="CRC mismatch"):
+        IncrementalTrainer.load(state_path)
+
+    state_path.write_bytes(b"junk" * 16)
+    with pytest.raises(ModelError, match="not a training state"):
+        IncrementalTrainer.load(state_path)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: fold algebra over adversarial synthetic logs
+# ----------------------------------------------------------------------
+
+_TOKEN = st.sampled_from(
+    ["iphone", "5s", "galaxy", "case", "cover", "cheap", "rome",
+     "hotels", "for", "in", "red", "2013"]
+)
+_URL = st.sampled_from(
+    ["http://a.com/x", "http://a.com/y", "http://b.com/x", "http://c.com/z"]
+)
+_RECORD = st.tuples(
+    st.lists(_TOKEN, min_size=1, max_size=4).map(" ".join),
+    st.integers(min_value=1, max_value=6),
+    st.dictionaries(_URL, st.integers(min_value=1, max_value=5), max_size=3),
+)
+_SLICE = st.lists(_RECORD, min_size=0, max_size=12)
+
+_FOLD_CONFIG = TrainingConfig(
+    mining=MiningConfig(min_query_frequency=1, min_pair_support=0.0),
+)
+
+
+def _build_log(records) -> QueryLog:
+    log = QueryLog()
+    for query, frequency, clicks in records:
+        log.add_record(query, frequency, clicks)
+    return log
+
+
+@given(a=st.lists(_RECORD, min_size=1, max_size=12), b=_SLICE, c=_SLICE)
+@settings(max_examples=25, deadline=None)
+def test_fold_fold_equals_train_on_concatenation(taxonomy, a, b, c):
+    trainer = IncrementalTrainer(_build_log(a), taxonomy, _FOLD_CONFIG)
+    trainer.fold(_build_log(b))
+    folded = trainer.fold(_build_log(c))
+
+    merged = _concat(_build_log(a), _build_log(b), _build_log(c))
+    reference = train_model(merged, taxonomy, _FOLD_CONFIG, vectorized=True)
+    _assert_models_identical(folded, reference)
