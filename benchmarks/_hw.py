@@ -20,6 +20,20 @@ def usable_cpus() -> int:
     return os.cpu_count() or 1
 
 
+def load_avg_1m() -> float | None:
+    """1-minute load average at measurement time, or ``None`` where the
+    platform has no ``getloadavg``. Recorded so a suspicious number can
+    be traced to a busy host instead of a code change."""
+    try:
+        return os.getloadavg()[0]
+    except (AttributeError, OSError):
+        return None
+
+
 def hardware_info() -> dict:
     """The ``hardware`` dict every benchmark embeds in its JSON."""
-    return {"cpu_count": os.cpu_count(), "usable_cpus": usable_cpus()}
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus(),
+        "load_avg_1m": load_avg_1m(),
+    }

@@ -232,6 +232,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "consistent-hash router (shorthand for `repro route`)",
     )
     _add_service_flags(p)
+    _add_router_flags(p)
     p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
@@ -254,6 +255,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default 1024)",
     )
     _add_service_flags(p)
+    _add_router_flags(p)
     p.set_defaults(handler=_cmd_route)
 
     p = sub.add_parser(
@@ -345,6 +347,75 @@ def _add_service_flags(p: argparse.ArgumentParser) -> None:
         type=int,
         default=50_000,
         help="normalized-query result cache entries; 0 disables (default 50000)",
+    )
+
+
+def _add_router_flags(p: argparse.ArgumentParser) -> None:
+    """Adaptive-fleet flags shared by ``serve --replicas N`` and ``route``:
+    autoscaling bounds, tail-hedging policy, and cache warm-up."""
+    p.add_argument(
+        "--min-replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the autoscaler with this fleet floor; the router "
+        "spawns N replicas initially and scales within "
+        "[min-replicas, max-replicas]",
+    )
+    p.add_argument(
+        "--max-replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscaler fleet ceiling (default: --replicas when only "
+        "--min-replicas is given)",
+    )
+    p.add_argument(
+        "--scale-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="autoscaler sampling interval (default 2.0)",
+    )
+    p.add_argument(
+        "--scale-up-p95-us",
+        type=float,
+        default=0.0,
+        metavar="MICROSECONDS",
+        help="windowed request p95 above which the fleet counts as "
+        "overloaded; 0 disables the latency trigger (default 0)",
+    )
+    p.add_argument(
+        "--hedge-p99-us",
+        type=float,
+        default=0.0,
+        metavar="MICROSECONDS",
+        help="per-replica window p99 above which requests to that "
+        "replica are hedged to the next ring node; 0 disables "
+        "hedging (default 0)",
+    )
+    p.add_argument(
+        "--hedge-rate",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="cap on fired hedges as a fraction of the recent request "
+        "window (default 0.05)",
+    )
+    p.add_argument(
+        "--warmup-keys",
+        type=int,
+        default=256,
+        metavar="N",
+        help="hottest sibling cache keys replayed through a joining "
+        "replica before it takes traffic; 0 joins cold (default 256)",
+    )
+    p.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="background health-probe interval (default 1.0)",
     )
 
 
@@ -749,7 +820,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers > 1 and not args.snapshot:
         print("error: --workers needs --snapshot", file=sys.stderr)
         return 2
-    if args.replicas > 1:
+    autoscaled = args.min_replicas is not None or args.max_replicas is not None
+    if args.replicas > 1 or autoscaled:
         if not args.snapshot:
             print("error: --replicas needs --snapshot", file=sys.stderr)
             return 2
@@ -825,14 +897,50 @@ def _run_router_cli(args: argparse.Namespace) -> int:
     """Shared body of ``repro route`` and ``repro serve --replicas N``."""
     import asyncio
 
-    from repro.serving.router import Router, RouterConfig, run_router
-
-    router = Router(
-        RouterConfig(max_inflight=getattr(args, "max_inflight", 1024))
+    from repro.errors import ServingError
+    from repro.serving.router import (
+        AutoscalerConfig,
+        Router,
+        RouterConfig,
+        run_router,
     )
+
+    autoscaler = None
+    initial = args.replicas
+    if args.min_replicas is not None or args.max_replicas is not None:
+        floor = args.min_replicas if args.min_replicas is not None else 1
+        ceiling = (
+            args.max_replicas
+            if args.max_replicas is not None
+            else max(floor, args.replicas)
+        )
+        try:
+            autoscaler = AutoscalerConfig(
+                min_replicas=floor,
+                max_replicas=ceiling,
+                interval_s=args.scale_interval,
+                up_p95_us=args.scale_up_p95_us,
+            )
+        except ServingError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        initial = floor
+    try:
+        config = RouterConfig(
+            max_inflight=getattr(args, "max_inflight", 1024),
+            health_interval_s=args.health_interval,
+            hedge_p99_us=args.hedge_p99_us,
+            hedge_rate=args.hedge_rate,
+            warmup_keys=args.warmup_keys,
+        )
+    except ServingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    router = Router(config, autoscaler=autoscaler)
     router.spawn(
         args.snapshot,
-        args.replicas,
+        initial,
         extra_args=[
             "--max-batch-size", str(args.max_batch_size),
             "--max-wait-us", str(args.max_wait_us),
@@ -842,10 +950,13 @@ def _run_router_cli(args: argparse.Namespace) -> int:
     )
 
     def _ready(port: int) -> None:
-        print(
-            f"routing {args.replicas} replicas on http://{args.host}:{port}",
-            flush=True,
+        fleet = (
+            f"{initial} replicas "
+            f"(autoscaling {autoscaler.min_replicas}-{autoscaler.max_replicas})"
+            if autoscaler is not None
+            else f"{initial} replicas"
         )
+        print(f"routing {fleet} on http://{args.host}:{port}", flush=True)
 
     asyncio.run(run_router(router, host=args.host, port=args.port, ready=_ready))
     print("router drained and stopped", flush=True)

@@ -27,7 +27,10 @@ a server for that shape:
   serving: N replica processes share one mmap'd snapshot behind a
   consistent-hash front door (``repro serve --replicas N``), with
   per-replica health, restart-with-generation, and aggregated
-  fleet ``/stats``.
+  fleet ``/stats``. The router doubles as the adaptive control plane
+  (PR 9): :class:`Autoscaler`-driven replica scaling between
+  ``--min-replicas``/``--max-replicas``, budget-bounded tail hedging,
+  and sibling cache warm-up for joining replicas.
 
 Cached, deduped, and micro-batched responses are **bit-identical** to
 one-shot ``CompiledDetector.detect`` — enforced by
@@ -41,7 +44,10 @@ from repro.serving.http import DetectionHTTPServer, detection_payload, run_serve
 from repro.serving.metrics import LatencyHistogram, ServingMetrics, StatCounter
 from repro.serving.replica import ReplicaServer, run_replica
 from repro.serving.router import (
+    Autoscaler,
+    AutoscalerConfig,
     ConsistentHashRing,
+    FleetSample,
     ReplicaClient,
     Router,
     RouterConfig,
@@ -51,9 +57,12 @@ from repro.serving.router import (
 from repro.serving.service import DetectionService, ServingConfig
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
     "ConsistentHashRing",
     "DetectionHTTPServer",
     "DetectionService",
+    "FleetSample",
     "LatencyHistogram",
     "MicroBatcher",
     "ReplicaClient",

@@ -16,7 +16,10 @@ deliberately minimal inward-facing wire protocol:
   head-of-line-blocks a health probe on the same socket.
 - **Ops** — ``detect`` (query → the ``repro detect --json`` payload),
   ``health`` (status + replica id + generation + model generation +
-  pid), ``stats`` (the service's full counters/stages dict), and
+  pid), ``stats`` (the service's full counters/stages dict),
+  ``cache_keys`` (the top-N hottest normalized result-cache keys via
+  :meth:`~repro.serving.service.DetectionService.hot_keys` — the donor
+  side of replica cache warm-up), and
   ``reload`` (hot-swap the serving snapshot in place via
   :meth:`~repro.serving.service.DetectionService.swap_snapshot` —
   in-flight detections finish on the old model, the swap drops
@@ -263,6 +266,20 @@ class ReplicaServer:
             stats["generation"] = self._generation
             stats["pid"] = os.getpid()
             return {**base, "ok": True, "stats": stats}
+        if op == "cache_keys":
+            n = request.get("n", 256)
+            if not isinstance(n, int) or n < 0:
+                return {
+                    **base,
+                    "ok": False,
+                    "kind": "bad_request",
+                    "error": "cache_keys needs a non-negative integer 'n'",
+                }
+            # getattr: stand-in services in tests may not expose a
+            # cache; a cacheless service simply has no hot keys.
+            hot_keys = getattr(self._service, "hot_keys", None)
+            keys = hot_keys(n) if hot_keys is not None else []
+            return {**base, "ok": True, "keys": keys}
         if op == "reload":
             snapshot = request.get("snapshot")
             if not isinstance(snapshot, str):

@@ -329,6 +329,19 @@ class DetectionService:
             self._executor.submit(old.close)
         return generation
 
+    def hot_keys(self, n: int = 256) -> list[str]:
+        """Up to ``n`` hottest normalized cache keys, hottest first
+        (:meth:`~repro.utils.lru.ShardedLruCache.hottest`); empty when
+        the result cache is disabled.
+
+        The donor side of replica warm-up: a new replica replays a
+        sibling's hot keys through its *own* detector before the router
+        adds it to the ring, so scale-up never admits a cold cache.
+        """
+        if self._cache is None:
+            return []
+        return self._cache.hottest(n)
+
     # ------------------------------------------------------------------
     # lifecycle & stats
     # ------------------------------------------------------------------

@@ -104,6 +104,23 @@ class LruCache(Generic[K, V]):
         """Drop all entries (hit/miss counters are kept)."""
         self._data.clear()
 
+    def hottest(self, n: int) -> list[K]:
+        """Up to ``n`` keys, most-recently-used first.
+
+        Recency is the LRU's own hotness signal: the dict is ordered
+        oldest→newest, so the reversed prefix is the hot set. Used by
+        replica cache warm-up (the router replays a sibling's hottest
+        keys through a cold replica before routing to it).
+        """
+        if n <= 0:
+            return []
+        hottest: list[K] = []
+        for key in reversed(self._data):
+            if len(hottest) >= n:
+                break
+            hottest.append(key)
+        return hottest
+
     def stats(self) -> dict[str, object]:
         """Counters as one JSON-friendly dict (hit_rate over all gets)."""
         lookups = self._hits + self._misses
@@ -187,6 +204,26 @@ class ShardedLruCache(Generic[K, V]):
         """Drop all entries (hit/miss counters are kept)."""
         for shard in self._shards:
             shard.clear()
+
+    def hottest(self, n: int) -> list[K]:
+        """Up to ``n`` keys across shards, hottest first.
+
+        Per-shard recency lists (:meth:`LruCache.hottest`) are
+        interleaved round-robin — position 0 of every shard, then
+        position 1, ... — so the result is deterministic and no shard's
+        hot head is starved by a neighbour's.
+        """
+        if n <= 0:
+            return []
+        per_shard = [shard.hottest(n) for shard in self._shards]
+        hottest: list[K] = []
+        for position in range(max((len(keys) for keys in per_shard), default=0)):
+            for keys in per_shard:
+                if position < len(keys):
+                    hottest.append(keys[position])
+                    if len(hottest) >= n:
+                        return hottest
+        return hottest
 
     def stats(self) -> dict[str, object]:
         """Aggregate counters plus per-shard sizes."""

@@ -11,6 +11,19 @@ from repro.serving.metrics import (
 )
 
 
+class _FakeClock:
+    """Injectable monotonic clock for deterministic window tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
 class TestStatCounter:
     def test_counts(self):
         counter = StatCounter()
@@ -18,6 +31,31 @@ class TestStatCounter:
         counter.add()
         counter.add(4)
         assert counter.value == 5
+
+    def test_window_rotates_out_old_intervals(self):
+        clock = _FakeClock()
+        counter = StatCounter(clock=clock, window_intervals=4, interval_s=1.0)
+        counter.add(3)
+        clock.advance(2.0)
+        counter.add(2)
+        assert counter.value == 5
+        assert counter.window_count() == 5  # both inside the 4s window
+        clock.advance(2.0)  # first interval now expired
+        assert counter.window_count() == 2
+        clock.advance(10.0)  # everything expired
+        assert counter.window_count() == 0
+        assert counter.value == 5  # lifetime total never decays
+        assert counter.window_s == 4.0
+        assert counter.window_rate() == 0.0
+
+    def test_window_slot_reuse_resets_stale_counts(self):
+        """A slot reused a full window later must not leak its old count."""
+        clock = _FakeClock()
+        counter = StatCounter(clock=clock, window_intervals=2, interval_s=1.0)
+        counter.add(7)
+        clock.advance(2.0)  # same slot index, new interval mark
+        counter.add(1)
+        assert counter.window_count() == 1
 
 
 class TestLatencyHistogram:
@@ -77,6 +115,39 @@ class TestLatencyHistogram:
         merged = LatencyHistogram.merged([part_a.stats(), part_b.stats()])
         assert merged == whole.stats()
 
+    def test_window_stats_report_only_recent_observations(self):
+        clock = _FakeClock()
+        hist = LatencyHistogram(clock=clock, window_intervals=3, interval_s=1.0)
+        hist.observe_us(40_000)  # slow observation, will expire
+        clock.advance(1.0)
+        hist.observe_us(30)
+        hist.observe_us(40)
+        window = hist.window_stats()
+        assert window["count"] == 3
+        clock.advance(2.5)  # the 40ms outlier falls out of the window
+        window = hist.window_stats()
+        assert window["count"] == 2
+        assert window["max_us"] == 40
+        assert window["p99_us"] <= 50  # bucket bound above 40µs
+        assert window["window_s"] == 3.0
+        assert window["rate_per_s"] == 2 / 3.0
+        # Lifetime stats still see everything.
+        stats = hist.stats()
+        assert stats["count"] == 3
+        assert stats["max_us"] == 40_000
+        assert stats["window"]["count"] == 2
+
+    def test_merged_merges_windows_too(self):
+        clock = _FakeClock()
+        part_a = LatencyHistogram(clock=clock)
+        part_b = LatencyHistogram(clock=clock)
+        part_a.observe_us(10)
+        part_b.observe_us(2_000)
+        merged = LatencyHistogram.merged([part_a.stats(), part_b.stats()])
+        assert merged["window"]["count"] == 2
+        assert merged["window"]["max_us"] == 2_000
+        assert merged["window"]["window_s"] == part_a.window_s
+
     def test_merged_skips_empty_inputs(self):
         hist = LatencyHistogram()
         hist.observe_us(10)
@@ -95,6 +166,18 @@ class TestServingMetrics:
         stats = metrics.stats()
         assert stats["counters"] == {"shed": 1}
         assert stats["stages"]["detect"]["count"] == 1
+        assert stats["counter_windows"]["shed"]["count"] == 1
+        assert stats["stages"]["detect"]["window"]["count"] == 1
+
+    def test_injected_clock_reaches_counters_and_stages(self):
+        clock = _FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        metrics.counter("shed").add()
+        metrics.observe("detect", 0.001)
+        clock.advance(2 * metrics.counter("shed").window_s)
+        assert metrics.counter("shed").window_count() == 0
+        assert metrics.stage("detect").window_stats()["count"] == 0
+        assert metrics.counter("shed").value == 1
 
     def test_span_times_its_block(self):
         metrics = ServingMetrics()

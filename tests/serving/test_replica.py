@@ -176,6 +176,55 @@ class TestReplicaServer:
         assert stats["stats"]["requests"] == 1
         assert stats["stats"]["replica"] == 3
 
+    def test_cache_keys_returns_hottest_normalized_keys(self, compiled):
+        queries = ["cheap hotels in rome", "iphone 5s case", "cheap hotels in rome"]
+
+        async def handler(server, reader, writer):
+            for index, query in enumerate(queries):
+                await _call(
+                    writer,
+                    reader,
+                    {"op": "detect", "id": str(index), "query": query},
+                )
+            hot = await _call(writer, reader, {"op": "cache_keys", "id": "k"})
+            capped = await _call(
+                writer, reader, {"op": "cache_keys", "id": "k1", "n": 1}
+            )
+            bad = await _call(
+                writer, reader, {"op": "cache_keys", "id": "kb", "n": -1}
+            )
+            return hot, capped, bad
+
+        hot, capped, bad = _against_server(
+            handler, lambda: DetectionService(compiled)
+        )
+        assert hot["ok"] is True
+        # Keys are the cache's normalized texts, hottest (MRU) first.
+        assert set(hot["keys"]) == {"cheap hotels in rome", "iphone 5s case"}
+        assert capped["ok"] is True and len(capped["keys"]) == 1
+        assert bad == {
+            "id": "kb",
+            "ok": False,
+            "kind": "bad_request",
+            "error": "cache_keys needs a non-negative integer 'n'",
+        }
+
+    def test_cache_keys_without_hot_key_support_is_empty(self):
+        class _BareService:
+            closed = False
+
+            async def detect(self, query):  # pragma: no cover - unused
+                raise AssertionError
+
+            async def close(self):
+                pass
+
+        async def handler(server, reader, writer):
+            return await _call(writer, reader, {"op": "cache_keys", "id": "k"})
+
+        response = _against_server(handler, _BareService)
+        assert response == {"id": "k", "ok": True, "keys": []}
+
     def test_unknown_op_and_bad_query_are_bad_request(self, compiled):
         async def handler(server, reader, writer):
             unknown = await _call(writer, reader, {"op": "frobnicate", "id": "1"})

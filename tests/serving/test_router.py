@@ -13,8 +13,11 @@ import asyncio
 import json
 import os
 import signal
+from time import perf_counter
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import (
     ReplicaUnavailableError,
@@ -26,7 +29,10 @@ from repro.runtime.compiled import _normalize_fast
 from repro.serving import DetectionService, detection_payload
 from repro.serving.replica import ReplicaServer
 from repro.serving.router import (
+    Autoscaler,
+    AutoscalerConfig,
     ConsistentHashRing,
+    FleetSample,
     ReplicaClient,
     ReplicaHandle,
     Router,
@@ -93,6 +99,28 @@ class TestConsistentHashRing:
         with pytest.raises(ServingError, match="already"):
             ring.add("r0")
 
+    def test_remove_unknown_node_is_refused(self):
+        with pytest.raises(ServingError, match="not on the ring"):
+            ConsistentHashRing(["r0"]).remove("r9")
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(1, 8))
+    def test_scale_up_then_down_remaps_minimally(self, n):
+        """The autoscaler's ring contract: adding a node moves keys
+        only *onto* the new node (~K/(N+1) of them), and removing it
+        restores the exact previous mapping."""
+        ring = ConsistentHashRing([f"r{i}" for i in range(n)])
+        keys = [f"query number {i}" for i in range(400)]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add(f"r{n}")
+        after = {key: ring.node_for(key) for key in keys}
+        moved = [key for key in keys if after[key] != before[key]]
+        assert all(after[key] == f"r{n}" for key in moved)
+        # ~K/(N+1) keys move; vnode smoothing keeps it within ~3x.
+        assert len(moved) <= 3 * len(keys) / (n + 1)
+        ring.remove(f"r{n}")
+        assert {key: ring.node_for(key) for key in keys} == before
+
 
 class TestRouterConfig:
     def test_validation(self):
@@ -102,6 +130,132 @@ class TestRouterConfig:
             RouterConfig(max_inflight=0)
         with pytest.raises(ServingError, match="max_restarts"):
             RouterConfig(max_restarts=-1)
+        with pytest.raises(ServingError, match="hedge_rate"):
+            RouterConfig(hedge_rate=1.5)
+        with pytest.raises(ServingError, match="hedge thresholds"):
+            RouterConfig(hedge_p99_us=-1)
+        with pytest.raises(ServingError, match="warmup_keys"):
+            RouterConfig(warmup_keys=-1)
+        with pytest.raises(ServingError, match="restart_jitter"):
+            RouterConfig(restart_jitter=-0.1)
+
+
+class _FakeClock:
+    """Injectable monotonic clock for deterministic control-loop tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _sample(up, shed_rate=0.0, queue_depth=0.0, p95_us=0.0):
+    return FleetSample(
+        up=up, shed_rate=shed_rate, queue_depth=queue_depth, p95_us=p95_us
+    )
+
+
+class TestAutoscalerDecisions:
+    """The pure decision engine, driven by hand-built FleetSamples and
+    an injected clock — no subprocesses, no sockets, no real time."""
+
+    def test_config_validation(self):
+        with pytest.raises(ServingError, match="min_replicas"):
+            AutoscalerConfig(min_replicas=0)
+        with pytest.raises(ServingError, match="max_replicas"):
+            AutoscalerConfig(min_replicas=3, max_replicas=2)
+        with pytest.raises(ServingError, match="hold_intervals"):
+            AutoscalerConfig(hold_intervals=0)
+        with pytest.raises(ServingError, match="interval_s"):
+            AutoscalerConfig(interval_s=0)
+
+    def test_scale_up_needs_a_sustained_overload_streak(self):
+        clock = _FakeClock()
+        scaler = Autoscaler(
+            AutoscalerConfig(max_replicas=4, hold_intervals=3, up_shed_rate=0.5),
+            clock=clock,
+        )
+        hot = _sample(1, shed_rate=2.0)
+        assert scaler.decide(hot) == 1  # streak 1: hold
+        assert scaler.decide(hot) == 1  # streak 2: hold
+        assert scaler.decide(hot) == 2  # streak 3: step up
+
+    def test_one_noisy_sample_resets_the_streak(self):
+        clock = _FakeClock()
+        scaler = Autoscaler(
+            AutoscalerConfig(hold_intervals=2, up_queue_depth=8.0), clock=clock
+        )
+        assert scaler.decide(_sample(1, queue_depth=20.0)) == 1
+        assert scaler.decide(_sample(1, queue_depth=2.0)) == 1  # calm: reset
+        assert scaler.decide(_sample(1, queue_depth=20.0)) == 1  # streak 1 again
+        assert scaler.decide(_sample(1, queue_depth=20.0)) == 2
+
+    def test_cooldown_blocks_consecutive_steps(self):
+        clock = _FakeClock()
+        scaler = Autoscaler(
+            AutoscalerConfig(hold_intervals=1, cooldown_s=15.0, max_replicas=8),
+            clock=clock,
+        )
+        hot = _sample(1, shed_rate=9.0)
+        assert scaler.decide(hot) == 2
+        assert scaler.decide(_sample(2, shed_rate=9.0)) == 2  # cooling down
+        clock.advance(15.0)
+        assert scaler.decide(_sample(2, shed_rate=9.0)) == 3
+
+    def test_scale_down_after_idle_streak_respects_min(self):
+        clock = _FakeClock()
+        scaler = Autoscaler(
+            AutoscalerConfig(
+                min_replicas=1,
+                hold_intervals=2,
+                cooldown_s=0.0,
+                down_queue_depth=1.0,
+            ),
+            clock=clock,
+        )
+        idle = _sample(3, queue_depth=0.0)
+        assert scaler.decide(idle) == 3
+        assert scaler.decide(idle) == 2
+        assert scaler.decide(_sample(2, queue_depth=0.0)) == 2  # streak restarted
+        assert scaler.decide(_sample(2, queue_depth=0.0)) == 1
+        assert scaler.decide(_sample(1, queue_depth=0.0)) == 1  # floor: min
+        assert scaler.decide(_sample(1, queue_depth=0.0)) == 1
+
+    def test_bounds_repair_skips_hysteresis(self):
+        scaler = Autoscaler(
+            AutoscalerConfig(min_replicas=2, max_replicas=3), clock=_FakeClock()
+        )
+        assert scaler.decide(_sample(1)) == 2  # below min: repair now
+        assert scaler.decide(_sample(5)) == 3  # above max: repair now
+
+    def test_latency_trigger_is_off_by_default(self):
+        clock = _FakeClock()
+        scaler = Autoscaler(
+            AutoscalerConfig(hold_intervals=1, up_p95_us=0.0), clock=clock
+        )
+        # Huge p95 alone must not scale when the trigger is disabled
+        # (queue depth 2.0 also blocks the idle path).
+        assert scaler.decide(_sample(1, p95_us=10**9, queue_depth=2.0)) == 1
+        armed = Autoscaler(
+            AutoscalerConfig(hold_intervals=1, up_p95_us=50_000.0),
+            clock=_FakeClock(),
+        )
+        assert armed.decide(_sample(1, p95_us=100_000.0)) == 2
+
+    def test_describe_reports_control_state(self):
+        clock = _FakeClock()
+        scaler = Autoscaler(
+            AutoscalerConfig(hold_intervals=3, cooldown_s=10.0), clock=clock
+        )
+        scaler.decide(_sample(1, shed_rate=9.0))
+        state = scaler.describe()
+        assert state["up_streak"] == 1
+        assert state["min_replicas"] == 1
+        assert state["cooling_down"] is False
 
 
 def _fleet(compiled, count, config=None):
@@ -442,6 +596,364 @@ class TestRouterHTTP:
             await server.stop()
 
         asyncio.run(main())
+
+
+class _SlowService:
+    """Delegates to a real DetectionService, stalling queries that
+    contain a marker — an injected intermittent straggler."""
+
+    def __init__(self, compiled, marker="sleepy", delay_s=0.5):
+        self._inner = DetectionService(compiled)
+        self._marker = marker
+        self._delay_s = delay_s
+
+    @property
+    def closed(self):
+        return self._inner.closed
+
+    async def detect(self, text):
+        if self._marker in text:
+            await asyncio.sleep(self._delay_s)
+        return await self._inner.detect(text)
+
+    def stats(self):
+        return self._inner.stats()
+
+    async def close(self):
+        await self._inner.close()
+
+
+def _owned_query(router, owner, template="query {} about hotels", marker=""):
+    """A query string whose normalized form the ring assigns to ``owner``."""
+    for n in range(10_000):
+        query = f"{marker}{template.format(n)}".strip()
+        if router._ring.node_for(_normalize_fast(query)) == owner:
+            return query
+    raise AssertionError(f"no query found for owner {owner}")
+
+
+class TestHedging:
+    #: Windowed per-replica p99 must clear this to arm hedging — far
+    #: above a healthy in-process round trip, far below the stall.
+    HEDGE_P99_US = 100_000.0
+
+    def _hedging_fleet(self, compiled, hedge_rate=1.0, delay_s=0.5):
+        config = RouterConfig(
+            health_interval_s=30.0,
+            hedge_p99_us=self.HEDGE_P99_US,
+            hedge_min_delay_us=5_000.0,
+            hedge_rate=hedge_rate,
+            warmup_keys=0,
+        )
+
+        class _Fleet:
+            async def __aenter__(self):
+                self.slow = ReplicaServer(
+                    _SlowService(compiled, delay_s=delay_s), port=0
+                )
+                self.fast = ReplicaServer(DetectionService(compiled), port=0)
+                await self.slow.start()
+                await self.fast.start()
+                self.router = Router(config)
+                self.router.attach("127.0.0.1", self.slow.port)  # r0
+                self.router.attach("127.0.0.1", self.fast.port)  # r1
+                await self.router.start()
+                return self.router
+
+            async def __aexit__(self, *exc_info):
+                await self.router.close()
+                await self.slow.stop()
+                await self.fast.stop()
+
+        return _Fleet()
+
+    async def _prime_straggler(self, router):
+        """Make r0 look like an intermittent straggler: many fast
+        requests keep the fleet's windowed p95 (the hedge delay) low,
+        one stalled request pushes r0's windowed p99 (the trigger) over
+        the budget — exactly the shape hedging is designed for."""
+        for index in range(20):
+            await router.detect(
+                _owned_query(router, "r0", template=f"fast {{}} item {index}")
+            )
+        first_stall = _owned_query(router, "r0", marker="sleepy priming ")
+        await router.detect(first_stall)  # unhedged: p99 still low
+
+    def test_hedge_fires_and_first_response_wins(self, compiled):
+        """A straggler-owned query is answered by the backup replica in
+        well under the straggler's stall, with an identical payload; the
+        stalled owner response is discarded."""
+
+        async def main():
+            async with self._hedging_fleet(compiled) as router:
+                await self._prime_straggler(router)
+                assert router.metrics.stats()["counters"]["hedges_fired"] == 0
+                stuck = _owned_query(router, "r0", marker="sleepy ")
+                start = perf_counter()
+                payload = await router.detect(stuck)
+                elapsed = perf_counter() - start
+                counters = router.metrics.stats()["counters"]
+                return payload, elapsed, counters, stuck
+
+        payload, elapsed, counters, stuck = asyncio.run(main())
+        assert payload == detection_payload(compiled.detect(stuck))
+        assert elapsed < 0.4  # far below the 0.5s stall: the hedge won
+        assert counters["hedges_fired"] == 1
+        assert counters["hedges_won"] == 1
+        assert counters["hedges_suppressed"] == 0
+
+    def test_hedge_budget_suppresses_when_spent(self, compiled):
+        """hedge_rate=0 means the budget is always spent: the request
+        waits out the straggler and the suppression is counted."""
+
+        async def main():
+            async with self._hedging_fleet(
+                compiled, hedge_rate=0.0, delay_s=0.15
+            ) as router:
+                await self._prime_straggler(router)
+                stuck = _owned_query(router, "r0", marker="sleepy ")
+                start = perf_counter()
+                payload = await router.detect(stuck)
+                elapsed = perf_counter() - start
+                return payload, elapsed, router.metrics.stats()["counters"], stuck
+
+        payload, elapsed, counters, stuck = asyncio.run(main())
+        assert payload == detection_payload(compiled.detect(stuck))
+        assert elapsed >= 0.14  # served by the straggler itself
+        assert counters["hedges_fired"] == 0
+        assert counters["hedges_won"] == 0
+        assert counters["hedges_suppressed"] == 1
+
+    def test_healthy_owner_never_pays_for_hedging(self, compiled):
+        """Queries owned by the fast replica are answered by it alone:
+        arming is per-owner p99, so a healthy replica costs nothing even
+        while its neighbour is a known straggler."""
+
+        async def main():
+            async with self._hedging_fleet(compiled) as router:
+                await self._prime_straggler(router)
+                for index in range(10):
+                    await router.detect(
+                        _owned_query(
+                            router, "r1", template=f"calm {{}} item {index}"
+                        )
+                    )
+                return router.metrics.stats()["counters"]
+
+        counters = asyncio.run(main())
+        assert counters["hedges_fired"] == 0
+        assert counters["hedges_suppressed"] == 0
+
+
+class TestWarmup:
+    def test_reattached_replica_is_warmed_from_its_sibling(self, compiled):
+        """Kill r1, let its arc spill onto r0, revive r1 cold: the
+        reattach warm-up must replay r1's keys from r0's hot list, so
+        r1's first owned query is already a cache hit."""
+
+        async def main():
+            config = RouterConfig(health_interval_s=30.0, warmup_keys=64)
+            async with _fleet(compiled, 2, config) as (router, servers):
+                queries = [
+                    _owned_query(router, owner, template=f"query {{}} topic {k}")
+                    for owner in ("r0", "r1")
+                    for k in range(4)
+                ]
+                for query in queries:
+                    await router.detect(query)
+                victim = router.replicas[1]
+                port = victim.port
+                await servers[1].stop()
+                await router.check_health()
+                assert victim.state == "down"
+                # r1's arc fails over to r0, heating r0's cache with
+                # r1-owned keys — the donor material for the warm-up.
+                for query in queries:
+                    await router.detect(query)
+                revived = ReplicaServer(DetectionService(compiled), port=port)
+                await revived.start()
+                try:
+                    await router.check_health()
+                    assert victim.state == "up"
+                    warmed = revived.service.stats()
+                    # Warmed keys answer from cache on the first real hit.
+                    r1_query = queries[4]
+                    before_hits = warmed["cache"]["hits"]
+                    await router.detect(r1_query)
+                    after = revived.service.stats()
+                    counters = router.metrics.stats()["counters"]
+                    return warmed, before_hits, after, counters
+                finally:
+                    await revived.stop()
+
+        warmed, before_hits, after, counters = asyncio.run(main())
+        assert counters["warmed_keys"] >= 4  # all four r1-owned keys
+        assert warmed["requests"] >= 4  # replayed before taking traffic
+        assert after["cache"]["hits"] == before_hits + 1
+        assert after["detected"] == warmed["detected"]  # hit, not re-detect
+
+    def test_warmup_disabled_joins_cold(self, compiled):
+        async def main():
+            config = RouterConfig(health_interval_s=30.0, warmup_keys=0)
+            async with _fleet(compiled, 2, config) as (router, servers):
+                for query in QUERIES:
+                    await router.detect(query)
+                victim = router.replicas[1]
+                port = victim.port
+                await servers[1].stop()
+                await router.check_health()
+                for query in QUERIES:
+                    await router.detect(query)
+                revived = ReplicaServer(DetectionService(compiled), port=port)
+                await revived.start()
+                try:
+                    await router.check_health()
+                    assert victim.state == "up"
+                    return (
+                        revived.service.stats(),
+                        router.metrics.stats()["counters"],
+                    )
+                finally:
+                    await revived.stop()
+
+        stats, counters = asyncio.run(main())
+        assert stats["requests"] == 0  # nothing replayed
+        assert counters["warmed_keys"] == 0
+
+
+class TestRouterAutoscaling:
+    def test_scale_down_retires_youngest_and_keeps_serving(self, compiled):
+        """autoscale_once applies a shrink decision: the retired replica
+        leaves the ring, its arc remaps, health stays ok, and every
+        query is still answered bit-identically."""
+
+        async def main():
+            config = RouterConfig(health_interval_s=30.0, warmup_keys=0)
+            scaling = AutoscalerConfig(
+                min_replicas=1, max_replicas=3, hold_intervals=1, cooldown_s=0.0
+            )
+            async with _fleet(compiled, 3, config) as (router, _servers):
+                router._autoscaler = Autoscaler(scaling, clock=_FakeClock())
+                for handle in router.replicas:
+                    handle.managed = True  # in-process stand-ins
+                tick = await router.autoscale_once()  # idle fleet shrinks
+                results = {q: await router.detect(q) for q in QUERIES}
+                health = router.healthz()
+                stats = await router.stats()
+                return tick, results, health, stats, router.replicas
+
+        tick, results, health, stats, replicas = asyncio.run(main())
+        assert tick == {"up": 3, "target": 2, "applied": True}
+        assert replicas[2].state == "retired"
+        assert health["status"] == "ok"  # a shrunken fleet is healthy
+        assert health["up"] == 2
+        assert health["replicas"]["r2"] == "retired"
+        assert stats["router"]["counters"]["scale_downs"] == 1
+        assert stats["router"]["autoscaler"]["max_replicas"] == 3
+        for query, payload in results.items():
+            assert payload == detection_payload(compiled.detect(query))
+
+    def test_scale_up_without_spawn_command_is_a_noop(self, compiled):
+        """An attached-only fleet has nothing to spawn: the decision is
+        made but not applied, and nothing breaks."""
+
+        async def main():
+            scaling = AutoscalerConfig(
+                min_replicas=1, max_replicas=3, hold_intervals=1, cooldown_s=0.0
+            )
+            async with _fleet(compiled, 1) as (router, _servers):
+                router._autoscaler = Autoscaler(scaling, clock=_FakeClock())
+                router._metrics.counter("shed").add(100)  # a shedding storm
+                tick = await router.autoscale_once()
+                assert (await router.detect("cheap hotels in rome"))["head"]
+                return tick
+
+        tick = asyncio.run(main())
+        assert tick["up"] == 1
+        assert tick["target"] == 2
+        assert tick["applied"] is False
+
+    def test_fleet_sample_reads_windowed_metrics(self, compiled):
+        async def main():
+            async with _fleet(compiled, 2) as (router, _servers):
+                for query in QUERIES:
+                    await router.detect(query)
+                return router.fleet_sample()
+
+        sample = asyncio.run(main())
+        assert sample.up == 2
+        assert sample.shed_rate == 0.0
+        assert sample.queue_depth == 0.0  # nothing in flight now
+        assert sample.p95_us > 0  # recent requests are in the window
+
+    def test_autoscale_disabled_router_ticks_are_noops(self, compiled):
+        async def main():
+            async with _fleet(compiled, 1) as (router, _servers):
+                return await router.autoscale_once()
+
+        assert asyncio.run(main()) == {"up": 0, "target": 0, "applied": False}
+
+
+class TestRestartBackoff:
+    def test_repeated_failures_back_off_deterministically(self, compiled):
+        """First recovery retry is immediate; consecutive failures space
+        out exponentially with seeded jitter, so a dead replica is not
+        hammered every probe."""
+
+        async def main():
+            clock = _FakeClock()
+            config = RouterConfig(
+                health_interval_s=30.0,
+                restart_backoff_base_s=0.5,
+                restart_backoff_max_s=4.0,
+                restart_jitter=0.0,
+            )
+            async with _fleet(compiled, 2, config) as (router, servers):
+                router._clock = clock
+                victim = router.replicas[0]
+                await servers[0].stop()
+                await router.check_health()  # down + immediate retry fails
+                assert victim.state == "down"
+                assert victim.backoff_attempts >= 1
+                first_gate = victim.next_restart_at
+                await router.check_health()  # retry runs (gate was 0 or now)
+                second_gate = victim.next_restart_at
+                # The gate moved into the future: the next probe skips.
+                assert second_gate > clock.now
+                attempts_before = victim.backoff_attempts
+                await router.check_health()
+                assert victim.backoff_attempts == attempts_before  # gated
+                # Advance past the gate: the retry runs (and fails) again.
+                clock.now = second_gate + 0.01
+                await router.check_health()
+                assert victim.backoff_attempts == attempts_before + 1
+                return first_gate, second_gate
+
+        first_gate, second_gate = asyncio.run(main())
+        assert first_gate == 0.0  # first failure schedules no delay
+        assert second_gate == 0.5  # second failure: base backoff
+
+    def test_successful_reconnect_resets_backoff(self, compiled):
+        async def main():
+            config = RouterConfig(health_interval_s=30.0, warmup_keys=0)
+            async with _fleet(compiled, 2, config) as (router, servers):
+                victim = router.replicas[0]
+                port = victim.port
+                await servers[0].stop()
+                await router.check_health()
+                assert victim.backoff_attempts >= 1
+                revived = ReplicaServer(DetectionService(compiled), port=port)
+                await revived.start()
+                try:
+                    await router.check_health()
+                    assert victim.state == "up"
+                    return victim.backoff_attempts, victim.next_restart_at
+                finally:
+                    await revived.stop()
+
+        attempts, gate = asyncio.run(main())
+        assert attempts == 0
+        assert gate == 0.0
 
 
 async def _http(port: int, method: str, path: str, body: str | None = None):

@@ -342,3 +342,29 @@ class TestConfigValidation:
         stats = run(serve())
         assert stats["cache"] is None
         assert stats["detected"] == 2
+
+
+class TestHotKeys:
+    def test_hot_keys_exports_normalized_cache_keys(self, compiled):
+        async def serve():
+            async with DetectionService(compiled) as service:
+                await service.detect("  Cheap   Hotels in ROME ")
+                await service.detect("iphone 5s case")
+                return service.hot_keys(), service.hot_keys(1)
+
+        keys, one = run(serve())
+        # Keys are the fast-normalized texts the cache is indexed by —
+        # exactly what a cold replica can replay through its own detector.
+        assert set(keys) == {"cheap hotels in rome", "iphone 5s case"}
+        assert len(one) == 1
+
+    def test_hot_keys_empty_when_cache_disabled(self):
+        stub = StubDetector()
+        config = ServingConfig(max_batch_size=2, max_wait_us=100, cache_size=0)
+
+        async def serve():
+            async with DetectionService(stub, config) as service:
+                await service.detect("q")
+                return service.hot_keys()
+
+        assert run(serve()) == []

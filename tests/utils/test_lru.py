@@ -105,6 +105,22 @@ class TestLruCache:
     def test_stats_hit_rate_without_lookups(self):
         assert LruCache(capacity=1).stats()["hit_rate"] == 0.0
 
+    def test_hottest_is_mru_first_and_tracks_refreshes(self):
+        cache = LruCache(capacity=4)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.get("b")  # refresh: "b" is now the hottest key
+        assert cache.hottest(4) == ["b", "d", "c", "a"]
+        assert cache.hottest(2) == ["b", "d"]  # truncates at n
+        assert cache.hottest(100) == ["b", "d", "c", "a"]
+
+    def test_hottest_handles_degenerate_n(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.hottest(0) == []
+        assert cache.hottest(-1) == []
+        assert LruCache(capacity=2).hottest(5) == []
+
 
 class TestShardOf:
     def test_string_keys_are_process_independent(self):
@@ -176,6 +192,25 @@ class TestShardedLruCache:
             ShardedLruCache(capacity=8, num_shards=0)
         with pytest.raises(ValueError):
             ShardedLruCache(capacity=2, num_shards=4)
+
+    def test_hottest_interleaves_shards_round_robin(self):
+        cache = ShardedLruCache(capacity=16, num_shards=2)
+        # Pin two keys per shard with known per-shard recency order.
+        by_shard: dict[int, list[str]] = {0: [], 1: []}
+        for n in range(1000):
+            key = f"k{n}"
+            shard = shard_of(key, 2)
+            if len(by_shard[shard]) < 2:
+                by_shard[shard].append(key)
+                cache.put(key, n)
+            if all(len(keys) == 2 for keys in by_shard.values()):
+                break
+        # Each shard's MRU entry comes before any shard's second entry.
+        hottest = cache.hottest(4)
+        assert set(hottest[:2]) == {by_shard[0][-1], by_shard[1][-1]}
+        assert set(hottest[2:]) == {by_shard[0][0], by_shard[1][0]}
+        assert len(cache.hottest(3)) == 3  # early stop at n
+        assert cache.hottest(0) == []
 
     @given(
         st.lists(st.tuples(st.text(max_size=8), st.integers()), max_size=200),
