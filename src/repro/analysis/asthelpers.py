@@ -39,13 +39,6 @@ def async_functions(tree: ast.AST) -> Iterator[ast.AsyncFunctionDef]:
             yield node
 
 
-def contains_await(node: ast.AST) -> bool:
-    """True when ``node``'s same-scope body awaits anything."""
-    return any(
-        isinstance(child, ast.Await) for child in walk_same_scope(node)
-    )
-
-
 def terminal_name(node: ast.expr) -> str | None:
     """The final identifier of a name/attribute chain (``self._lock`` →
     ``_lock``), or ``None`` for other expressions."""

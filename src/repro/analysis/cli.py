@@ -14,13 +14,27 @@ Thin argparse-to-engine glue with stable exit codes — the CI contract:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.engine import discover_project, find_project_root, run_lint
+from repro.analysis.graph import build_graphs, graphs_to_dict, render_graph_dot
 from repro.analysis.registry import all_rules
 from repro.analysis.reporters import render_json, render_text
+
+
+def _parse_rule_filter(values: list[str] | None) -> set[str] | None:
+    """``--rule REP001 --rule REP002,REP007`` -> {REP001, REP002, REP007}."""
+    if not values:
+        return None
+    return {
+        rule_id.strip()
+        for value in values
+        for rule_id in value.split(",")
+        if rule_id.strip()
+    } or None
 
 #: Baseline location relative to the project root.
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -51,8 +65,15 @@ def add_lint_parser(
     p.add_argument(
         "--rule",
         action="append",
-        metavar="REPxxx",
-        help="run only this rule (repeatable)",
+        metavar="REPxxx[,REPyyy...]",
+        help="run only these rules (repeatable and/or comma-separated)",
+    )
+    p.add_argument(
+        "--graph",
+        choices=("dot", "json"),
+        default=None,
+        help="emit the whole-program import/call graph in this format "
+        "instead of linting",
     )
     p.add_argument(
         "--baseline",
@@ -99,10 +120,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         Path(args.baseline) if args.baseline else project_root / DEFAULT_BASELINE
     )
     baseline = Baseline.load(baseline_path)
-    rule_filter = set(args.rule) if args.rule else None
+    rule_filter = _parse_rule_filter(args.rule)
     sources, test_sources, src_corpus = discover_project(
         project_root, list(args.paths)
     )
+
+    if args.graph:
+        graphs = build_graphs(src_corpus)
+        if args.graph == "json":
+            report = json.dumps(graphs_to_dict(graphs), indent=2, sort_keys=True)
+        else:
+            report = render_graph_dot(graphs)
+        print(report)
+        if args.output:
+            Path(args.output).write_text(report + "\n", encoding="utf-8")
+            print(f"graph written to {args.output}", file=sys.stderr)
+        return 0
     result = run_lint(
         sources,
         test_sources=test_sources,

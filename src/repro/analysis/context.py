@@ -16,9 +16,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 from repro.analysis.findings import Finding
 from repro.analysis.suppressions import Suppression, parse_suppressions
+
+if TYPE_CHECKING:  # deferred at runtime; see ProjectContext.graphs
+    from repro.analysis.graph import ProjectGraphs
 
 
 @dataclass(frozen=True)
@@ -115,3 +119,21 @@ class ProjectContext:
         return "\n".join(
             source.text for source in corpus if source.relpath != relpath
         )
+
+    @property
+    def graphs(self) -> "ProjectGraphs":
+        """The whole-program import/call graphs over ``src_corpus``
+        (falling back to ``files`` for in-memory fixture projects).
+
+        Construction is content-hash cached in
+        :func:`repro.analysis.graph.build_graphs`, so the four graph
+        rules in one run share a single build.
+        """
+        # Deferred to break the load-time cycle (graph imports
+        # SourceFile from this module); REP007 sanctions exactly this.
+        from repro.analysis.graph import build_graphs
+
+        corpus = self.src_corpus or [
+            SourceFile(ctx.relpath, ctx.text) for ctx in self.files
+        ]
+        return build_graphs(corpus)

@@ -25,6 +25,20 @@ from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule, all_rules
 from repro.errors import AnalysisError
 
+#: Rules that run on benchmark scripts. Benchmarks are measurement
+#: harnesses, not package code: determinism (REP001), exception
+#: discipline (REP006), and layering (REP007) apply; async hygiene,
+#: parity, and dead-API rules are package-surface concerns and would
+#: only generate noise there. REP000 (malformed noqa) always applies.
+BENCHMARK_RULES = frozenset({"REP000", "REP001", "REP006", "REP007"})
+
+
+def _benchmark_scoped(finding: Finding) -> bool:
+    """Drop findings on ``benchmarks/`` files from out-of-scope rules."""
+    return finding.path.startswith("benchmarks/") and (
+        finding.rule not in BENCHMARK_RULES
+    )
+
 
 @dataclass
 class LintResult:
@@ -69,9 +83,17 @@ def lint_project(
         raw.extend(ctx.suppression_findings)
     for rule in rules:
         if rule.project_check is not None:
-            raw.extend(rule.project_check(project))
+            raw.extend(
+                finding
+                for finding in rule.project_check(project)
+                if not _benchmark_scoped(finding)
+            )
         if rule.file_check is not None:
             for ctx in project.files:
+                if ctx.relpath.startswith("benchmarks/") and (
+                    rule.rule_id not in BENCHMARK_RULES
+                ):
+                    continue
                 if rule.applies_to(ctx.relpath):
                     raw.extend(rule.file_check(ctx))
 
@@ -169,21 +191,31 @@ def discover_project(
     """Load (lint targets, test corpus, full src corpus) from disk.
 
     With no ``paths``, the lint target is the whole ``src/repro``
-    package. Explicit ``paths`` (files or directories, given relative
-    to the project root or absolute) narrow the target; the twin/test
-    corpora always cover the full tree so cross-file rules keep their
-    context.
+    package plus ``benchmarks/`` (linted under a ``benchmarks/`` path
+    prefix with the scope-limited :data:`BENCHMARK_RULES` set). Explicit
+    ``paths`` (files or directories, given relative to the project root
+    or absolute) narrow the target; the twin/test corpora always cover
+    the full tree so cross-file rules keep their context.
     """
     package_root = project_root / "src" / "repro"
     if not package_root.is_dir():
         raise AnalysisError(f"no src/repro package under {project_root}")
     src_corpus = _read_tree(package_root, package_root)
+    bench_root = project_root / "benchmarks"
+    if bench_root.is_dir():
+        # Prefixed so rule scopes, reports, and the import graph can
+        # tell measurement harnesses from package code.
+        src_corpus.extend(
+            SourceFile(f"benchmarks/{source.relpath}", source.text)
+            for source in _read_tree(bench_root, bench_root)
+        )
     tests_root = project_root / "tests"
     test_corpus = _read_tree(tests_root, tests_root) if tests_root.is_dir() else []
 
     if not paths:
         return src_corpus, test_corpus, src_corpus
 
+    roots = (package_root.resolve(), project_root.resolve())
     selected: dict[str, SourceFile] = {}
     by_relpath = {source.relpath: source for source in src_corpus}
     for raw in paths:
@@ -198,22 +230,44 @@ def discover_project(
             chosen = [
                 source
                 for source in src_corpus
-                if (package_root / source.relpath).resolve().is_relative_to(path)
+                if _on_disk(source.relpath, roots).is_relative_to(path)
             ]
             if not chosen:
                 raise AnalysisError(f"no lintable files under {raw}")
             for source in chosen:
                 selected[source.relpath] = source
         elif path.is_file():
-            try:
-                relpath = path.relative_to(package_root.resolve()).as_posix()
-            except ValueError as exc:
+            relpath = _relpath_of(path, roots)
+            if relpath is None:
                 raise AnalysisError(
-                    f"{raw} is outside the src/repro package"
-                ) from exc
+                    f"{raw} is outside the src/repro package and benchmarks/"
+                )
             selected[relpath] = by_relpath.get(
                 relpath, SourceFile(relpath, path.read_text(encoding="utf-8"))
             )
         else:
             raise AnalysisError(f"no such file or directory: {raw}")
     return list(selected.values()), test_corpus, src_corpus
+
+
+def _on_disk(relpath: str, roots: tuple[Path, Path]) -> Path:
+    """Map a lint relpath back to its on-disk location (benchmark
+    sources live under the project root, package sources under
+    ``src/repro``)."""
+    package_root, project_root = roots
+    base = project_root if relpath.startswith("benchmarks/") else package_root
+    return (base / relpath).resolve()
+
+
+def _relpath_of(path: Path, roots: tuple[Path, Path]) -> str | None:
+    """Inverse of :func:`_on_disk` for explicit file arguments."""
+    package_root, project_root = roots
+    try:
+        return path.relative_to(package_root).as_posix()
+    except ValueError:
+        pass
+    try:
+        relpath = path.relative_to(project_root).as_posix()
+    except ValueError:
+        return None
+    return relpath if relpath.startswith("benchmarks/") else None

@@ -14,4 +14,8 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effect)
     rep004_guards,
     rep005_parity,
     rep006_exceptions,
+    rep007_layering,
+    rep008_transitive,
+    rep009_protocol,
+    rep010_deadapi,
 )

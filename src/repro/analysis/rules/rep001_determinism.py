@@ -74,7 +74,7 @@ def _is_set_expr(ctx: FileContext, node: ast.expr) -> bool:
     "REP001",
     "nondeterminism (unseeded RNG, set iteration, unsorted listings) in "
     "the bit-identical subsystems",
-    scope=("runtime/", "training/", "mining/"),
+    scope=("runtime/", "training/", "mining/", "benchmarks/"),
 )
 def check(ctx: FileContext) -> Iterator[Finding]:
     """Flag unseeded RNG, set iteration, and unsorted listings."""

@@ -1,0 +1,138 @@
+"""REP007 — architecture layering over the module import graph.
+
+Nine subsystems only stay nine subsystems if their dependency
+directions hold. The allowed edges form one declared DAG::
+
+    utils / errors / text                 (foundations)
+        ↑
+    taxonomy → querylog → mining → core   (domain layer)
+        ↑
+    runtime → training                    (model build/run layer)
+        ↑
+    serving                               (online layer)
+
+with ``eval``/``baselines``/``apps`` as core-level consumers,
+``analysis`` importing nothing above ``utils`` (the linter must never
+depend on what it lints), and the package root / ``cli`` / benchmarks
+free to import anything. Two checks run over
+:class:`~repro.analysis.graph.ModuleGraph`:
+
+1. every cross-subsystem import edge (including deferred ones) must be
+   allowed by :data:`ALLOWED_IMPORTS`; and
+2. **load-time** import cycles are rejected outright. Deferred
+   (function-body) imports are excluded from the cycle check — they are
+   the sanctioned escape valve — but still face check 1, so an upward
+   deferred import needs an explicit justified ``noqa`` on its line.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.graph import subsystem_of
+from repro.analysis.registry import project_rule
+
+#: The layer DAG: subsystem -> subsystems it may import. This table is
+#: the single source of truth (README/TOUR render it; a test asserts it
+#: is acyclic). Order within each tuple is cosmetic; sorted for review.
+_FOUNDATIONS = ("errors", "text", "utils")
+ALLOWED_IMPORTS: dict[str, tuple[str, ...]] = {
+    "errors": (),
+    "utils": (),
+    "text": ("errors", "utils"),
+    "taxonomy": _FOUNDATIONS,
+    "querylog": ("taxonomy", *_FOUNDATIONS),
+    "mining": ("querylog", "taxonomy", *_FOUNDATIONS),
+    "core": ("mining", "querylog", "taxonomy", *_FOUNDATIONS),
+    "runtime": ("core", "mining", "querylog", "taxonomy", *_FOUNDATIONS),
+    "training": ("runtime", "core", "mining", "querylog", "taxonomy", *_FOUNDATIONS),
+    "serving": (
+        "training",
+        "runtime",
+        "core",
+        "mining",
+        "querylog",
+        "taxonomy",
+        *_FOUNDATIONS,
+    ),
+    "eval": ("core", "mining", "querylog", "taxonomy", *_FOUNDATIONS),
+    "baselines": ("core", "mining", "querylog", "taxonomy", *_FOUNDATIONS),
+    "apps": ("baselines", "eval", "core", "mining", "querylog", "taxonomy", *_FOUNDATIONS),
+    "analysis": ("errors", "utils"),
+    # Top-level consumers: may import any subsystem.
+    "root": ("*",),
+    "cli": ("*",),
+    "benchmarks": ("*",),
+}
+
+
+def is_allowed(source_subsystem: str, target_subsystem: str) -> bool:
+    """May ``source_subsystem`` import ``target_subsystem``?"""
+    if source_subsystem == target_subsystem:
+        return True
+    allowed = ALLOWED_IMPORTS.get(source_subsystem)
+    if allowed is None:
+        return False  # undeclared subsystem: extend the table explicitly
+    return "*" in allowed or target_subsystem in allowed
+
+
+@project_rule(
+    "REP007",
+    "import violates the architecture layer DAG or forms a load-time cycle",
+)
+def check(project: ProjectContext) -> Iterator[Finding]:
+    """Flag layer-DAG violations and load-time import cycles."""
+    graphs = project.graphs
+    linted = {ctx.relpath for ctx in project.files}
+    flagged: set[tuple[str, int]] = set()
+    for edge in graphs.modules.edges:
+        if edge.source not in linted:
+            continue  # narrowed run: only report on files being linted
+        source_subsystem = subsystem_of(edge.source)
+        target_subsystem = subsystem_of(edge.target)
+        if is_allowed(source_subsystem, target_subsystem):
+            continue
+        flagged.add((edge.source, edge.line))
+        declared = ALLOWED_IMPORTS.get(source_subsystem)
+        if declared is None:
+            reason = (
+                f"subsystem `{source_subsystem}` is not declared in the "
+                "layer table (ALLOWED_IMPORTS); add it with an explicit "
+                "dependency list"
+            )
+        else:
+            reason = (
+                f"`{source_subsystem}` may only import "
+                f"{{{', '.join(sorted(declared)) or 'nothing'}}}"
+            )
+        yield Finding(
+            edge.source,
+            edge.line,
+            1,
+            "REP007",
+            f"layering violation: `{source_subsystem}` → "
+            f"`{target_subsystem}` (imports {edge.target}); {reason}",
+        )
+    for cycle in graphs.modules.load_time_cycles():
+        members = set(cycle)
+        chain = " → ".join(cycle)
+        for edge in graphs.modules.edges:
+            if (
+                edge.deferred
+                or edge.source not in members
+                or edge.target not in members
+                or edge.source not in linted
+                or (edge.source, edge.line) in flagged
+            ):
+                continue
+            yield Finding(
+                edge.source,
+                edge.line,
+                1,
+                "REP007",
+                f"load-time import cycle {{{chain}}}: importing "
+                f"{edge.target} at module load closes the loop; defer the "
+                "import into the function that needs it",
+            )

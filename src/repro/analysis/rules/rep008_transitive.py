@@ -1,0 +1,80 @@
+"""REP008 — transitive blocking calls below serving coroutines.
+
+The call-graph closure of REP002. That rule sees one file at a time, so
+``async def reload`` calling a sync helper that calls
+``read_snapshot_header`` which ``open``\\ s a file passes it — yet the
+event loop stalls exactly as if the coroutine had called ``open``
+itself, because a sync callee runs on the caller's stack.
+
+This rule walks the :class:`~repro.analysis.graph.CallGraph` from every
+``async def`` under ``serving/``: breadth-first over *sync* callees
+only (an ``await``\\ ed coroutine suspends rather than blocks, and
+callables handed to ``run_in_executor``/``to_thread`` are arguments,
+not call expressions, so the traversal excludes them for free). Any
+reachable blocking primitive — REP002's own table — at depth ≥ 2 is
+reported with the full call chain; depth-1 hits stay REP002's.
+
+The finding anchors on the *first hop* (the call site inside the
+coroutine) so a ``noqa`` there acknowledges the whole chain, and BFS
+guarantees the reported chain is a shortest one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.graph import iter_async_roots
+from repro.analysis.registry import project_rule
+from repro.analysis.rules.rep002_blocking import _is_blocking
+
+
+@project_rule(
+    "REP008",
+    "async def in serving/ reaches a blocking call through sync callees",
+)
+def check(project: ProjectContext) -> Iterator[Finding]:
+    """Flag serving coroutines whose sync call closure blocks."""
+    graphs = project.graphs
+    call_graph = graphs.calls
+    linted = {ctx.relpath for ctx in project.files}
+    for root in iter_async_roots(graphs):
+        if root.path not in linted:
+            continue
+        # (node id, call chain so far, line of the first hop's call site)
+        queue: deque[tuple[str, tuple[str, ...], int]] = deque()
+        for site in call_graph.calls_of(root.node_id):
+            callee = call_graph.functions.get(site.callee)
+            if callee is None or callee.is_async:
+                continue
+            queue.append((site.callee, (root.node_id, site.callee), site.line))
+        visited: set[str] = {root.node_id}
+        reported: set[str] = set()  # one finding per blocking primitive
+        while queue:
+            node_id, chain, first_line = queue.popleft()
+            if node_id in visited:
+                continue
+            visited.add(node_id)
+            for external in call_graph.externals_of(node_id):
+                if not _is_blocking(external.name) or external.name in reported:
+                    continue
+                reported.add(external.name)
+                node = call_graph.functions[node_id]
+                rendered = " → ".join(chain)
+                yield Finding(
+                    root.path,
+                    first_line,
+                    1,
+                    "REP008",
+                    f"`async def {root.qualname}` reaches blocking "
+                    f"`{external.name}` ({node.path}:{external.line}) through "
+                    f"sync callees: {rendered}; run the sync chain in an "
+                    "executor or make it async",
+                )
+            for site in call_graph.calls_of(node_id):
+                callee = call_graph.functions.get(site.callee)
+                if callee is None or callee.is_async or site.callee in visited:
+                    continue
+                queue.append((site.callee, chain + (site.callee,), first_line))

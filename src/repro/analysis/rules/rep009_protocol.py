@@ -1,0 +1,184 @@
+"""REP009 — wire-protocol conformance between router and replicas.
+
+The fleet speaks length-prefixed JSON frames whose ``op`` field selects
+the replica-side handler (detect/health/stats/cache_keys/reload). The
+two halves of the protocol live in different files, so nothing file-
+local stops them drifting: an op ``ReplicaServer`` dispatches that no
+client ever sends is dead protocol surface, and an op a client sends
+that the server never dispatches is a latent runtime error that only
+fires under the right traffic. Both directions are cross-checked here:
+
+- **server ops** — string constants compared against a name ending in
+  ``op`` (``if op == "detect":``) inside ``serving/replica.py``;
+- **client ops** — ``{"op": "..."}`` dict literals anywhere else under
+  ``serving/`` (the router and client helpers build frames that way).
+
+Additionally, every ``/stats`` key asserted by the test suite
+(``stats["hedges_fired"]``-style subscripts on stats-ish names) must
+appear as a string constant somewhere in the package — a key the tests
+pin but nothing produces means the assertion passes only against stale
+fixtures or dead code.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import ProjectContext, SourceFile
+from repro.analysis.findings import Finding
+from repro.analysis.registry import project_rule
+
+#: The replica server module (protocol owner); the rule only runs when
+#: a linted file matches, so fixture projects without a fleet skip it.
+SERVER_FILE = "serving/replica.py"
+
+
+def _parse(source: SourceFile) -> ast.Module | None:
+    try:
+        return ast.parse(source.text, filename=source.relpath)
+    except SyntaxError:
+        return None
+
+
+def _server_ops(tree: ast.Module) -> dict[str, int]:
+    """op literal -> first dispatch line, from ``op == "..."`` compares."""
+    ops: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Compare) and len(node.ops) == 1):
+            continue
+        if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            continue
+        left, right = node.left, node.comparators[0]
+        name = left.id if isinstance(left, ast.Name) else (
+            left.attr if isinstance(left, ast.Attribute) else None
+        )
+        if name is None or not name.lower().endswith("op"):
+            continue
+        if isinstance(right, ast.Constant) and isinstance(right.value, str):
+            ops.setdefault(right.value, node.lineno)
+    return ops
+
+
+def _client_ops(tree: ast.Module) -> dict[str, int]:
+    """op literal -> first send line, from ``{"op": "..."}`` literals."""
+    ops: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "op"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                ops.setdefault(value.value, node.lineno)
+    return ops
+
+
+def _asserted_stats_keys(test_corpus: list[SourceFile]) -> dict[str, tuple[str, int]]:
+    """stats key -> (test relpath, line) for every ``stats[...]``-style
+    subscript with a string key in the test suite."""
+    keys: dict[str, tuple[str, int]] = {}
+    for source in sorted(test_corpus, key=lambda item: item.relpath):
+        tree = _parse(source)
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Subscript):
+                continue
+            index = node.slice
+            if not (
+                isinstance(index, ast.Constant) and isinstance(index.value, str)
+            ):
+                continue
+            base = node.value
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else None
+            )
+            if name is None or "stats" not in name.lower():
+                continue
+            keys.setdefault(index.value, (f"tests/{source.relpath}", node.lineno))
+    return keys
+
+
+def _produced_strings(src_corpus: list[SourceFile]) -> set[str]:
+    """Every string constant and keyword-argument name in the package —
+    the universe of keys the source can put into a stats payload."""
+    produced: set[str] = set()
+    for source in src_corpus:
+        tree = _parse(source)
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                produced.add(node.value)
+            elif isinstance(node, ast.keyword) and node.arg is not None:
+                produced.add(node.arg)
+    return produced
+
+
+@project_rule(
+    "REP009",
+    "replica wire-protocol op or tested /stats key has no counterpart",
+)
+def check(project: ProjectContext) -> Iterator[Finding]:
+    """Cross-check replica ops and test-asserted stats keys."""
+    linted = {ctx.relpath: ctx for ctx in project.files}
+    server_ctx = linted.get(SERVER_FILE)
+    if server_ctx is None:
+        return  # no protocol owner in this run (fixtures, narrowed runs)
+
+    corpus = project.src_corpus or [
+        SourceFile(ctx.relpath, ctx.text) for ctx in project.files
+    ]
+    server_ops = _server_ops(server_ctx.tree)
+    client_ops: dict[str, tuple[str, int]] = {}
+    for source in sorted(corpus, key=lambda item: item.relpath):
+        if source.relpath == SERVER_FILE or not source.relpath.startswith("serving/"):
+            continue
+        tree = _parse(source)
+        if tree is None:
+            continue
+        for op, line in _client_ops(tree).items():
+            client_ops.setdefault(op, (source.relpath, line))
+
+    for op in sorted(set(server_ops) - set(client_ops)):
+        yield Finding(
+            SERVER_FILE,
+            server_ops[op],
+            1,
+            "REP009",
+            f"replica op `{op}` is dispatched by ReplicaServer but no "
+            "serving-side client ever sends it; remove the dead handler or "
+            "add the client call site",
+        )
+    for op in sorted(set(client_ops) - set(server_ops)):
+        path, line = client_ops[op]
+        if path not in linted:
+            continue  # narrowed run: only report on files being linted
+        yield Finding(
+            path,
+            line,
+            1,
+            "REP009",
+            f"serving client sends replica op `{op}` but ReplicaServer "
+            "never dispatches it; the frame would fall through to the "
+            "error path on every send",
+        )
+
+    produced = _produced_strings(corpus)
+    for key, (path, line) in sorted(_asserted_stats_keys(project.test_corpus).items()):
+        if key not in produced:
+            yield Finding(
+                path,
+                line,
+                1,
+                "REP009",
+                f"test asserts /stats key `{key}` but no string constant in "
+                "src/repro produces it; the assertion can only pass against "
+                "stale fixtures",
+            )

@@ -1,0 +1,149 @@
+"""REP010 — dead public API: exported surface nothing reaches.
+
+A public function or class that neither the CLI, the tests, the
+benchmarks, nor any ``__init__`` re-export can reach is surface the
+project pays review and refactoring cost for without any consumer —
+and worse, it silently decays because nothing exercises it.
+
+Reachability is computed in two tiers, both deliberately conservative
+(a false "dead" verdict is expensive; a false "live" one is cheap):
+
+1. **module liveness** — the import-graph closure (deferred edges
+   included) from the root set: ``cli`` modules, every ``__init__.py``,
+   every benchmark script, and every module the test suite imports. A
+   module outside that closure can never run, so all its public symbols
+   are dead.
+2. **symbol liveness** — inside a live module, a public top-level
+   symbol is live if any *other* file (source, test, or benchmark)
+   mentions its name as an identifier token, or its own file uses the
+   name beyond the single ``def``/``class`` line (registration tables,
+   recursion, ``__all__``). Textual matching over-approximates real
+   references, which is exactly the conservative direction.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from collections.abc import Iterator
+
+from repro.analysis.context import ProjectContext, SourceFile
+from repro.analysis.findings import Finding
+from repro.analysis.graph import module_name
+from repro.analysis.registry import project_rule
+
+_IDENTIFIER = re.compile(r"\w+")
+
+
+def _is_root(relpath: str) -> bool:
+    """Entry-point files whose own publics are reachable by definition."""
+    return (
+        relpath.endswith("__init__.py")
+        or relpath == "cli.py"
+        or relpath.endswith("/cli.py")
+        or relpath.startswith("benchmarks/")
+    )
+
+
+def _test_imported_modules(test_corpus: list[SourceFile]) -> set[str]:
+    """Dotted names the test suite imports (prefix set, e.g. both
+    ``repro.serving.router`` and ``repro.serving``)."""
+    imported: set[str] = set()
+    for source in test_corpus:
+        try:
+            tree = ast.parse(source.text, filename=source.relpath)
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imported.add(alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                imported.add(node.module)
+                for alias in node.names:
+                    imported.add(f"{node.module}.{alias.name}")
+    return imported
+
+
+@project_rule(
+    "REP010",
+    "public symbol unreachable from CLI, tests, benchmarks, or re-exports",
+)
+def check(project: ProjectContext) -> Iterator[Finding]:
+    """Flag public top-level symbols with no reachable consumer."""
+    if not project.test_corpus:
+        # Without the test corpus, "unreachable from tests" cannot be
+        # judged — abstain rather than flag every fixture project.
+        return
+    graphs = project.graphs
+    corpus = project.src_corpus or [
+        SourceFile(ctx.relpath, ctx.text) for ctx in project.files
+    ]
+
+    test_imports = _test_imported_modules(project.test_corpus)
+    roots = {
+        path
+        for path in graphs.modules.modules
+        if _is_root(path) or module_name(path) in test_imports
+    }
+    live: set[str] = set()
+    queue = deque(sorted(roots))
+    while queue:
+        path = queue.popleft()
+        if path in live:
+            continue
+        live.add(path)
+        for edge in graphs.modules.imports_of(path):
+            if edge.target not in live:
+                queue.append(edge.target)
+
+    identifiers: dict[str, set[str]] = {
+        source.relpath: set(_IDENTIFIER.findall(source.text)) for source in corpus
+    }
+    for source in project.test_corpus:
+        identifiers[f"tests/{source.relpath}"] = set(
+            _IDENTIFIER.findall(source.text)
+        )
+
+    for ctx in project.files:
+        if _is_root(ctx.relpath):
+            continue
+        module_live = ctx.relpath in live
+        own_counts: dict[str, int] = {}
+        for token in _IDENTIFIER.findall(ctx.text):
+            own_counts[token] = own_counts.get(token, 0) + 1
+        for node in ctx.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            referenced_elsewhere = any(
+                node.name in tokens
+                for path, tokens in identifiers.items()
+                if path != ctx.relpath
+            )
+            if referenced_elsewhere or own_counts.get(node.name, 0) >= 2:
+                continue  # textual reference = live (conservative)
+            if module_live:
+                message = (
+                    f"public `{node.name}` has no consumer anywhere (no "
+                    "other file names it, and its own module never uses "
+                    "it); delete it, test it, or mark it private"
+                )
+            else:
+                message = (
+                    f"public `{node.name}` lives in a module unreachable "
+                    "from the CLI, tests, benchmarks, or any __init__ "
+                    "re-export, and nothing names it; delete it or wire "
+                    "the module in"
+                )
+            yield Finding(
+                ctx.relpath,
+                node.lineno,
+                node.col_offset + 1,
+                "REP010",
+                message,
+            )

@@ -106,6 +106,9 @@ class HdmModel:
         ``CompiledDetector.load_snapshot(path)``, and worker pools map
         the file read-only instead of re-pickling the model.
         """
+        # repro: noqa[REP007] -- sanctioned inversion: compile() is the
+        # hand-off point where the reference model builds its runtime
+        # twin; deferred so plain core use never loads numpy.
         from repro.runtime.compiled import CompiledDetector
 
         classifier = self.classifier

@@ -24,9 +24,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ModelError
 from repro.runtime.snapshot import read_snapshot_header, save_snapshot
+
+if TYPE_CHECKING:
+    from repro.runtime.compiled import CompiledDetector
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,7 +47,7 @@ class SnapshotLineage:
         if self.record_count < 0:
             raise ModelError("lineage record_count must be >= 0")
 
-    def to_header(self) -> dict:
+    def to_header(self) -> dict[str, int | None]:
         """The JSON-serializable header value."""
         return {
             "generation": self.generation,
@@ -52,7 +56,7 @@ class SnapshotLineage:
         }
 
     @classmethod
-    def from_header(cls, header: dict) -> "SnapshotLineage | None":
+    def from_header(cls, header: dict[str, Any]) -> "SnapshotLineage | None":
         """Parse the lineage of a snapshot header; ``None`` when the
         snapshot predates lineage (old files keep loading)."""
         raw = header.get("lineage")
@@ -88,13 +92,13 @@ def snapshot_identity(path: str | Path) -> int:
 
 
 def save_versioned_snapshot(
-    detector,
+    detector: "CompiledDetector",
     path: str | Path,
     *,
     generation: int,
     record_count: int,
     parent: str | Path | None = None,
-) -> dict:
+) -> dict[str, Any]:
     """Write ``detector`` as a snapshot carrying a lineage header.
 
     ``parent`` names the snapshot file this model was folded from; its

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from collections import deque
 from time import monotonic, perf_counter
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 #: Histogram bucket upper bounds in microseconds: a 1-2-5 series from
 #: 1µs to 10s. Sub-microsecond events land in the first bucket;
@@ -238,7 +238,7 @@ class LatencyHistogram:
         the winning bucket; 0.0 when nothing was observed."""
         return _percentile_us(self._counts, self._count, self._max_us, q)
 
-    def window_stats(self) -> dict:
+    def window_stats(self) -> dict[str, Any]:
         """Percentiles and rate over the last :attr:`window_s` seconds
         only — the recent-traffic twin of :meth:`stats`, read by the
         autoscaler (p95-by-stage trigger) and the hedging policy
@@ -262,7 +262,7 @@ class LatencyHistogram:
         summary["window_s"] = self.window_s
         return summary
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Counters + percentiles as one JSON-friendly dict.
 
         ``buckets`` maps bucket upper bound (µs, as a string key so JSON
@@ -278,7 +278,7 @@ class LatencyHistogram:
         return summary
 
     @classmethod
-    def merged(cls, stats_dicts: Iterable[dict]) -> dict:
+    def merged(cls, stats_dicts: Iterable[dict[str, Any]]) -> dict[str, Any]:
         """Merge several :meth:`stats` dicts (e.g. one per replica) into
         one, recomputing percentiles from the summed buckets.
 
@@ -335,7 +335,7 @@ def _percentile_us(
 
 def _histogram_summary(
     counts: list[int], count: int, sum_us: float, max_us: float
-) -> dict:
+) -> dict[str, Any]:
     """One bucket-count array as the JSON summary shape of
     :meth:`LatencyHistogram.stats`."""
     buckets: dict[str, int] = {}
@@ -359,7 +359,7 @@ def _histogram_summary(
     }
 
 
-def _merge_summaries(stats_dicts: list[dict]) -> dict:
+def _merge_summaries(stats_dicts: list[dict[str, Any]]) -> dict[str, Any]:
     """Sum several summary dicts bucket-wise (the body of
     :meth:`LatencyHistogram.merged`)."""
     counts = [0] * (len(BUCKET_BOUNDS_US) + 1)
@@ -428,7 +428,7 @@ class ServingMetrics:
     ) -> None:
         self._counters: dict[str, StatCounter] = {}
         self._stages: dict[str, LatencyHistogram] = {}
-        self._events: deque[dict] = deque(maxlen=max(trace_capacity, 1))
+        self._events: deque[dict[str, Any]] = deque(maxlen=max(trace_capacity, 1))
         self._sequence = 0
         # Shared by every counter/stage window, injectable for tests.
         self._clock = clock or monotonic
@@ -459,11 +459,11 @@ class ServingMetrics:
         ``with metrics.span("route"): ...``."""
         return _Span(self, stage)
 
-    def events(self) -> Iterator[dict]:
+    def events(self) -> Iterator[dict[str, Any]]:
         """Recent span events, oldest first (bounded ring)."""
         return iter(tuple(self._events))
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """The whole registry as one JSON-friendly dict: per-stage
         histogram stats (see :meth:`LatencyHistogram.stats`, each with
         its rotating ``window`` summary), counter values plus their

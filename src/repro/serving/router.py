@@ -1053,7 +1053,11 @@ class Router:
         """
         if self._closed:
             raise ServerClosedError("router is closed")
-        read_snapshot_header(snapshot_path)  # refuse bad files up front
+        # Refuse bad files up front; header validation opens and reads
+        # the snapshot, so it runs off-loop (REP008).
+        await asyncio.get_running_loop().run_in_executor(
+            None, read_snapshot_header, snapshot_path
+        )
         path = str(snapshot_path)
         async with self._restart_lock:  # don't race health-loop restarts
             if self._spawn_command is not None:

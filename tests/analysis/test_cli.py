@@ -129,6 +129,15 @@ class TestOptions:
         assert lint(project, "--rule", "REP002") == 0
         assert lint(project, "--rule", "REP001", "--rule", "REP002") == 1
 
+    def test_rule_filter_comma_separated(self, project, capsys):
+        project.add("training/shuffle.py", DIRTY_MODULE)
+        assert lint(project, "--rule", "REP002,REP003") == 0
+        assert lint(project, "--rule", "REP001,REP002") == 1
+        # Mixed styles compose; stray whitespace and commas are tolerated.
+        assert lint(project, "--rule", "REP002, REP003,", "--rule", "REP001") == 1
+        assert lint(project, "--rule", "REP001,REP999") == 2
+        assert "unknown rule" in capsys.readouterr().err
+
     def test_json_format_and_output_file(self, project, capsys):
         project.add("training/shuffle.py", DIRTY_MODULE)
         report_path = project / "report.json"
@@ -150,5 +159,34 @@ class TestOptions:
     def test_list_rules(self, project, capsys):
         assert lint(project, "--list-rules") == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
-            assert rule_id in out
+        for number in range(1, 11):
+            assert f"REP{number:03d}" in out
+
+
+class TestGraphOption:
+    def test_graph_json_is_byte_identical_across_runs(self, project, capsys):
+        project.add("core/model.py", "from repro.utils import x\n")
+        project.add("utils/x.py", "X = 1\n")
+        assert lint(project, "--graph", "json") == 0
+        first = capsys.readouterr().out
+        assert lint(project, "--graph", "json") == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["version"] == 1
+        paths = [module["path"] for module in payload["modules"]]
+        assert paths == sorted(paths)
+        (edge,) = next(
+            module["imports"]
+            for module in payload["modules"]
+            if module["path"] == "core/model.py"
+        )
+        assert edge == {"target": "utils/x.py", "line": 1, "deferred": False}
+
+    def test_graph_dot_and_output_file(self, project, capsys):
+        project.add("core/model.py", CLEAN_MODULE)
+        dot_path = project / "graph.dot"
+        assert lint(project, "--graph", "dot", "--output", str(dot_path)) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph imports {")
+        assert dot_path.read_text().startswith("digraph imports {")

@@ -89,5 +89,67 @@ def test_canary_unseeded_shuffle_in_training(corpus):
     )
 
 
+def test_canary_illegal_core_to_serving_import(corpus):
+    """Acceptance check: `core → serving` import in core/model.py → REP007."""
+
+    def transform(text):
+        return text + "\nfrom repro.serving import router as _layering_canary\n"
+
+    sources, tests, src_corpus = _inject(corpus, "core/model.py", transform)
+    result = run_lint(sources, test_sources=tests, src_corpus=src_corpus)
+    assert not result.clean
+    assert any(
+        f.rule == "REP007"
+        and f.path == "core/model.py"
+        and "`core` → `serving`" in f.message
+        for f in result.active
+    )
+
+
+def test_canary_buried_blocking_sleep_under_async_handler(corpus):
+    """Acceptance check: ``time.sleep`` two hops below an ``async def``
+    in serving/http.py — invisible to file-local REP002 — → REP008."""
+
+    def transform(text):
+        needle = "status, payload = await self._respond(method, target, body)"
+        assert needle in text
+        text = text.replace(
+            needle, "_warm_disk_canary()\n            " + needle, 1
+        )
+        return text + (
+            "\n\ndef _warm_disk_canary():\n"
+            "    import time\n"
+            "    time.sleep(0.5)\n"
+        )
+
+    sources, tests, src_corpus = _inject(corpus, "serving/http.py", transform)
+    result = run_lint(sources, test_sources=tests, src_corpus=src_corpus)
+    assert not result.clean
+    assert any(
+        f.rule == "REP008"
+        and f.path == "serving/http.py"
+        and "time.sleep" in f.message
+        and "_warm_disk_canary" in f.message
+        for f in result.active
+    )
+    # And REP002 stays silent: the blocking call is not *in* the
+    # coroutine, which is exactly why REP008 exists.
+    assert not any(f.rule == "REP002" for f in result.active)
+
+
+def test_graph_json_artifact_is_deterministic(corpus):
+    """`repro lint --graph json` twice → byte-identical documents."""
+    import json
+
+    from repro.analysis.graph import _CACHE, build_graphs, graphs_to_dict
+
+    _, _, src_corpus = corpus
+    _CACHE.clear()
+    first = json.dumps(graphs_to_dict(build_graphs(src_corpus)), sort_keys=True)
+    _CACHE.clear()
+    second = json.dumps(graphs_to_dict(build_graphs(src_corpus)), sort_keys=True)
+    assert first == second
+
+
 def test_py_typed_marker_ships():
     assert (PROJECT_ROOT / "src" / "repro" / "py.typed").exists()

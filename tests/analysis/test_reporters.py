@@ -58,6 +58,10 @@ class TestJsonReporter:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
         ]
 
     def test_output_is_deterministic(self):
@@ -74,6 +78,6 @@ class TestTextReporter:
     def test_clean_summary(self):
         report = render_text(run_lint([CLEAN]))
         assert report.endswith(
-            "1 files, 6 rules: 0 finding(s), 0 suppressed, 0 baselined, "
+            "1 files, 10 rules: 0 finding(s), 0 suppressed, 0 baselined, "
             "0 stale baseline entries"
         )

@@ -408,7 +408,14 @@ class TestRep005ParityCoverage:
             SourceFile("core/tables.py", "def derive_table(pairs):\n    return pairs\n")
         ]
         tests = [SourceFile("training/test_vectorized.py", tests_text)]
-        return run_lint(sources, test_sources=tests, src_corpus=src_corpus)
+        # `mystery_function` is deliberately consumer-free, so REP010
+        # would (correctly) flag it too; this class pins REP005 alone.
+        return run_lint(
+            sources,
+            test_sources=tests,
+            src_corpus=src_corpus,
+            rule_filter={"REP005"},
+        )
 
     def test_twin_and_test_coverage_enforced(self, rule_ids_of):
         result = self._run("def test_derive():\n    derive_table_vectorized([])\n")
